@@ -1,0 +1,49 @@
+"""In-tree PEP 517 build backend shim.
+
+The evaluation image has no network access, so pip's default build isolation
+cannot download ``setuptools``/``wheel`` into the isolated build environment.
+This shim declares an empty ``requires`` list in ``pyproject.toml`` (so pip
+has nothing to download) and re-exports the setuptools backend from the host
+environment, which it makes importable by appending the interpreter's
+site-packages directories to ``sys.path``.
+
+With a normal, network-connected pip this shim behaves identically to using
+``setuptools.build_meta`` directly.
+"""
+
+import sys
+import sysconfig
+
+
+def _ensure_host_site_packages() -> None:
+    for key in ("purelib", "platlib"):
+        path = sysconfig.get_paths().get(key)
+        if path and path not in sys.path:
+            sys.path.append(path)
+
+
+_ensure_host_site_packages()
+
+from setuptools.build_meta import *  # noqa: E402,F401,F403
+from setuptools.build_meta import (  # noqa: E402,F401
+    build_editable,
+    build_sdist,
+    build_wheel,
+    prepare_metadata_for_build_editable,
+    prepare_metadata_for_build_wheel,
+)
+
+
+def get_requires_for_build_wheel(config_settings=None):  # noqa: D103
+    # setuptools normally asks pip to install ``wheel`` into the isolated
+    # build environment; the host environment already provides it and the
+    # shim exposes the host's site-packages, so no extra requirements.
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):  # noqa: D103
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):  # noqa: D103
+    return []

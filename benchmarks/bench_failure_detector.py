@@ -1,0 +1,49 @@
+"""E10: the (N, Theta)-failure detector suspects exactly the crashed processors.
+
+Crashes a subset of the cluster and measures how long the failure detectors of
+the survivors take to suspect every crashed processor while still trusting
+every alive one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import bench_cluster, record
+
+
+def _detection_time(n: int, crashes: int, seed: int) -> dict:
+    cluster = bench_cluster(n, seed=seed)
+    assert cluster.run_until_converged(timeout=4_000)
+    victims = list(range(crashes))
+    start = cluster.simulator.now
+    for pid in victims:
+        cluster.crash(pid)
+    alive = [node for node in cluster.alive_nodes()]
+
+    def detected() -> bool:
+        for node in alive:
+            trusted = node.trusted()
+            if any(v in trusted for v in victims):
+                return False
+            if any(other.pid not in trusted for other in alive):
+                return False
+        return True
+
+    ok = cluster.run_until(detected, timeout=6_000)
+    return {
+        "n": n,
+        "crashes": crashes,
+        "detected": ok,
+        "detection_time": cluster.simulator.now - start,
+        "false_suspicions": sum(
+            1 for node in alive for other in alive if other.pid not in node.trusted()
+        ),
+    }
+
+
+@pytest.mark.parametrize("n,crashes", [(4, 1), (6, 2)])
+def test_failure_detector_accuracy(benchmark, n, crashes):
+    result = benchmark.pedantic(_detection_time, args=(n, crashes, 61), rounds=1, iterations=1)
+    record(benchmark, result)
+    assert result["detected"] and result["false_suspicions"] == 0

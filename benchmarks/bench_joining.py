@@ -1,0 +1,55 @@
+"""E5 (Theorem 3.26): joining latency, with and without admission.
+
+Measures how long a burst of joiners takes to become participants and checks
+that joiners denied by the application's ``passQuery()`` never enter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import bench_cluster, record
+
+
+def _join_burst(n: int, joiners: int, seed: int) -> dict:
+    cluster = bench_cluster(n, seed=seed)
+    assert cluster.run_until_converged(timeout=4_000)
+    start = cluster.simulator.now
+    new_nodes = [cluster.add_joiner(1000 + i) for i in range(joiners)]
+    joined = cluster.run_until(
+        lambda: all(node.scheme.is_participant() for node in new_nodes),
+        timeout=12_000,
+    )
+    return {
+        "n": n,
+        "joiners": joiners,
+        "all_joined": joined,
+        "join_time": cluster.simulator.now - start,
+        "configuration_unchanged": cluster.agreed_configuration() is not None
+        and all(1000 + i not in cluster.agreed_configuration() for i in range(joiners)),
+    }
+
+
+def _denied_joiner(n: int, seed: int) -> dict:
+    cluster = bench_cluster(n, seed=seed, admission_policy=lambda joiner: False)
+    assert cluster.run_until_converged(timeout=4_000)
+    joiner = cluster.add_joiner(999)
+    cluster.run(until=cluster.simulator.now + 300)
+    return {
+        "n": n,
+        "denied_joiner_stays_out": not joiner.scheme.is_participant(),
+        "requests_sent": joiner.joining.join_requests_sent,
+    }
+
+
+@pytest.mark.parametrize("n,joiners", [(4, 1), (4, 3)])
+def test_join_burst_latency(benchmark, n, joiners):
+    result = benchmark.pedantic(_join_burst, args=(n, joiners, 41), rounds=1, iterations=1)
+    record(benchmark, result)
+    assert result["all_joined"] and result["configuration_unchanged"]
+
+
+def test_denied_joiner_never_participates(benchmark):
+    result = benchmark.pedantic(_denied_joiner, args=(4, 43), rounds=1, iterations=1)
+    record(benchmark, result)
+    assert result["denied_joiner_stays_out"]

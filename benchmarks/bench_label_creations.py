@@ -1,0 +1,57 @@
+"""E6 (Theorem 4.4): label creations are bounded.
+
+From an arbitrary (corrupted) label state at most O(N(N^2+m)) fresh labels
+are created before a maximal label is agreed; after a reconfiguration only
+O(N^2) creations are possible.  The benchmark corrupts the label stores,
+lets them converge and counts label creations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.labels.label import EpochLabel, LabelPair
+from repro.labels.labeling import LabelingService
+
+from conftest import bench_cluster, record
+
+
+def _label_convergence(n: int, corrupt: bool, seed: int) -> dict:
+    cluster = bench_cluster(n, seed=seed)
+    services = {}
+    for pid, node in cluster.nodes.items():
+        services[pid] = node.register_service(
+            LabelingService(pid, node.scheme, node._send_raw)
+        )
+    assert cluster.run_until_converged(timeout=4_000)
+    cluster.run(until=cluster.simulator.now + 60)
+    if corrupt:
+        for pid, svc in services.items():
+            if svc.store is None:
+                continue
+            garbage = EpochLabel(creator=pid, sting=7 + pid, antistings=frozenset({1, 2}))
+            svc.store.max_pairs[pid] = LabelPair(ml=garbage, cl=garbage)
+    creations_before = sum(svc.labels_created() for svc in services.values())
+    converged = cluster.run_until(
+        lambda: all(svc.max_label() is not None for svc in services.values())
+        and len({svc.max_label() for svc in services.values()}) == 1,
+        timeout=6_000,
+    )
+    creations = sum(svc.labels_created() for svc in services.values()) - creations_before
+    m = cluster.channel_capacity * n * n
+    return {
+        "n": n,
+        "corrupted": corrupt,
+        "converged_to_single_label": converged,
+        "label_creations": creations,
+        "bound_arbitrary": n * (n * n + m),
+        "bound_post_reconfig": n * n,
+        "within_bound": creations <= n * (n * n + m),
+    }
+
+
+@pytest.mark.parametrize("corrupt", [False, True])
+def test_label_creations_bounded(benchmark, corrupt):
+    result = benchmark.pedantic(_label_convergence, args=(4, corrupt, 47), rounds=1, iterations=1)
+    record(benchmark, result)
+    assert result["converged_to_single_label"] and result["within_bound"]

@@ -1,0 +1,46 @@
+"""E4 (Lemma 3.20): a majority collapse triggers a recovery reconfiguration.
+
+Crashes a majority of the configuration members and measures the time until
+recMA triggers and a new configuration over the survivors is installed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import bench_cluster, record
+
+
+def _majority_collapse(n: int, seed: int) -> dict:
+    cluster = bench_cluster(n, seed=seed)
+    assert cluster.run_until_converged(timeout=4_000)
+    old_config = cluster.agreed_configuration()
+    victims = sorted(old_config)[: len(old_config) // 2 + 1]
+    start = cluster.simulator.now
+    for pid in victims:
+        cluster.crash(pid)
+    recovered = cluster.run_until(
+        lambda: cluster.is_converged()
+        and cluster.agreed_configuration() is not None
+        and cluster.agreed_configuration() != old_config,
+        timeout=10_000,
+    )
+    new_config = cluster.agreed_configuration()
+    return {
+        "n": n,
+        "crashed": len(victims),
+        "recovered": recovered,
+        "recovery_time": cluster.simulator.now - start,
+        "new_config_size": len(new_config or []),
+        "survivors_only": bool(new_config) and not (set(victims) & set(new_config)),
+        "majority_triggers": sum(
+            node.recma.majority_triggers for node in cluster.nodes.values()
+        ),
+    }
+
+
+@pytest.mark.parametrize("n", [5, 7])
+def test_majority_collapse_recovery(benchmark, n):
+    result = benchmark.pedantic(_majority_collapse, args=(n, 37), rounds=1, iterations=1)
+    record(benchmark, result)
+    assert result["recovered"] and result["survivors_only"]

@@ -1,0 +1,47 @@
+"""E2 (Theorem 3.16, Closure): delicate replacement installs exactly once.
+
+From a stale-free state, an explicit ``estab()`` replaces the configuration
+uniformly; no further configuration changes or resets happen afterwards.
+Measures the replacement latency and checks the closure property.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.types import make_config
+
+from conftest import bench_cluster, record
+
+
+def _delicate_replacement(n: int, seed: int) -> dict:
+    cluster = bench_cluster(n, seed=seed)
+    assert cluster.run_until_converged(timeout=4_000)
+    start = cluster.simulator.now
+    target = make_config(range(n - 1))
+    assert cluster.nodes[0].scheme.request_reconfiguration(target)
+    installed = cluster.run_until(
+        lambda: cluster.agreed_configuration() == target and cluster.is_converged(),
+        timeout=6_000,
+    )
+    replace_time = cluster.simulator.now - start
+    resets_after = sum(node.recsa.reset_count for node in cluster.nodes.values())
+    installs = sum(node.recsa.install_count for node in cluster.nodes.values())
+    # Closure: nothing else changes afterwards.
+    cluster.run(until=cluster.simulator.now + 100)
+    stable = cluster.agreed_configuration() == target
+    return {
+        "n": n,
+        "installed": installed,
+        "replacement_time": replace_time,
+        "installs_per_node": installs / n,
+        "resets_during_replacement": resets_after,
+        "stable_afterwards": stable,
+    }
+
+
+@pytest.mark.parametrize("n", [4, 6, 8])
+def test_delicate_replacement_latency(benchmark, n):
+    result = benchmark.pedantic(_delicate_replacement, args=(n, 23), rounds=1, iterations=1)
+    record(benchmark, result)
+    assert result["installed"] and result["stable_afterwards"]

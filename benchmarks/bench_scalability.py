@@ -1,0 +1,35 @@
+"""E11: scalability of convergence with system size and channel capacity."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import bench_cluster, record
+
+
+def _bootstrap(n: int, capacity: int, seed: int) -> dict:
+    cluster = bench_cluster(n, seed=seed, capacity=capacity)
+    converged = cluster.run_until_converged(timeout=6_000)
+    stats = cluster.statistics()
+    return {
+        "n": n,
+        "capacity": capacity,
+        "converged": converged,
+        "time_to_converge": cluster.simulator.now,
+        "messages_delivered": stats["delivered_messages"],
+        "messages_per_node": stats["delivered_messages"] / n,
+    }
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_convergence_scaling_with_n(benchmark, n):
+    result = benchmark.pedantic(_bootstrap, args=(n, 8, 89), rounds=1, iterations=1)
+    record(benchmark, result)
+    assert result["converged"]
+
+
+@pytest.mark.parametrize("capacity", [2, 8])
+def test_convergence_scaling_with_capacity(benchmark, capacity):
+    result = benchmark.pedantic(_bootstrap, args=(6, capacity, 97), rounds=1, iterations=1)
+    record(benchmark, result)
+    assert result["converged"]

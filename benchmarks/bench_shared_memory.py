@@ -1,0 +1,61 @@
+"""E12: MWMR shared-memory emulation — write propagation and consistency.
+
+Measures write-propagation latency through the replicated register and checks
+that every replica observes the same totally ordered write history.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.counters.service import CounterService
+from repro.vs.shared_memory import SharedRegister
+from repro.vs.smr import RegisterStateMachine
+from repro.vs.virtual_synchrony import VirtualSynchronyService, VSStatus
+
+from conftest import bench_cluster, record
+
+
+def _register_workload(n: int, writes: int, seed: int) -> dict:
+    cluster = bench_cluster(n, seed=seed)
+    registers = {}
+    services = {}
+    for pid, node in cluster.nodes.items():
+        counters = node.register_service(CounterService(pid, node.scheme, node._send_raw))
+        vs = VirtualSynchronyService(
+            pid, node.scheme, counters, node._send_raw, state_machine=RegisterStateMachine()
+        )
+        node.register_service(vs)
+        services[pid] = vs
+        registers[pid] = SharedRegister(pid, vs)
+    assert cluster.run_until_converged(timeout=4_000)
+    assert cluster.run_until(
+        lambda: any(
+            vs.view is not None and vs.status is VSStatus.MULTICAST and vs.is_coordinator()
+            for vs in services.values()
+        ),
+        timeout=8_000,
+    )
+    start = cluster.simulator.now
+    for index in range(writes):
+        registers[index % n].write(f"value-{index}")
+    completed = cluster.run_until(
+        lambda: all(len(reg.history()) >= writes for reg in registers.values()),
+        timeout=cluster.simulator.now + 10_000,
+    )
+    histories = {tuple(reg.history()) for reg in registers.values()}
+    return {
+        "n": n,
+        "writes": writes,
+        "all_delivered": completed,
+        "write_propagation_time": cluster.simulator.now - start,
+        "identical_histories": len(histories) == 1,
+        "final_value_agreed": len({reg.read() for reg in registers.values()}) == 1,
+    }
+
+
+@pytest.mark.parametrize("writes", [4, 10])
+def test_shared_register_consistency(benchmark, writes):
+    result = benchmark.pedantic(_register_workload, args=(3, writes, 73), rounds=1, iterations=1)
+    record(benchmark, result)
+    assert result["identical_histories"] and result["final_value_agreed"]

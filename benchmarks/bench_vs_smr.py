@@ -1,0 +1,81 @@
+"""E8 (Theorem 4.13): virtually synchronous SMR throughput and state safety.
+
+Measures view-establishment latency, multicast-round throughput and checks
+that all replicas apply the same command sequence (the virtual-synchrony
+property) — including after a coordinator crash.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.counters.service import CounterService
+from repro.vs.smr import LogStateMachine
+from repro.vs.virtual_synchrony import VirtualSynchronyService, VSStatus
+
+from conftest import bench_cluster, record
+
+
+def _build_vs(cluster):
+    services = {}
+    for pid, node in cluster.nodes.items():
+        counters = node.register_service(CounterService(pid, node.scheme, node._send_raw))
+        vs = VirtualSynchronyService(
+            pid, node.scheme, counters, node._send_raw, state_machine=LogStateMachine()
+        )
+        node.register_service(vs)
+        services[pid] = vs
+    return services
+
+
+def _smr_run(n: int, commands: int, crash_coordinator: bool, seed: int) -> dict:
+    cluster = bench_cluster(n, seed=seed)
+    services = _build_vs(cluster)
+    assert cluster.run_until_converged(timeout=4_000)
+    view_ok = cluster.run_until(
+        lambda: any(
+            vs.view is not None and vs.status is VSStatus.MULTICAST and vs.is_coordinator()
+            for pid, vs in services.items()
+            if not cluster.nodes[pid].crashed
+        ),
+        timeout=8_000,
+    )
+    view_time = cluster.simulator.now
+    for index in range(commands):
+        services[index % n].submit(f"cmd-{index}")
+    if crash_coordinator:
+        coord = next(
+            pid
+            for pid, vs in services.items()
+            if vs.is_coordinator() and not cluster.nodes[pid].crashed
+        )
+        cluster.crash(coord)
+    alive = lambda: [pid for pid in services if not cluster.nodes[pid].crashed]
+    delivered = cluster.run_until(
+        lambda: all(len(services[pid].machine.log) >= commands - n for pid in alive()),
+        timeout=cluster.simulator.now + 12_000,
+    )
+    logs = {tuple(services[pid].machine.log) for pid in alive()}
+    prefix_consistent = len({log[: min(len(l) for l in logs)] for log in logs}) <= 1 if logs else True
+    return {
+        "n": n,
+        "commands": commands,
+        "view_establishment_time": view_time,
+        "view_established": view_ok,
+        "delivered": delivered,
+        "identical_logs": len(logs) == 1,
+        "prefix_consistent": prefix_consistent,
+        "rounds": max(services[pid].rnd for pid in alive()),
+    }
+
+
+def test_smr_total_order_throughput(benchmark):
+    result = benchmark.pedantic(_smr_run, args=(4, 12, False, 67), rounds=1, iterations=1)
+    record(benchmark, result)
+    assert result["view_established"] and result["identical_logs"]
+
+
+def test_smr_survives_coordinator_crash(benchmark):
+    result = benchmark.pedantic(_smr_run, args=(4, 8, True, 71), rounds=1, iterations=1)
+    record(benchmark, result)
+    assert result["view_established"] and result["prefix_consistent"]

@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark corresponds to an experiment id (E1-E12) from DESIGN.md /
+EXPERIMENTS.md and measures the quantity the corresponding theorem or claim
+of the paper bounds.  Benchmarks use ``benchmark.pedantic(..., rounds=1)``
+because each "iteration" is a full discrete-event simulation whose cost — not
+micro-timing — is the interesting number; the measured metrics themselves are
+attached to ``benchmark.extra_info`` so they appear in the report.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Any, Dict
+
+# Make the test-suite helpers (quick_cluster) importable from benchmarks.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
+
+from repro.sim.cluster import Cluster, build_cluster
+from repro.sim.network import ChannelConfig
+
+
+def bench_cluster(n: int, seed: int = 1, capacity: int = 8, **kwargs: Any) -> Cluster:
+    """A cluster sized for benchmarking (low-latency, lossless channels)."""
+    kwargs.setdefault(
+        "channel_config",
+        ChannelConfig(capacity=capacity, loss_probability=0.0, min_delay=0.2, max_delay=0.6),
+    )
+    return build_cluster(n=n, seed=seed, **kwargs)
+
+
+def record(benchmark, metrics: Dict[str, Any]) -> None:
+    """Attach experiment metrics to the benchmark report."""
+    for key, value in metrics.items():
+        benchmark.extra_info[key] = value

@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work on
+environments whose setuptools predates PEP 660 native editable-wheel support
+(the offline evaluation image ships setuptools without the ``wheel``
+package).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Self-stabilizing reconfiguration for dynamic distributed systems "
+        "(reproduction of Dolev et al., MIDDLEWARE 2016)"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

@@ -1,0 +1,5 @@
+"""Metrics collection and reporting helpers for the benchmark harness."""
+
+from repro.analysis.metrics import ExperimentResult, ResultTable, summarize
+
+__all__ = ["ExperimentResult", "ResultTable", "summarize"]

@@ -1,0 +1,83 @@
+"""Small result-table helpers used by the benchmark harness.
+
+The paper's evaluation is a set of theorems rather than tables of numbers, so
+each benchmark produces a :class:`ResultTable` whose rows are the measured
+quantities the corresponding theorem bounds (convergence time, triggering
+counts, label creations, ...).  The tables render as aligned text so the
+benchmark output can be pasted directly into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """One measured row of an experiment: a parameter point plus metrics."""
+
+    parameters: Dict[str, Any]
+    metrics: Dict[str, Any]
+
+    def as_row(self, columns: Sequence[str]) -> List[Any]:
+        merged = {**self.parameters, **self.metrics}
+        return [merged.get(column, "") for column in columns]
+
+
+@dataclass
+class ResultTable:
+    """A titled collection of :class:`ExperimentResult` rows."""
+
+    title: str
+    columns: List[str]
+    results: List[ExperimentResult] = field(default_factory=list)
+
+    def add(self, parameters: Dict[str, Any], metrics: Dict[str, Any]) -> ExperimentResult:
+        result = ExperimentResult(parameters=parameters, metrics=metrics)
+        self.results.append(result)
+        return result
+
+    def rows(self) -> List[List[Any]]:
+        return [result.as_row(self.columns) for result in self.results]
+
+    def render(self) -> str:
+        """Render the table as aligned plain text."""
+        rows = [self.columns] + [
+            [_format_cell(cell) for cell in row] for row in self.rows()
+        ]
+        widths = [max(len(str(row[i])) for row in rows) for i in range(len(self.columns))]
+        lines = [self.title, "-" * len(self.title)]
+        for index, row in enumerate(rows):
+            line = "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row))
+            lines.append(line)
+            if index == 0:
+                lines.append("  ".join("-" * widths[i] for i in range(len(widths))))
+        return "\n".join(lines)
+
+    def column(self, name: str) -> List[Any]:
+        """Every value of one column, in row order."""
+        return [
+            {**result.parameters, **result.metrics}.get(name) for result in self.results
+        ]
+
+
+def _format_cell(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def summarize(values: Iterable[float]) -> Dict[str, float]:
+    """Mean / median / min / max summary of a sequence of measurements."""
+    data = [float(v) for v in values]
+    if not data:
+        return {"mean": 0.0, "median": 0.0, "min": 0.0, "max": 0.0, "count": 0}
+    return {
+        "mean": statistics.fmean(data),
+        "median": statistics.median(data),
+        "min": min(data),
+        "max": max(data),
+        "count": len(data),
+    }

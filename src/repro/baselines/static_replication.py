@@ -1,0 +1,59 @@
+"""A static (non-reconfigurable) majority-replication baseline.
+
+Used by the availability experiments: a fixed configuration replicated with
+majority quorums simply loses liveness forever once a majority of its members
+crash, whereas the paper's scheme reconfigures onto the surviving
+participants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional
+
+from repro.common.types import Configuration, ProcessId, make_config
+
+
+class StaticMajorityReplication:
+    """A closed-world majority-quorum replica group (no reconfiguration).
+
+    The class is deliberately simple — it is an analytical stand-in rather
+    than a message-passing protocol: operations succeed while a majority of
+    the *fixed* configuration is alive and fail forever afterwards.
+    """
+
+    def __init__(self, members: Iterable[ProcessId]) -> None:
+        self.members: Configuration = make_config(members)
+        self.crashed: set = set()
+        self.value: Optional[object] = None
+        self.completed_operations = 0
+        self.failed_operations = 0
+
+    def crash(self, pid: ProcessId) -> None:
+        """Record the crash of a member."""
+        if pid in self.members:
+            self.crashed.add(pid)
+
+    def alive_members(self) -> FrozenSet[ProcessId]:
+        """Members that have not crashed."""
+        return frozenset(self.members - self.crashed)
+
+    def has_majority(self) -> bool:
+        """True while a majority of the fixed configuration is alive."""
+        return len(self.alive_members()) >= len(self.members) // 2 + 1
+
+    def write(self, value: object) -> bool:
+        """Attempt a majority write; returns whether it completed."""
+        if not self.has_majority():
+            self.failed_operations += 1
+            return False
+        self.value = value
+        self.completed_operations += 1
+        return True
+
+    def read(self) -> Optional[object]:
+        """Attempt a majority read; returns None when unavailable."""
+        if not self.has_majority():
+            self.failed_operations += 1
+            return None
+        self.completed_operations += 1
+        return self.value

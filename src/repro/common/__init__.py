@@ -1,0 +1,35 @@
+"""Common types, errors and helpers shared by every subsystem."""
+
+from repro.common.types import (
+    ProcessId,
+    Configuration,
+    NOT_PARTICIPANT,
+    BOTTOM,
+    Phase,
+    Proposal,
+    DEFAULT_PROPOSAL,
+)
+from repro.common.errors import (
+    ReproError,
+    SimulationError,
+    ChannelFullError,
+    InvariantViolation,
+    NotParticipantError,
+    ReconfigurationInProgress,
+)
+
+__all__ = [
+    "ProcessId",
+    "Configuration",
+    "NOT_PARTICIPANT",
+    "BOTTOM",
+    "Phase",
+    "Proposal",
+    "DEFAULT_PROPOSAL",
+    "ReproError",
+    "SimulationError",
+    "ChannelFullError",
+    "InvariantViolation",
+    "NotParticipantError",
+    "ReconfigurationInProgress",
+]

@@ -1,0 +1,169 @@
+"""Core value types shared by every layer of the reproduction.
+
+The paper (Section 2) works with a totally-ordered set of processor
+identifiers ``P``, quorum configurations (sets of processors), and a handful
+of sentinel values:
+
+* ``⊥`` ("bottom") — the empty / null value a processor assigns to its
+  configuration while a *reset* (brute-force stabilization) is in progress.
+* ``]`` — the marker meaning "this processor is **not a participant**".
+
+We model processor identifiers as plain integers (they only need to be
+hashable and totally ordered), configurations as frozensets of identifiers,
+and the sentinels as module-level singletons so that identity comparison
+(``value is NOT_PARTICIPANT``) is unambiguous and cannot collide with a real
+configuration value.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+
+ProcessId = int
+"""A processor identifier, drawn from the totally ordered set ``P``."""
+
+Configuration = FrozenSet[ProcessId]
+"""A quorum configuration: an immutable set of processor identifiers."""
+
+
+class _Sentinel:
+    """A named singleton sentinel with stable repr and identity semantics."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return self._name
+
+    def __copy__(self) -> "_Sentinel":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "_Sentinel":
+        return self
+
+    def __reduce__(self):
+        # Preserve singleton identity across pickling (used by the fault
+        # injector when snapshotting process state).
+        return (_lookup_sentinel, (self._name,))
+
+
+def _lookup_sentinel(name: str) -> "_Sentinel":
+    return {"NOT_PARTICIPANT": NOT_PARTICIPANT, "BOTTOM": BOTTOM}[name]
+
+
+NOT_PARTICIPANT = _Sentinel("NOT_PARTICIPANT")
+"""The paper's ``]`` marker: the processor is not (yet) a participant."""
+
+BOTTOM = _Sentinel("BOTTOM")
+"""The paper's ``⊥`` value: no value / configuration reset in progress."""
+
+
+def make_config(members: Iterable[ProcessId]) -> Configuration:
+    """Build a :data:`Configuration` from any iterable of processor ids."""
+    return frozenset(members)
+
+
+def majority_size(config: Iterable[ProcessId]) -> int:
+    """Return the size of a majority quorum of *config*.
+
+    The paper's recMA layer tests ``|alive ∩ config| < |config|/2 + 1``; this
+    helper returns the smallest integer that constitutes a majority, i.e.
+    ``floor(|config|/2) + 1``.
+    """
+    return len(list(config)) // 2 + 1
+
+
+def is_majority(subset: Iterable[ProcessId], config: Iterable[ProcessId]) -> bool:
+    """Return ``True`` when *subset* contains a majority of *config*."""
+    config_set = frozenset(config)
+    inter = frozenset(subset) & config_set
+    return len(inter) >= majority_size(config_set)
+
+
+class Phase(enum.IntEnum):
+    """The three phases of the delicate configuration-replacement automaton.
+
+    Figure 2 of the paper: phase 0 monitors for stale information, phase 1
+    converges on a single proposal, phase 2 replaces the configuration with
+    the selected proposal and returns to phase 0.
+    """
+
+    IDLE = 0
+    SELECT = 1
+    REPLACE = 2
+
+    def next(self) -> "Phase":
+        """The ``increment(phs)`` macro of Algorithm 3.1 (line 22).
+
+        Phase 0 stays at 0 (the automaton only advances from 0 via an
+        explicit ``estab()``), phase 1 advances to 2, and phase 2 wraps back
+        to 0.
+        """
+        if self is Phase.IDLE:
+            return Phase.IDLE
+        if self is Phase.SELECT:
+            return Phase.REPLACE
+        return Phase.IDLE
+
+
+@dataclass(frozen=True, order=False)
+class Proposal:
+    """A configuration-replacement notification ``prp = ⟨phase, set⟩``.
+
+    ``set`` is ``None`` for "no value" (the paper's ``⊥``) and otherwise a
+    :data:`Configuration`.  Proposals are compared lexicographically: first by
+    phase, then by the proposed set (sets ordered as sorted tuples of ids),
+    exactly as the paper's ``maxNtf()`` macro requires.
+    """
+
+    phase: Phase
+    members: Optional[Configuration]
+
+    def sort_key(self) -> Tuple[int, Tuple[ProcessId, ...]]:
+        """Key implementing the paper's ``≤lex`` order on notifications."""
+        members_key: Tuple[ProcessId, ...]
+        if self.members is None:
+            members_key = ()
+        else:
+            members_key = tuple(sorted(self.members))
+        return (int(self.phase), members_key)
+
+    def __lt__(self, other: "Proposal") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __le__(self, other: "Proposal") -> bool:
+        return self.sort_key() <= other.sort_key()
+
+    def __gt__(self, other: "Proposal") -> bool:
+        return self.sort_key() > other.sort_key()
+
+    def __ge__(self, other: "Proposal") -> bool:
+        return self.sort_key() >= other.sort_key()
+
+    @property
+    def is_default(self) -> bool:
+        """True for the default ("no proposal") notification ``⟨0, ⊥⟩``."""
+        return self.phase is Phase.IDLE and self.members is None
+
+    def with_phase(self, phase: Phase) -> "Proposal":
+        """Return a copy of this proposal carrying *phase*."""
+        return Proposal(phase=phase, members=self.members)
+
+
+DEFAULT_PROPOSAL = Proposal(phase=Phase.IDLE, members=None)
+"""The paper's ``dfltNtf = ⟨0, ⊥⟩`` constant."""
+
+
+def degree(proposal: Proposal, all_flag: bool) -> int:
+    """The ``degree(k)`` macro (Algorithm 3.1, line 16).
+
+    A notification's degree is ``2 * phase + (1 if all flag raised else 0)``;
+    the stale-information tests compare degrees of different participants and
+    flag gaps larger than one.
+    """
+    return 2 * int(proposal.phase) + (1 if all_flag else 0)

@@ -1,0 +1,93 @@
+"""Configuration-evaluation (prediction) policies — the ``evalConf()`` hook.
+
+The recMA layer treats the decision of *when* a delicate reconfiguration is
+useful as an application concern and consults a black-box prediction function
+``evalConf()`` (Algorithm 3.2, line 16).  The paper suggests a simple policy
+— "reconfigure when a fraction (e.g. 1/4th) of the members of a configuration
+appear to have failed" — and allows arbitrary application-defined ones.
+
+Each policy here is a callable object: ``policy(configuration, trusted)``
+returns ``True`` when the caller should vote for a reconfiguration, where
+``trusted`` is the caller's current failure-detector view.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, FrozenSet, Iterable, Optional
+
+from repro.common.types import Configuration, ProcessId
+
+
+class PredictionPolicy(ABC):
+    """Interface of the ``evalConf()`` black box."""
+
+    @abstractmethod
+    def __call__(self, configuration: Configuration, trusted: FrozenSet[ProcessId]) -> bool:
+        """Return True when a reconfiguration of *configuration* is advisable."""
+
+
+class NeverReconfigure(PredictionPolicy):
+    """Never ask for a reconfiguration (reconfiguration only on majority loss)."""
+
+    def __call__(self, configuration: Configuration, trusted: FrozenSet[ProcessId]) -> bool:
+        return False
+
+
+class AlwaysReconfigure(PredictionPolicy):
+    """Always ask for a reconfiguration (stress-test policy used in tests)."""
+
+    def __call__(self, configuration: Configuration, trusted: FrozenSet[ProcessId]) -> bool:
+        return True
+
+
+class FractionCrashedPolicy(PredictionPolicy):
+    """Reconfigure when at least *fraction* of the members appear crashed.
+
+    This is the paper's example policy ("once 1/4th of the members are not
+    trusted").
+    """
+
+    def __init__(self, fraction: float = 0.25) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        self.fraction = fraction
+
+    def __call__(self, configuration: Configuration, trusted: FrozenSet[ProcessId]) -> bool:
+        if not configuration:
+            return False
+        missing = len(configuration - trusted)
+        return missing >= self.fraction * len(configuration)
+
+
+class MembershipDriftPolicy(PredictionPolicy):
+    """Reconfigure when the participant set has drifted far from the members.
+
+    Useful when many new processors joined: the configuration still has a
+    healthy majority, but basing quorums on a more recent participant set
+    improves dependability.  The policy votes for reconfiguration when fewer
+    than *overlap* of the trusted processors are configuration members.
+    """
+
+    def __init__(self, overlap: float = 0.5) -> None:
+        if not 0.0 < overlap <= 1.0:
+            raise ValueError("overlap must be in (0, 1]")
+        self.overlap = overlap
+
+    def __call__(self, configuration: Configuration, trusted: FrozenSet[ProcessId]) -> bool:
+        if not trusted:
+            return False
+        members_alive = len(configuration & trusted)
+        return members_alive < self.overlap * len(trusted)
+
+
+class CallbackPolicy(PredictionPolicy):
+    """Adapt an arbitrary callable into a :class:`PredictionPolicy`."""
+
+    def __init__(
+        self, callback: Callable[[Configuration, FrozenSet[ProcessId]], bool]
+    ) -> None:
+        self.callback = callback
+
+    def __call__(self, configuration: Configuration, trusted: FrozenSet[ProcessId]) -> bool:
+        return bool(self.callback(configuration, trusted))

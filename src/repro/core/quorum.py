@@ -1,0 +1,53 @@
+"""Quorum-system abstraction.
+
+The paper uses majorities ("the simplest form of a quorum system") but notes
+the scheme generalizes to any quorum system, provided processors share a
+function that, given a set of processors, generates the quorum system.  This
+module provides that hook: :class:`QuorumSystem` is the interface, and
+:class:`MajorityQuorumSystem` is the default implementation used everywhere.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from itertools import combinations
+from typing import FrozenSet, Iterable, Iterator, List
+
+from repro.common.types import Configuration, ProcessId, make_config
+
+
+class QuorumSystem(ABC):
+    """A quorum system generated over a configuration of processors."""
+
+    def __init__(self, configuration: Iterable[ProcessId]) -> None:
+        self.configuration: Configuration = make_config(configuration)
+
+    @abstractmethod
+    def is_quorum(self, subset: Iterable[ProcessId]) -> bool:
+        """True when *subset* ∩ configuration contains a quorum."""
+
+    @abstractmethod
+    def quorum_size(self) -> int:
+        """The size of the smallest quorum."""
+
+    def quorums(self) -> Iterator[FrozenSet[ProcessId]]:
+        """Enumerate the minimal quorums (used by tests; may be exponential)."""
+        size = self.quorum_size()
+        for combo in combinations(sorted(self.configuration), size):
+            yield frozenset(combo)
+
+    def intersects(self) -> bool:
+        """Check the defining property: every pair of quorums intersects."""
+        quorum_list: List[FrozenSet[ProcessId]] = list(self.quorums())
+        return all(a & b for a in quorum_list for b in quorum_list)
+
+
+class MajorityQuorumSystem(QuorumSystem):
+    """Majorities of the configuration (the paper's default quorum system)."""
+
+    def quorum_size(self) -> int:
+        return len(self.configuration) // 2 + 1
+
+    def is_quorum(self, subset: Iterable[ProcessId]) -> bool:
+        members = frozenset(subset) & self.configuration
+        return len(members) >= self.quorum_size()

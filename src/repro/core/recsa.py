@@ -1,0 +1,596 @@
+"""Reconfiguration Stability Assurance — Algorithm 3.1 of the paper.
+
+The recSA layer guarantees that
+
+1. all active processors eventually hold identical copies of a single
+   configuration,
+2. when participants ask to replace the configuration (``estab(set)``), a
+   single proposal is selected and installed uniformly, and
+3. joining processors can eventually become participants.
+
+It combines two techniques:
+
+* **brute-force stabilization** — stale information (Definition 3.1) starts a
+  *configuration reset*: the ``⊥`` value propagates to every ``config`` field
+  and, once every trusted processor reports the same failure-detector view,
+  each processor adopts its set of trusted processors as the configuration;
+* **delicate replacement** — a three-phase automaton (Figure 2): phase 1
+  deterministically selects the lexically-maximal proposal, phase 2 replaces
+  the configuration with it, and the system then returns to phase 0.
+
+Reconstruction notes
+--------------------
+The pseudo-code of the technical report is followed closely, with the
+following documented reconstructions (the report's listing is garbled in a
+few places — see DESIGN.md):
+
+* ``noReco()`` returns **True when no reconfiguration/recovery is in
+  progress** (the polarity used by Algorithms 3.2/3.3/4.x and by the prose of
+  those sections); the invariant tests listed under line 12 are the evidence
+  that a reconfiguration *is* in progress.
+* The phase automaton is driven by an explicit barrier: a processor adopts
+  the lexically-maximal phase-1 notification as soon as it observes one, and
+  advances a phase only after every trusted participant (a) reports the same
+  participant set and notification — or has demonstrably already advanced —
+  and (b) has echoed back the processor's own current values.  ``all`` /
+  ``allSeen`` record the barrier progress exactly as in the paper.
+* The stale-information tests that compare a peer's *received* phase against
+  the local current phase are implemented in their robust form (see
+  :mod:`repro.core.stale`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.common.logging_utils import get_logger
+from repro.common.types import (
+    BOTTOM,
+    DEFAULT_PROPOSAL,
+    NOT_PARTICIPANT,
+    Configuration,
+    Phase,
+    ProcessId,
+    Proposal,
+    make_config,
+)
+from repro.core.stale import StaleInfoType, classify_stale_information, is_real_config
+
+_log = get_logger("recsa")
+
+FdProvider = Callable[[], FrozenSet[ProcessId]]
+SendFn = Callable[[ProcessId, Any], None]
+
+
+@dataclass(frozen=True)
+class EchoTriple:
+    """The ``echo`` field: a reflection of the peer's last received values."""
+
+    part: FrozenSet[ProcessId]
+    prp: Proposal
+    all_flag: bool
+
+
+@dataclass(frozen=True)
+class RecSAMessage:
+    """State broadcast at the end of every do-forever iteration (line 29).
+
+    ``echo`` reflects the *receiver's* most recently received values back to
+    it, which is how a participant learns that its peers have seen its
+    current notification.
+    """
+
+    sender: ProcessId
+    fd: FrozenSet[ProcessId]
+    part: FrozenSet[ProcessId]
+    config: Any  # Configuration | BOTTOM | NOT_PARTICIPANT
+    prp: Proposal
+    all_flag: bool
+    echo: Optional[EchoTriple]
+
+
+class RecSA:
+    """Per-processor instance of the Reconfiguration Stability Assurance layer.
+
+    Parameters
+    ----------
+    pid:
+        The owning processor's identifier.
+    fd_provider:
+        Zero-argument callable returning the current trusted set of the
+        owner's failure detector (always contains the owner).
+    send:
+        Callable ``send(destination, message)`` used for the end-of-loop
+        broadcast; messages need only fair (not reliable) delivery.
+    initial_config:
+        Optional configuration to start from.  ``None`` boots the processor
+        as a non-participant (the paper's interrupt handler, line 31); the
+        special value :data:`BOTTOM` boots it into a configuration reset,
+        which is how a fresh cluster bootstraps itself through the
+        brute-force technique.
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        fd_provider: FdProvider,
+        send: SendFn,
+        initial_config: Any = None,
+    ) -> None:
+        self.pid = pid
+        self.fd_provider = fd_provider
+        self.send = send
+
+        # Replicated arrays (own entry + most recently received per peer).
+        self.config: Dict[ProcessId, Any] = {}
+        self.fd: Dict[ProcessId, FrozenSet[ProcessId]] = {}
+        self.part: Dict[ProcessId, FrozenSet[ProcessId]] = {}
+        self.prp: Dict[ProcessId, Proposal] = {}
+        self.all_flags: Dict[ProcessId, bool] = {}
+        self.echo: Dict[ProcessId, EchoTriple] = {}
+        self.all_seen: Set[ProcessId] = set()
+
+        # Diagnostics / experiment counters.
+        self.reset_count = 0
+        self.install_count = 0
+        self.estab_accepted = 0
+        self.estab_rejected = 0
+        self.stale_detections: Dict[StaleInfoType, int] = {t: 0 for t in StaleInfoType}
+
+        # Boot (the paper's line 31 interrupt): every entry defaults to
+        # (], dfltNtf, false); an explicit initial configuration overrides
+        # the own entry only.
+        if initial_config is None:
+            self.config[pid] = NOT_PARTICIPANT
+        else:
+            self.config[pid] = initial_config
+        self.prp[pid] = DEFAULT_PROPOSAL
+        self.all_flags[pid] = False
+
+    # ------------------------------------------------------------------
+    # State helpers
+    # ------------------------------------------------------------------
+    def trusted(self) -> FrozenSet[ProcessId]:
+        """The owner's current failure-detector view ``FD[i]``."""
+        view = frozenset(self.fd_provider()) | {self.pid}
+        self.fd[self.pid] = view
+        return view
+
+    def is_participant(self) -> bool:
+        """True when the owner is a participant (``config[i] != ]``)."""
+        return self.config.get(self.pid, NOT_PARTICIPANT) is not NOT_PARTICIPANT
+
+    def participants(self, trusted: Optional[FrozenSet[ProcessId]] = None) -> FrozenSet[ProcessId]:
+        """``FD[i].part``: trusted processors whose config field is not ``]``."""
+        if trusted is None:
+            trusted = self.trusted()
+        members = {
+            pid
+            for pid in trusted
+            if self.config.get(pid, NOT_PARTICIPANT) is not NOT_PARTICIPANT
+        }
+        return frozenset(members)
+
+    def _own_prp(self) -> Proposal:
+        return self.prp.get(self.pid, DEFAULT_PROPOSAL)
+
+    def _own_all(self) -> bool:
+        return bool(self.all_flags.get(self.pid, False))
+
+    # ------------------------------------------------------------------
+    # Interface functions (lines 10-14)
+    # ------------------------------------------------------------------
+    def chs_config(self) -> Any:
+        """``chsConfig()``: the unique non-``]`` config among trusted, or ``⊥``.
+
+        When several distinct values are present the smallest (by sorted
+        member tuple, with ``⊥`` ordered first) is returned so the choice is
+        deterministic across processors holding the same local data.
+        """
+        trusted = self.trusted()
+        values = []
+        for pid in trusted:
+            value = self.config.get(pid, NOT_PARTICIPANT)
+            if value is NOT_PARTICIPANT:
+                continue
+            values.append(value)
+        if not values:
+            return BOTTOM
+        if any(value is BOTTOM for value in values):
+            return BOTTOM
+        return min(values, key=lambda cfg: tuple(sorted(cfg)))
+
+    def no_reco(self) -> bool:
+        """True when no reconfiguration (brute-force or delicate) is in progress.
+
+        The five pieces of evidence of instability (line 12 of Algorithm 3.1;
+        see the module docstring for the polarity note):
+
+        1. some trusted processor does not trust the owner back,
+        2. configuration conflicts among the trusted processors,
+        3. participant sets (including their echoes) have not stabilized,
+        4. an ongoing configuration reset (some ``config`` field is ``⊥``),
+        5. a delicate replacement in progress (some non-default notification).
+        """
+        trusted = self.trusted()
+        part = self.participants(trusted)
+
+        # (1) mutual trust: every trusted peer we have heard from must trust us.
+        for pid in trusted:
+            if pid == self.pid:
+                continue
+            view = self.fd.get(pid)
+            if view is not None and self.pid not in view:
+                return False
+
+        # (2) configuration conflicts (more than one non-] value).
+        values = set()
+        for pid in trusted:
+            value = self.config.get(pid, NOT_PARTICIPANT)
+            if value is NOT_PARTICIPANT:
+                continue
+            if value is BOTTOM:
+                # (4) an ongoing reset.
+                return False
+            values.add(value)
+        if len(values) > 1:
+            return False
+
+        # (3) participant sets must have stabilized: every participant's last
+        # reported participant set, and its echo of ours, equals ours.  The
+        # echo half only applies to participants — a joiner never broadcasts,
+        # so its peers have nothing of it to echo back.
+        own_is_participant = self.is_participant()
+        for pid in part:
+            if pid == self.pid:
+                continue
+            reported = self.part.get(pid)
+            if reported is None or frozenset(reported) != part:
+                return False
+            if own_is_participant:
+                echo = self.echo.get(pid)
+                if echo is None or frozenset(echo.part) != part:
+                    return False
+
+        # (5) delicate replacement in progress.
+        for pid in trusted:
+            prp = self.prp.get(pid, DEFAULT_PROPOSAL)
+            if not prp.is_default:
+                return False
+        return True
+
+    def get_config(self) -> Any:
+        """``getConfig()``: the current configuration as seen by the owner."""
+        if self.no_reco():
+            return self.chs_config()
+        return self.config.get(self.pid, NOT_PARTICIPANT)
+
+    def estab(self, members: Iterable[ProcessId]) -> bool:
+        """``estab(set)``: request replacement of the configuration by *members*.
+
+        Accepted only while no reconfiguration is in progress and the proposal
+        differs from the current configuration and is non-empty.  Returns
+        whether the proposal was accepted.
+        """
+        proposal_set = make_config(members)
+        if not proposal_set:
+            self.estab_rejected += 1
+            return False
+        if not self.no_reco():
+            self.estab_rejected += 1
+            return False
+        if proposal_set == self.config.get(self.pid):
+            self.estab_rejected += 1
+            return False
+        self.prp[self.pid] = Proposal(phase=Phase.SELECT, members=proposal_set)
+        self.all_flags[self.pid] = False
+        self.all_seen.clear()
+        self.estab_accepted += 1
+        return True
+
+    def participate(self) -> bool:
+        """``participate()``: make the owner a participant (joining mechanism).
+
+        Only allowed while no reconfiguration is in progress; the owner adopts
+        the agreed configuration (or ``⊥`` upon complete collapse, which
+        starts a reset that eventually re-creates a configuration from the
+        failure-detector view).
+        """
+        if not self.no_reco():
+            return False
+        self.config[self.pid] = self.chs_config()
+        return True
+
+    # ------------------------------------------------------------------
+    # Macros
+    # ------------------------------------------------------------------
+    def config_set(self, value: Any) -> None:
+        """``configSet(val)``: overwrite every config entry, clear notifications."""
+        trusted = self.fd.get(self.pid, frozenset({self.pid}))
+        scope = set(self.config) | set(self.prp) | set(trusted)
+        for pid in scope:
+            self.config[pid] = value
+            self.prp[pid] = DEFAULT_PROPOSAL
+            self.all_flags[pid] = False
+        self.all_seen.clear()
+        if value is BOTTOM:
+            self.reset_count += 1
+
+    def max_ntf(self) -> Optional[Proposal]:
+        """``maxNtf()``: lexically-maximal non-default notification, or ``None``."""
+        part = self.participants()
+        candidates = [
+            self.prp.get(pid, DEFAULT_PROPOSAL)
+            for pid in part
+        ]
+        candidates = [
+            prp
+            for prp in candidates
+            if not prp.is_default and prp.members is not None and len(prp.members) > 0
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda prp: prp.sort_key())
+
+    # ------------------------------------------------------------------
+    # Barrier helpers for the delicate replacement
+    # ------------------------------------------------------------------
+    def _peer_in_sync(self, pid: ProcessId, part: FrozenSet[ProcessId]) -> bool:
+        """``same(k)``: the peer reports our participant set and notification."""
+        reported_part = self.part.get(pid)
+        if reported_part is None or frozenset(reported_part) != part:
+            return False
+        return self.prp.get(pid, DEFAULT_PROPOSAL) == self._own_prp()
+
+    def _peer_ahead(self, pid: ProcessId) -> bool:
+        """The peer has demonstrably already advanced past our current phase."""
+        own = self._own_prp()
+        peer = self.prp.get(pid, DEFAULT_PROPOSAL)
+        if own.is_default:
+            return False
+        if own.phase is Phase.SELECT:
+            return peer.phase is Phase.REPLACE and peer.members == own.members
+        if own.phase is Phase.REPLACE:
+            return peer.is_default and self.config.get(pid) == own.members
+        return False
+
+    def _peer_echoed(self, pid: ProcessId, part: FrozenSet[ProcessId], with_all: bool) -> bool:
+        """``echoNoAll(k)`` / ``echo()``: the peer echoed our current values."""
+        echo = self.echo.get(pid)
+        if echo is None:
+            return False
+        if frozenset(echo.part) != part or echo.prp != self._own_prp():
+            return False
+        if with_all and echo.all_flag != self._own_all():
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # The do-forever loop (lines 24-29)
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Execute one iteration of the do-forever loop and broadcast."""
+        trusted = self.trusted()
+        self._clean_after_crashes(trusted)
+        part = self.participants(trusted)
+
+        stale = classify_stale_information(
+            own=self.pid,
+            configs=self.config,
+            proposals=self.prp,
+            fd_views=self.fd,
+            own_view=trusted,
+            trusted=trusted,
+            participants=part,
+        )
+        if stale:
+            for kind in stale:
+                self.stale_detections[kind] += 1
+            self.config_set(BOTTOM)
+
+        if self.max_ntf() is None:
+            self._brute_force_step(trusted)
+        else:
+            self._delicate_step(trusted)
+
+        self._broadcast(trusted)
+
+    # -- line 25: clean entries of processors outside the participant set ----
+    def _clean_after_crashes(self, trusted: FrozenSet[ProcessId]) -> None:
+        part = self.participants(trusted)
+        for pid in list(self.config):
+            if pid == self.pid:
+                continue
+            if pid not in part:
+                self.config[pid] = NOT_PARTICIPANT
+                self.prp[pid] = DEFAULT_PROPOSAL
+                self.all_flags[pid] = False
+        for pid in list(self.prp):
+            if pid == self.pid:
+                continue
+            if pid not in trusted:
+                self.prp[pid] = DEFAULT_PROPOSAL
+                self.all_flags[pid] = False
+                self.echo.pop(pid, None)
+                self.part.pop(pid, None)
+
+    # -- line 26: brute-force stabilization -----------------------------------
+    def _brute_force_step(
+        self, trusted: FrozenSet[ProcessId], allow_completion: bool = True
+    ) -> None:
+        # Nullify the configuration upon conflict.
+        values = set()
+        for pid in trusted:
+            value = self.config.get(pid, NOT_PARTICIPANT)
+            if value is NOT_PARTICIPANT or value is BOTTOM:
+                continue
+            values.add(value)
+        if len(values) > 1:
+            self.config_set(BOTTOM)
+
+        # Reset completes once every trusted processor reports the same
+        # failure-detector view: adopt that view as the configuration.
+        if (
+            allow_completion
+            and self.config.get(self.pid) is BOTTOM
+            and self._fd_views_agree(trusted)
+        ):
+            self.config_set(make_config(trusted))
+
+    def _fd_views_agree(self, trusted: FrozenSet[ProcessId]) -> bool:
+        for pid in trusted:
+            if pid == self.pid:
+                continue
+            view = self.fd.get(pid)
+            if view is None or frozenset(view) != trusted:
+                return False
+        return True
+
+    # -- line 28: delicate replacement ----------------------------------------
+    def _delicate_step(self, trusted: FrozenSet[ProcessId]) -> None:
+        maximal = self.max_ntf()
+        if maximal is None:  # pragma: no cover - guarded by caller
+            return
+        own = self._own_prp()
+
+        # Adoption: phase-0 processors join the replacement by adopting the
+        # lexically maximal proposal; phase-1 processors re-adopt a larger one.
+        # A leftover phase-2 notification whose set we have *already installed*
+        # is not re-adopted — its owner is simply a laggard finishing the
+        # replacement (it sees us as "ahead"); re-adopting would restart the
+        # replacement forever.  A phase-2 notification proposing a different
+        # set is adopted so that the selected configuration is installed
+        # uniformly (Lemma 3.14: a surviving phase-2 notification eventually
+        # becomes the quorum configuration).
+        if maximal.phase is Phase.SELECT or maximal.phase is Phase.REPLACE:
+            candidate = Proposal(phase=Phase.SELECT, members=maximal.members)
+            already_installed = (
+                maximal.phase is Phase.REPLACE
+                and self.config.get(self.pid) == maximal.members
+            )
+            if own.is_default and not already_installed:
+                self._adopt(candidate)
+                own = candidate
+            elif (
+                own.phase is Phase.SELECT
+                and maximal.members != own.members
+                and candidate.sort_key() > own.sort_key()
+            ):
+                self._adopt(candidate)
+                own = candidate
+
+        if own.is_default:
+            # Only leftover phase-2 traffic is visible; either its owner will
+            # finish on its own or the stale-information tests will reset.
+            return
+
+        part = self.participants(trusted)
+        others = [pid for pid in part if pid != self.pid]
+
+        # Stage A: raise the all flag once every participant is in sync (or
+        # ahead) and has echoed our current notification.
+        if not self._own_all():
+            ready = all(
+                (self._peer_in_sync(pid, part) or self._peer_ahead(pid))
+                and (self._peer_echoed(pid, part, with_all=False) or self._peer_ahead(pid))
+                for pid in others
+            )
+            if ready:
+                self.all_flags[self.pid] = True
+
+        # Record peers known to have completed the phase (their all flag, or
+        # evidence they already advanced).
+        for pid in others:
+            peer_all = bool(self.all_flags.get(pid, False))
+            if (peer_all and self._peer_in_sync(pid, part)) or self._peer_ahead(pid):
+                self.all_seen.add(pid)
+
+        # Stage B: advance once the barrier is complete.
+        if not self._own_all():
+            return
+        barrier_seen = all(pid in self.all_seen for pid in others)
+        barrier_echoed = all(
+            self._peer_echoed(pid, part, with_all=True) or self._peer_ahead(pid)
+            for pid in others
+        )
+        if barrier_seen and barrier_echoed:
+            self._advance_phase()
+
+    def _adopt(self, proposal: Proposal) -> None:
+        self.prp[self.pid] = proposal
+        self.all_flags[self.pid] = False
+        self.all_seen.clear()
+
+    def _advance_phase(self) -> None:
+        own = self._own_prp()
+        if own.phase is Phase.SELECT:
+            # Entering phase 2 installs the selected configuration (line 28,
+            # case 2 of the select statement).
+            self.prp[self.pid] = Proposal(phase=Phase.REPLACE, members=own.members)
+            self.config[self.pid] = own.members
+            self.install_count += 1
+        elif own.phase is Phase.REPLACE:
+            # Returning to phase 0: the replacement is complete.
+            self.prp[self.pid] = DEFAULT_PROPOSAL
+        self.all_flags[self.pid] = False
+        self.all_seen.clear()
+
+    # -- line 29: broadcast -----------------------------------------------------
+    def _broadcast(self, trusted: FrozenSet[ProcessId]) -> None:
+        if self.config.get(self.pid, NOT_PARTICIPANT) is NOT_PARTICIPANT:
+            # Non-participants follow the computation silently (line 29's
+            # guard): they receive but never broadcast.
+            return
+        part = self.participants(trusted)
+        for pid in trusted:
+            if pid == self.pid:
+                continue
+            echo: Optional[EchoTriple] = None
+            if pid in self.part or pid in self.prp:
+                echo = EchoTriple(
+                    part=self.part.get(pid, frozenset()),
+                    prp=self.prp.get(pid, DEFAULT_PROPOSAL),
+                    all_flag=bool(self.all_flags.get(pid, False)),
+                )
+            message = RecSAMessage(
+                sender=self.pid,
+                fd=trusted,
+                part=part,
+                config=self.config.get(self.pid),
+                prp=self._own_prp(),
+                all_flag=self._own_all(),
+                echo=echo,
+            )
+            self.send(pid, message)
+
+    # ------------------------------------------------------------------
+    # Message receipt (line 30)
+    # ------------------------------------------------------------------
+    def on_message(self, sender: ProcessId, message: RecSAMessage) -> None:
+        """Store the peer's state (the paper's ``upon receive`` handler)."""
+        if sender == self.pid:
+            return
+        self.fd[sender] = frozenset(message.fd)
+        self.part[sender] = frozenset(message.part)
+        self.config[sender] = message.config
+        self.prp[sender] = message.prp
+        self.all_flags[sender] = bool(message.all_flag)
+        if message.echo is not None:
+            self.echo[sender] = message.echo
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A structured snapshot of the layer's state (tests / debugging)."""
+        return {
+            "pid": self.pid,
+            "config": self.config.get(self.pid),
+            "prp": self._own_prp(),
+            "all": self._own_all(),
+            "participant": self.is_participant(),
+            "no_reco": self.no_reco(),
+            "resets": self.reset_count,
+            "installs": self.install_count,
+        }

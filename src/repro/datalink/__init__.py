@@ -1,0 +1,31 @@
+"""Self-stabilizing data-link layer.
+
+Implements the communication substrate the paper assumes (Section 2):
+
+* a **token-exchange** stop-and-wait protocol per directed pair that keeps
+  retransmitting the current packet until more than the channel-capacity
+  acknowledgements arrive — the continuous token bounce doubles as the
+  heartbeat used by the (N, Theta)-failure detector;
+* a **snap-stabilizing link cleaning** handshake executed when two processors
+  first hear from each other, flushing any stale packets left in the channel
+  by a transient fault before higher layers see messages;
+* a small **reliable FIFO messaging** facade on top of the token exchange for
+  the layers that need request/response semantics (joining, counter reads and
+  writes).
+"""
+
+from repro.datalink.token_exchange import (
+    TokenExchangeLink,
+    LinkEndpoint,
+    DataLinkMessage,
+    LinkState,
+)
+from repro.datalink.heartbeat import HeartbeatService
+
+__all__ = [
+    "TokenExchangeLink",
+    "LinkEndpoint",
+    "DataLinkMessage",
+    "LinkState",
+    "HeartbeatService",
+]

@@ -1,0 +1,108 @@
+"""Heartbeat service built on the token-exchange data links.
+
+The service owns one :class:`~repro.datalink.token_exchange.LinkEndpoint` per
+known peer.  On every do-forever-loop iteration it retransmits the current
+token (and cleaning probes) on every link; on packet arrival it feeds the
+packet to the owning endpoint and reports heartbeats to its listeners — the
+(N, Theta)-failure detector registers itself as such a listener.
+
+Payload messages sent through :meth:`send_reliable` travel on the token
+exchange (reliable FIFO); the higher-volume gossip of the reconfiguration
+algorithms uses the raw unreliable channel instead (fair communication is all
+those algorithms need), which keeps the simulation fast.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.common.types import ProcessId
+from repro.datalink.token_exchange import DataLinkMessage, LinkEndpoint
+
+HeartbeatListener = Callable[[ProcessId], None]
+PayloadHandler = Callable[[ProcessId, Any], None]
+SendFunction = Callable[[ProcessId, Any], None]
+
+
+class HeartbeatService:
+    """Per-process manager of token-exchange links and heartbeat fan-out."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        send: SendFunction,
+        channel_capacity: int = 8,
+        require_cleaning: bool = True,
+    ) -> None:
+        self.pid = pid
+        self._send = send
+        self.channel_capacity = channel_capacity
+        self.require_cleaning = require_cleaning
+        self.links: Dict[ProcessId, LinkEndpoint] = {}
+        self._heartbeat_listeners: List[HeartbeatListener] = []
+        self._payload_handlers: List[PayloadHandler] = []
+
+    # --------------------------------------------------------------- wiring
+    def add_heartbeat_listener(self, listener: HeartbeatListener) -> None:
+        """Register a callback invoked with the peer id on every heartbeat."""
+        self._heartbeat_listeners.append(listener)
+
+    def add_payload_handler(self, handler: PayloadHandler) -> None:
+        """Register a callback for payloads delivered reliably by a link."""
+        self._payload_handlers.append(handler)
+
+    def add_peer(self, peer: ProcessId) -> LinkEndpoint:
+        """Ensure a link endpoint exists for *peer* and return it."""
+        if peer == self.pid:
+            raise ValueError("a process does not keep a link to itself")
+        endpoint = self.links.get(peer)
+        if endpoint is None:
+            endpoint = LinkEndpoint(
+                local=self.pid,
+                remote=peer,
+                capacity=self.channel_capacity,
+                require_cleaning=self.require_cleaning,
+            )
+            self.links[peer] = endpoint
+        return endpoint
+
+    def peers(self) -> Iterable[ProcessId]:
+        """Identifiers of every peer a link exists for."""
+        return self.links.keys()
+
+    # ------------------------------------------------------------ data plane
+    def send_reliable(self, peer: ProcessId, payload: Any) -> None:
+        """Queue *payload* for reliable FIFO delivery to *peer*."""
+        self.add_peer(peer).send(payload)
+
+    def on_timer(self) -> None:
+        """Retransmit tokens / cleaning probes on every link (one step)."""
+        for peer, endpoint in self.links.items():
+            for message in endpoint.on_timer():
+                self._send(peer, message)
+
+    def on_packet(self, sender: ProcessId, message: DataLinkMessage) -> None:
+        """Feed a received data-link packet to the owning endpoint."""
+        # A packet labelled with a link sender that is neither endpoint of
+        # this pair is stale (Section 2: such packets are ignored).
+        if message.link_sender not in (sender, self.pid):
+            return
+        endpoint = self.add_peer(sender)
+        replies, delivered, heartbeat = endpoint.on_packet(message)
+        for reply in replies:
+            self._send(sender, reply)
+        if heartbeat:
+            for listener in self._heartbeat_listeners:
+                listener(sender)
+        for payload in delivered:
+            for handler in self._payload_handlers:
+                handler(sender, payload)
+
+    # ------------------------------------------------------------ inspection
+    def established_peers(self) -> List[ProcessId]:
+        """Peers whose link has completed the snap-stabilizing cleaning."""
+        return [peer for peer, link in self.links.items() if link.is_established()]
+
+    def heartbeat_counts(self) -> Dict[ProcessId, int]:
+        """Number of heartbeats observed per peer (diagnostics)."""
+        return {peer: link.heartbeats_observed for peer, link in self.links.items()}

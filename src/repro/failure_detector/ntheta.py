@@ -1,0 +1,176 @@
+"""The (N, Theta)-failure detector.
+
+Section 2 of the paper: every processor ``pi`` keeps an ordered heartbeat-count
+vector ``nonCrashed`` with one entry per processor that exchanges the token
+with ``pi``.  Whenever ``pi`` receives the token from ``pj`` it sets ``pj``'s
+count to zero and increments every other count by one.  Processors are then
+ranked by how recently they communicated; a crashed processor's count grows
+without bound, opening an ever-expanding *gap* in the sorted counts.  The
+position of the gap yields an estimate ``ni <= N`` of the number of active
+processors, and everything ranked past ``min(ni, N)`` — or past the gap — is
+suspected.
+
+The detector exposes:
+
+* ``trusted()`` — the set of processors currently trusted (including self),
+* ``estimate_active()`` — the gap-based estimate of the active count,
+* ``view()`` — an immutable snapshot shipped inside recSA messages (the
+  ``FD[]`` field of Algorithm 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.common.types import ProcessId
+
+
+@dataclass(frozen=True)
+class FailureDetectorView:
+    """Immutable snapshot of a failure detector's trusted set.
+
+    ``trusted`` always contains the owner.  The view is what travels inside
+    protocol messages (the paper's ``FD[i]``), so it must be hashable and
+    comparable.
+    """
+
+    owner: ProcessId
+    trusted: FrozenSet[ProcessId]
+
+    def __contains__(self, pid: ProcessId) -> bool:
+        return pid in self.trusted
+
+    def __iter__(self):
+        return iter(sorted(self.trusted))
+
+    def __len__(self) -> int:
+        return len(self.trusted)
+
+
+class NThetaFailureDetector:
+    """Heartbeat-count based failure detector with gap estimation.
+
+    Parameters
+    ----------
+    pid:
+        Owning processor.
+    upper_bound_n:
+        The known upper bound ``N`` on the number of simultaneously active
+        processors.
+    gap_factor:
+        Multiplicative threshold used to detect the gap in the sorted
+        heartbeat counts: a processor is suspected when its count exceeds
+        ``gap_factor * (median count of better-ranked processors) +
+        gap_slack``.
+    gap_slack:
+        Additive slack so that small absolute differences between freshly
+        started processors do not cause suspicion.
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        upper_bound_n: int,
+        gap_factor: float = 4.0,
+        gap_slack: int = 16,
+    ) -> None:
+        self.pid = pid
+        self.upper_bound_n = upper_bound_n
+        self.gap_factor = gap_factor
+        self.gap_slack = gap_slack
+        # The paper's nonCrashed heartbeat-count vector.
+        self.counts: Dict[ProcessId, int] = {}
+        self.heartbeats_received = 0
+
+    # ------------------------------------------------------------ heartbeats
+    def heartbeat(self, sender: ProcessId) -> None:
+        """Record a token exchange (heartbeat) from *sender*.
+
+        Sets the sender's count to zero and increments every other known
+        processor's count by one — exactly the update rule of Section 2.
+        """
+        if sender == self.pid:
+            return
+        self.heartbeats_received += 1
+        for other in self.counts:
+            if other != sender:
+                self.counts[other] += 1
+        self.counts[sender] = 0
+
+    def forget(self, pid: ProcessId) -> None:
+        """Drop a processor from the vector (used when links are torn down)."""
+        self.counts.pop(pid, None)
+
+    def known(self) -> FrozenSet[ProcessId]:
+        """Every processor that has ever exchanged a token with the owner."""
+        return frozenset(self.counts) | {self.pid}
+
+    # -------------------------------------------------------------- ranking
+    def ranked(self) -> List[Tuple[ProcessId, int]]:
+        """Processors ordered by recency of communication (best first).
+
+        Ties are broken by identifier so the ranking is deterministic.
+        """
+        return sorted(self.counts.items(), key=lambda item: (item[1], item[0]))
+
+    def estimate_active(self) -> int:
+        """Gap-based estimate ``ni`` of the number of active processors.
+
+        Walks the ranked vector and stops at the first entry whose count is
+        "far" above the counts seen so far (the ever-expanding gap of a
+        crashed processor); the number of entries before the gap — plus one
+        for the owner — capped at ``N`` is the estimate.
+        """
+        ranked = self.ranked()
+        if not ranked:
+            return 1
+        active = 0
+        reference = 0.0
+        for index, (_, count) in enumerate(ranked):
+            if index == 0:
+                reference = float(count)
+                threshold = self.gap_factor * max(reference, 1.0) + self.gap_slack
+            else:
+                threshold = self.gap_factor * max(reference, 1.0) + self.gap_slack
+            if count > threshold:
+                break
+            active += 1
+            # Reference tracks the running mean of accepted counts so the
+            # gap grows with the crashed processor's count, not with noise.
+            reference = (reference * index + count) / (index + 1)
+        return min(active + 1, self.upper_bound_n)
+
+    def trusted(self) -> FrozenSet[ProcessId]:
+        """The set of processors the owner currently trusts (including self)."""
+        ranked = self.ranked()
+        limit = self.estimate_active()
+        trusted = {self.pid}
+        reference: Optional[float] = None
+        for index, (pid, count) in enumerate(ranked):
+            if len(trusted) >= min(limit, self.upper_bound_n):
+                # Everything ranked past the estimate is ignored (paper:
+                # "we can ignore any processors that rank below the Nth
+                # vector entry").
+                break
+            if reference is None:
+                reference = float(count)
+            threshold = self.gap_factor * max(reference, 1.0) + self.gap_slack
+            if count > threshold:
+                break
+            trusted.add(pid)
+            reference = (reference * index + count) / (index + 1)
+        return frozenset(trusted)
+
+    def suspects(self) -> FrozenSet[ProcessId]:
+        """Processors known to the detector but not currently trusted."""
+        return frozenset(self.counts) - self.trusted()
+
+    def view(self) -> FailureDetectorView:
+        """Immutable snapshot used inside protocol messages (``FD[i]``)."""
+        return FailureDetectorView(owner=self.pid, trusted=self.trusted())
+
+    # ---------------------------------------------------------- diagnostics
+    def snapshot_counts(self) -> Dict[ProcessId, int]:
+        """Copy of the raw heartbeat-count vector (for tests and traces)."""
+        return dict(self.counts)

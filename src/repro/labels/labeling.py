@@ -1,0 +1,143 @@
+"""The reconfiguration-aware labeling service — Algorithm 4.1 of the paper.
+
+The service is run by **configuration members only**.  Each member
+periodically exchanges its maximal label pair with every other member; the
+receipt action (Algorithm 4.2, :class:`repro.labels.store.LabelStore`) keeps
+the bounded structures consistent and elects a local maximal label.  The
+correctness argument of the paper then guarantees that members converge to a
+single, globally maximal label.
+
+Interaction with the reconfiguration scheme:
+
+* while ``noReco()`` reports a reconfiguration in progress, no labels are
+  sent, received or created;
+* after a reconfiguration completes (``confChange()``), the label structures
+  are rebuilt for the new member set, all queues are emptied, labels created
+  by departed members are dropped, and the member re-elects a maximal label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.common.logging_utils import get_logger
+from repro.common.types import Configuration, ProcessId
+from repro.core.scheme import ReconfigurationScheme
+from repro.labels.label import EpochLabel, LabelPair
+from repro.labels.store import LabelStore
+
+_log = get_logger("labels")
+
+SendFn = Callable[[ProcessId, Any], None]
+
+
+@dataclass(frozen=True)
+class LabelMessage:
+    """The ``⟨max[i], max[k]⟩`` exchange of Algorithm 4.1 (line 17)."""
+
+    sender: ProcessId
+    sent_max: Optional[LabelPair]
+    last_sent: Optional[LabelPair]
+
+
+class LabelingService:
+    """Per-processor labeling service layered on the reconfiguration scheme."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        scheme: ReconfigurationScheme,
+        send: SendFn,
+        in_transit_bound: int = 16,
+    ) -> None:
+        self.pid = pid
+        self.scheme = scheme
+        self.send = send
+        self.in_transit_bound = in_transit_bound
+        self.store: Optional[LabelStore] = None
+        self._store_members: Optional[Tuple[ProcessId, ...]] = None
+        self.rebuild_count = 0
+
+    # ------------------------------------------------------------------
+    # Config tracking
+    # ------------------------------------------------------------------
+    def _current_members(self) -> Optional[Configuration]:
+        config = self.scheme.configuration()
+        if config is None or self.pid not in config:
+            return None
+        return config
+
+    def conf_changed(self, members: Configuration) -> bool:
+        """``confChange()``: the label structures lag behind the configuration."""
+        return self._store_members != tuple(sorted(members))
+
+    def _rebuild_for(self, members: Configuration) -> None:
+        """Lines 9-14: rebuild structures after a completed reconfiguration."""
+        if self.store is None:
+            self.store = LabelStore(
+                owner=self.pid,
+                members=members,
+                in_transit_bound=self.in_transit_bound,
+            )
+        else:
+            self.store.rebuild(members)
+            self.store.empty_all_queues()
+        self.store.clean_non_member_labels()
+        self.store.receipt_action(None, self.store.own_max(), self.pid)
+        self._store_members = tuple(sorted(members))
+        self.rebuild_count += 1
+
+    # ------------------------------------------------------------------
+    # Public queries
+    # ------------------------------------------------------------------
+    def max_label(self) -> Optional[EpochLabel]:
+        """The member's current (legitimate) maximal label, if any."""
+        if self.store is None:
+            return None
+        return self.store.local_max_label()
+
+    def labels_created(self) -> int:
+        """How many fresh labels this member has created (experiment E6)."""
+        return 0 if self.store is None else self.store.labels_created
+
+    # ------------------------------------------------------------------
+    # Node hooks
+    # ------------------------------------------------------------------
+    def on_timer(self) -> None:
+        """One iteration: rebuild after reconfiguration or gossip labels."""
+        if not self.scheme.no_reco():
+            return
+        members = self._current_members()
+        if members is None:
+            return
+        if self.conf_changed(members):
+            self._rebuild_for(members)
+            return
+        assert self.store is not None
+        own = self.store.clean_pair(self.store.own_max())
+        for member in members:
+            if member == self.pid:
+                continue
+            last_sent = self.store.clean_pair(self.store.max_pairs.get(member))
+            self.send(member, LabelMessage(sender=self.pid, sent_max=own, last_sent=last_sent))
+
+    def on_message(self, sender: ProcessId, message: Any) -> bool:
+        """Handle a label exchange; returns True when the message was ours."""
+        if not isinstance(message, LabelMessage):
+            return False
+        if not self.scheme.no_reco():
+            return True
+        members = self._current_members()
+        if members is None or self.conf_changed(members):
+            return True
+        if sender not in members:
+            return True
+        assert self.store is not None
+        self.store.clean_non_member_labels()
+        self.store.receipt_action(
+            sent_max=self.store.clean_pair(message.sent_max),
+            last_sent=self.store.clean_pair(message.last_sent),
+            sender=sender,
+        )
+        return True

@@ -1,0 +1,329 @@
+"""Cluster wiring: a full protocol stack per simulated processor.
+
+A :class:`ClusterNode` owns the complete stack of one processor:
+
+* the token-exchange data links and heartbeat service (:mod:`repro.datalink`),
+* the (N, Theta)-failure detector (:mod:`repro.failure_detector`),
+* the composed reconfiguration scheme (:mod:`repro.core.scheme`),
+* any registered application services (labels, counters, virtual synchrony).
+
+:class:`Cluster` is the convenience facade used by examples, tests and the
+benchmark harness: it creates the simulator, the initial nodes, and exposes
+helpers such as :meth:`Cluster.run_until_converged` and
+:meth:`Cluster.agreed_configuration`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Protocol
+
+from repro.common.types import BOTTOM, Configuration, ProcessId, make_config
+from repro.core.prediction import PredictionPolicy
+from repro.core.scheme import ReconfigurationScheme
+from repro.core.stale import is_real_config
+from repro.datalink.heartbeat import HeartbeatService
+from repro.datalink.token_exchange import DataLinkMessage
+from repro.failure_detector.ntheta import NThetaFailureDetector
+from repro.sim.network import ChannelConfig
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+
+
+class NodeService(Protocol):
+    """Interface of application services pluggable into a node.
+
+    A service may implement either hook; both are optional at runtime (the
+    node checks with ``getattr``), but declaring the protocol documents the
+    contract.
+    """
+
+    def on_timer(self) -> None:  # pragma: no cover - protocol declaration
+        ...
+
+    def on_message(self, sender: ProcessId, message: Any) -> bool:  # pragma: no cover
+        ...
+
+
+class ClusterNode(Process):
+    """A simulated processor running the full reconfiguration stack."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        peers: Iterable[ProcessId],
+        upper_bound_n: int,
+        initial_config: Any = None,
+        channel_capacity: int = 8,
+        step_interval: float = 1.0,
+        prediction_policy: Optional[PredictionPolicy] = None,
+        admission_policy: Optional[Callable[[ProcessId], bool]] = None,
+        require_link_cleaning: bool = True,
+    ) -> None:
+        super().__init__(pid=pid, step_interval=step_interval)
+        self._initial_peers = [p for p in peers if p != pid]
+        self.failure_detector = NThetaFailureDetector(pid=pid, upper_bound_n=upper_bound_n)
+        self.heartbeat = HeartbeatService(
+            pid=pid,
+            send=self._send_raw,
+            channel_capacity=channel_capacity,
+            require_cleaning=require_link_cleaning,
+        )
+        self.heartbeat.add_heartbeat_listener(self.failure_detector.heartbeat)
+        self.scheme = ReconfigurationScheme(
+            pid=pid,
+            fd_provider=self.trusted,
+            send=self._send_raw,
+            initial_config=initial_config,
+            prediction_policy=prediction_policy,
+            admission_policy=admission_policy,
+        )
+        self.services: List[Any] = []
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def recsa(self):
+        """The node's Reconfiguration Stability Assurance layer."""
+        return self.scheme.recsa
+
+    @property
+    def recma(self):
+        """The node's Reconfiguration Management layer."""
+        return self.scheme.recma
+
+    @property
+    def joining(self):
+        """The node's joining-mechanism instance."""
+        return self.scheme.joining
+
+    def trusted(self) -> FrozenSet[ProcessId]:
+        """The failure detector's current trusted set (includes self)."""
+        return self.failure_detector.trusted()
+
+    def current_config(self) -> Optional[Configuration]:
+        """The configuration this node currently reports, if any."""
+        return self.scheme.configuration()
+
+    def register_service(self, service: Any) -> Any:
+        """Attach an application service (labels, counters, VS, ...)."""
+        self.services.append(service)
+        return service
+
+    # ------------------------------------------------------------------
+    # Process hooks
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        for peer in self._initial_peers:
+            self.heartbeat.add_peer(peer)
+
+    def on_timer(self) -> None:
+        self.heartbeat.on_timer()
+        self.scheme.step()
+        for service in self.services:
+            hook = getattr(service, "on_timer", None)
+            if hook is not None:
+                hook()
+
+    def on_receive(self, sender: ProcessId, payload: Any) -> None:
+        # A packet from an unknown peer is the "connection signal": create the
+        # link (which starts the snap-stabilizing cleaning handshake).
+        if sender not in self.heartbeat.links and sender != self.pid:
+            self.heartbeat.add_peer(sender)
+        if isinstance(payload, DataLinkMessage):
+            self.heartbeat.on_packet(sender, payload)
+            return
+        if self.scheme.on_message(sender, payload):
+            return
+        for service in self.services:
+            hook = getattr(service, "on_message", None)
+            if hook is not None and hook(sender, payload):
+                return
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _send_raw(self, destination: ProcessId, payload: Any) -> None:
+        if self.context is not None and not self.crashed:
+            self.context.send(destination, payload)
+
+
+class Cluster:
+    """A simulated system of :class:`ClusterNode` processors."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        upper_bound_n: int,
+        channel_capacity: int = 8,
+        step_interval: float = 1.0,
+        prediction_policy: Optional[PredictionPolicy] = None,
+        admission_policy: Optional[Callable[[ProcessId], bool]] = None,
+        require_link_cleaning: bool = True,
+    ) -> None:
+        self.simulator = simulator
+        self.upper_bound_n = upper_bound_n
+        self.channel_capacity = channel_capacity
+        self.step_interval = step_interval
+        self.prediction_policy = prediction_policy
+        self.admission_policy = admission_policy
+        self.require_link_cleaning = require_link_cleaning
+        self.nodes: Dict[ProcessId, ClusterNode] = {}
+
+    # ------------------------------------------------------------------
+    # Topology management
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        pid: ProcessId,
+        initial_config: Any = None,
+        peers: Optional[Iterable[ProcessId]] = None,
+        prediction_policy: Optional[PredictionPolicy] = None,
+    ) -> ClusterNode:
+        """Create, register and start a node.
+
+        ``initial_config`` follows the :class:`~repro.core.recsa.RecSA`
+        convention: ``None`` boots a non-participant (a joiner), ``BOTTOM``
+        boots into a brute-force reset (self-bootstrap), and a concrete set
+        boots with that configuration installed (a coherent start).
+        """
+        if peers is None:
+            peers = list(self.nodes.keys())
+        node = ClusterNode(
+            pid=pid,
+            peers=peers,
+            upper_bound_n=self.upper_bound_n,
+            initial_config=initial_config,
+            channel_capacity=self.channel_capacity,
+            step_interval=self.step_interval,
+            prediction_policy=prediction_policy or self.prediction_policy,
+            admission_policy=self.admission_policy,
+            require_link_cleaning=self.require_link_cleaning,
+        )
+        self.nodes[pid] = node
+        self.simulator.add_process(node)
+        return node
+
+    def add_joiner(self, pid: ProcessId) -> ClusterNode:
+        """Add a new processor that must go through the joining mechanism."""
+        return self.add_node(pid, initial_config=None)
+
+    def crash(self, pid: ProcessId) -> None:
+        """Stop-fail node *pid*."""
+        self.simulator.crash_process(pid)
+
+    # ------------------------------------------------------------------
+    # Collective queries
+    # ------------------------------------------------------------------
+    def alive_nodes(self) -> List[ClusterNode]:
+        """Nodes that have started and not crashed."""
+        return [node for node in self.nodes.values() if node.started and not node.crashed]
+
+    def participants(self) -> List[ClusterNode]:
+        """Alive nodes that are participants."""
+        return [node for node in self.alive_nodes() if node.scheme.is_participant()]
+
+    def agreed_configuration(self) -> Optional[Configuration]:
+        """The single configuration every alive participant holds, if any.
+
+        Returns ``None`` when participants disagree, some hold ``⊥``, or
+        there are no participants at all.
+        """
+        configs = set()
+        participants = self.participants()
+        if not participants:
+            return None
+        for node in participants:
+            value = node.recsa.config.get(node.pid)
+            if not is_real_config(value):
+                return None
+            configs.add(value)
+        if len(configs) != 1:
+            return None
+        return next(iter(configs))
+
+    def is_converged(self) -> bool:
+        """True when all alive participants agree and report stability."""
+        config = self.agreed_configuration()
+        if config is None:
+            return False
+        return all(node.scheme.no_reco() for node in self.participants())
+
+    def all_nodes_participating(self) -> bool:
+        """True when every alive node has become a participant."""
+        alive = self.alive_nodes()
+        return bool(alive) and all(node.scheme.is_participant() for node in alive)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, until: float) -> None:
+        """Advance the simulation until simulated time *until*."""
+        self.simulator.run(until=until)
+
+    def run_until_converged(self, timeout: float = 2_000.0) -> bool:
+        """Run until every alive participant agrees on a stable configuration."""
+        return self.simulator.run_until(self.is_converged, timeout=timeout)
+
+    def run_until(self, predicate: Callable[[], bool], timeout: float = 2_000.0) -> bool:
+        """Run until *predicate()* holds (or the timeout elapses)."""
+        return self.simulator.run_until(predicate, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def statistics(self) -> Dict[str, Any]:
+        """Aggregate cluster + simulator statistics for reporting."""
+        stats = self.simulator.statistics()
+        stats["resets"] = sum(node.recsa.reset_count for node in self.nodes.values())
+        stats["installs"] = sum(node.recsa.install_count for node in self.nodes.values())
+        stats["recma_triggers"] = sum(node.recma.trigger_count for node in self.nodes.values())
+        stats["participants"] = len(self.participants())
+        return stats
+
+
+def build_cluster(
+    n: int,
+    seed: int = 0,
+    upper_bound_n: Optional[int] = None,
+    channel_config: Optional[ChannelConfig] = None,
+    channel_capacity: int = 8,
+    step_interval: float = 1.0,
+    coherent_start: bool = False,
+    prediction_policy: Optional[PredictionPolicy] = None,
+    admission_policy: Optional[Callable[[ProcessId], bool]] = None,
+    require_link_cleaning: bool = False,
+) -> Cluster:
+    """Build a ready-to-run cluster of *n* nodes (identifiers ``0..n-1``).
+
+    Parameters
+    ----------
+    coherent_start:
+        When True the nodes boot with the full configuration already
+        installed (the assumption classical reconfiguration schemes make);
+        when False (the default) they boot into a brute-force reset and
+        *self-organize* into a configuration — the paper's headline ability.
+    require_link_cleaning:
+        Run the snap-stabilizing cleaning handshake on every link before
+        heartbeats count.  Disabled by default to shorten simulations; the
+        data-link tests exercise it explicitly.
+    """
+    if n < 1:
+        raise ValueError("a cluster needs at least one node")
+    if channel_config is None:
+        channel_config = ChannelConfig(capacity=channel_capacity)
+    simulator = Simulator(seed=seed, channel_config=channel_config)
+    cluster = Cluster(
+        simulator=simulator,
+        upper_bound_n=upper_bound_n or max(2 * n, n + 2),
+        channel_capacity=channel_config.capacity,
+        step_interval=step_interval,
+        prediction_policy=prediction_policy,
+        admission_policy=admission_policy,
+        require_link_cleaning=require_link_cleaning,
+    )
+    pids = list(range(n))
+    initial = make_config(pids) if coherent_start else BOTTOM
+    for pid in pids:
+        cluster.add_node(pid, initial_config=initial, peers=pids)
+    return cluster

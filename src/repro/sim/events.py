@@ -1,0 +1,104 @@
+"""Event queue for the discrete-event simulator.
+
+Events are ordered by ``(time, sequence)``; the sequence number breaks ties
+deterministically in insertion order, which keeps runs reproducible even when
+many events share a timestamp (common when a broadcast schedules one delivery
+per destination).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.common.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Simulated time at which the event fires.
+    sequence:
+        Monotonically increasing tie-breaker assigned by the queue.
+    callback:
+        Zero-argument callable executed when the event fires.
+    cancelled:
+        Events are cancelled lazily: a cancelled event stays in the heap but
+        is skipped when popped.
+    label:
+        Optional human-readable label used by traces and tests.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so it will be skipped when it reaches the head."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects keyed by simulated time."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live_count = 0
+
+    def __len__(self) -> int:
+        return self._live_count
+
+    def __bool__(self) -> bool:
+        return self._live_count > 0
+
+    def schedule(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Insert a new event firing at *time* and return it.
+
+        Raises :class:`SimulationError` if *time* is not a finite number.
+        """
+        if not (time == time and time not in (float("inf"), float("-inf"))):
+            raise SimulationError(f"cannot schedule event at non-finite time {time!r}")
+        event = Event(time=time, sequence=next(self._counter), callback=callback, label=label)
+        heapq.heappush(self._heap, event)
+        self._live_count += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel *event*; it will be skipped when popped."""
+        if not event.cancelled:
+            event.cancel()
+            self._live_count -= 1
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the next live event, or ``None``."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or ``None`` if empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self._live_count -= 1
+        return event
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live_count = 0
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

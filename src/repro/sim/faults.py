@@ -1,0 +1,165 @@
+"""Transient-fault injection.
+
+The paper models transient faults as an *arbitrary starting state*: any
+processor variable and any channel content may be corrupted (bounded by the
+channel capacity).  The :class:`FaultInjector` reproduces this by:
+
+* overwriting protocol-state fields of live processes with adversarially
+  chosen (but type-correct) values,
+* stuffing channels with stale packets,
+* crashing processes and introducing churn (starting new joiners),
+* temporarily partitioning the network.
+
+A :class:`TransientFaultCampaign` describes a reproducible schedule of such
+injections and is what the benchmark harness and the property-based tests
+drive.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.common.rng import make_rng
+from repro.common.types import (
+    BOTTOM,
+    DEFAULT_PROPOSAL,
+    NOT_PARTICIPANT,
+    Configuration,
+    Phase,
+    ProcessId,
+    Proposal,
+    make_config,
+)
+from repro.sim.simulator import Simulator
+
+
+@dataclass
+class FaultRecord:
+    """One injected fault, for post-mortem analysis of a run."""
+
+    time: float
+    kind: str
+    target: Any
+    details: Dict[str, Any] = field(default_factory=dict)
+
+
+class FaultInjector:
+    """Injects crashes, state corruption and stale packets into a simulation."""
+
+    def __init__(self, simulator: Simulator, seed: int = 0) -> None:
+        self.simulator = simulator
+        self.rng = make_rng(seed, "fault-injector")
+        self.records: List[FaultRecord] = []
+
+    # ------------------------------------------------------------ crash/churn
+    def crash(self, pid: ProcessId) -> None:
+        """Stop-fail process *pid*."""
+        self.simulator.crash_process(pid)
+        self._record("crash", pid)
+
+    def crash_many(self, pids: Iterable[ProcessId]) -> None:
+        """Crash several processes at the current instant."""
+        for pid in pids:
+            self.crash(pid)
+
+    def crash_majority_of(self, config: Configuration) -> List[ProcessId]:
+        """Crash a (deterministically chosen) majority of *config*.
+
+        Used by experiment E4: the recMA layer must detect the collapse and
+        trigger a reconfiguration.
+        """
+        members = sorted(config)
+        victims = members[: len(members) // 2 + 1]
+        self.crash_many(victims)
+        return victims
+
+    def schedule_crash(self, time: float, pid: ProcessId) -> None:
+        """Crash *pid* at absolute simulated time *time*."""
+        self.simulator.call_at(time, lambda: self.crash(pid), label=f"fault:crash:{pid}")
+
+    # -------------------------------------------------------- state corruption
+    def corrupt_attribute(self, obj: Any, attribute: str, value: Any) -> None:
+        """Overwrite ``obj.attribute`` with *value* (arbitrary state corruption)."""
+        setattr(obj, attribute, value)
+        self._record("corrupt", f"{type(obj).__name__}.{attribute}", {"value": repr(value)})
+
+    def corrupt_mapping_entry(self, mapping: Dict[Any, Any], key: Any, value: Any) -> None:
+        """Overwrite one entry of a protocol-state dictionary."""
+        mapping[key] = value
+        self._record("corrupt-entry", key, {"value": repr(value)})
+
+    def random_configuration(self, universe: Sequence[ProcessId]) -> Configuration:
+        """Draw a random non-empty configuration over *universe*."""
+        size = self.rng.randint(1, max(1, len(universe)))
+        return make_config(self.rng.sample(list(universe), size))
+
+    def random_config_value(self, universe: Sequence[ProcessId]) -> Any:
+        """Draw an arbitrary ``config`` field value: a set, ``⊥``, ``]`` or ∅."""
+        roll = self.rng.random()
+        if roll < 0.15:
+            return BOTTOM
+        if roll < 0.30:
+            return NOT_PARTICIPANT
+        if roll < 0.40:
+            return frozenset()
+        return self.random_configuration(universe)
+
+    def random_proposal(self, universe: Sequence[ProcessId]) -> Proposal:
+        """Draw an arbitrary notification ``⟨phase, set⟩`` (may be invalid)."""
+        phase = Phase(self.rng.choice([0, 1, 2]))
+        if self.rng.random() < 0.3:
+            members: Optional[Configuration] = None
+        else:
+            members = self.random_configuration(universe)
+        return Proposal(phase=phase, members=members)
+
+    # ------------------------------------------------------------- channels
+    def stuff_channel(self, source: ProcessId, destination: ProcessId, payload: Any) -> bool:
+        """Inject a stale packet into the channel source→destination."""
+        accepted = self.simulator.network.stuff_channel(source, destination, payload)
+        self._record("stuff-channel", (source, destination), {"accepted": accepted})
+        return accepted
+
+    # ------------------------------------------------------------ partitions
+    def partition(self, group_a: Iterable[ProcessId], group_b: Iterable[ProcessId]) -> None:
+        """Partition the network between the two groups."""
+        group_a = list(group_a)
+        group_b = list(group_b)
+        self.simulator.network.partition(group_a, group_b)
+        self._record("partition", (tuple(group_a), tuple(group_b)))
+
+    def heal(self) -> None:
+        """Heal every partition."""
+        self.simulator.network.heal_partitions()
+        self._record("heal", None)
+
+    # ------------------------------------------------------------- internals
+    def _record(self, kind: str, target: Any, details: Optional[Dict[str, Any]] = None) -> None:
+        self.records.append(
+            FaultRecord(time=self.simulator.now, kind=kind, target=target, details=details or {})
+        )
+
+
+@dataclass
+class TransientFaultCampaign:
+    """A reproducible schedule of fault injections.
+
+    Each action is ``(time, callable)``; :meth:`install` registers them with
+    the simulator.  The campaign object is what workload generators build.
+    """
+
+    actions: List[tuple] = field(default_factory=list)
+
+    def add(self, time: float, action: Callable[[], None], label: str = "") -> None:
+        """Append an action firing at simulated time *time*."""
+        self.actions.append((time, action, label))
+
+    def install(self, simulator: Simulator) -> None:
+        """Register every action of the campaign with *simulator*."""
+        for time, action, label in self.actions:
+            simulator.call_at(time, action, label=label or "fault-campaign")
+
+    def __len__(self) -> int:
+        return len(self.actions)

@@ -1,0 +1,134 @@
+"""Invariant monitoring and convergence tracking.
+
+Two kinds of observers are provided:
+
+* :class:`InvariantMonitor` — evaluates named predicates over the whole
+  system after every executed event; violations are either recorded (default)
+  or raised (strict mode).  The safety properties of the paper's theorems
+  (e.g. "no two participants hold different non-⊥ configurations after
+  convergence") are expressed as such predicates in the test-suite.
+
+* :class:`ConvergenceTracker` — watches a predicate and records the first
+  simulated time (and event index) at which it becomes true and *stays* true,
+  which is how the benchmark harness measures convergence times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.common.errors import InvariantViolation
+from repro.sim.simulator import Simulator
+
+
+@dataclass
+class Violation:
+    """A recorded invariant violation."""
+
+    time: float
+    event_index: int
+    name: str
+    details: str = ""
+
+
+class InvariantMonitor:
+    """Evaluate named system-wide predicates after every simulator step."""
+
+    def __init__(self, simulator: Simulator, strict: bool = False) -> None:
+        self.simulator = simulator
+        self.strict = strict
+        self.predicates: Dict[str, Callable[[], bool]] = {}
+        self.violations: List[Violation] = []
+        simulator.add_post_step_hook(self._check)
+
+    def add_invariant(self, name: str, predicate: Callable[[], bool]) -> None:
+        """Register *predicate*; it must return True whenever the invariant holds."""
+        self.predicates[name] = predicate
+
+    def violated(self, name: Optional[str] = None) -> List[Violation]:
+        """Return recorded violations, optionally filtered by invariant name."""
+        if name is None:
+            return list(self.violations)
+        return [v for v in self.violations if v.name == name]
+
+    def ok(self) -> bool:
+        """True when no violation has been recorded."""
+        return not self.violations
+
+    def _check(self, simulator: Simulator) -> None:
+        for name, predicate in self.predicates.items():
+            try:
+                holds = predicate()
+            except Exception as exc:  # pragma: no cover - defensive
+                holds = False
+                detail = f"predicate raised {exc!r}"
+            else:
+                detail = ""
+            if not holds:
+                violation = Violation(
+                    time=simulator.now,
+                    event_index=simulator.executed_events,
+                    name=name,
+                    details=detail,
+                )
+                self.violations.append(violation)
+                if self.strict:
+                    raise InvariantViolation(f"{name} violated at t={simulator.now}: {detail}")
+
+
+class ConvergenceTracker:
+    """Record when a predicate first becomes (and stays) true.
+
+    ``stabilization_time`` is the time of the *last* transition from false to
+    true — i.e. the start of the suffix during which the predicate held
+    continuously until the end of the run.  This matches the paper's notion
+    of an execution suffix belonging to the set of legal executions.
+    """
+
+    def __init__(self, simulator: Simulator, predicate: Callable[[], bool], name: str = "") -> None:
+        self.simulator = simulator
+        self.predicate = predicate
+        self.name = name or "convergence"
+        self.first_true_time: Optional[float] = None
+        self.first_true_event: Optional[int] = None
+        self.last_transition_time: Optional[float] = None
+        self.last_transition_event: Optional[int] = None
+        self.currently_true = False
+        self.transition_count = 0
+        simulator.add_post_step_hook(self._observe)
+
+    def _observe(self, simulator: Simulator) -> None:
+        holds = bool(self.predicate())
+        if holds and not self.currently_true:
+            self.transition_count += 1
+            if self.first_true_time is None:
+                self.first_true_time = simulator.now
+                self.first_true_event = simulator.executed_events
+            self.last_transition_time = simulator.now
+            self.last_transition_event = simulator.executed_events
+        self.currently_true = holds
+
+    @property
+    def stabilization_time(self) -> Optional[float]:
+        """Time at which the predicate last became true (and stayed true)."""
+        if not self.currently_true:
+            return None
+        return self.last_transition_time
+
+    @property
+    def stabilization_event(self) -> Optional[int]:
+        """Event index at which the predicate last became true."""
+        if not self.currently_true:
+            return None
+        return self.last_transition_event
+
+    def summary(self) -> Dict[str, Any]:
+        """Dictionary summary used by the benchmark reporting helpers."""
+        return {
+            "name": self.name,
+            "converged": self.currently_true,
+            "first_true_time": self.first_true_time,
+            "stabilization_time": self.stabilization_time,
+            "transitions": self.transition_count,
+        }

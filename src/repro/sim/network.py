@@ -1,0 +1,276 @@
+"""Bounded, lossy, duplicating, reordering channels and the network fabric.
+
+The paper's communication model (Section 2):
+
+* every directed pair of processors is connected by a channel of bounded
+  capacity ``cap``;
+* packets may be lost, reordered or duplicated, but not created spontaneously
+  (an adversarial/arbitrary initial channel content is modelled by the fault
+  injector stuffing channels with stale packets, bounded by ``O(N^2 * cap)``);
+* *fair communication*: a packet sent infinitely often is received infinitely
+  often — realized here by loss probabilities strictly below one.
+
+A :class:`Channel` is a bounded FIFO of in-flight packets.  Delivery is driven
+by the simulator: when a packet is accepted, a delivery event is scheduled
+after a (seeded) random delay; reordering emerges from the variance of the
+delay, and duplication schedules an extra delivery of a copy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.common.rng import make_rng
+from repro.common.types import ProcessId
+from repro.common.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A low-level packet travelling on a directed channel.
+
+    ``sender_label`` carries the anti-parallel data-link labelling described
+    in Section 2 (packets are identified by the sender of the data link they
+    belong to); higher layers usually just use ``payload``.
+    """
+
+    source: ProcessId
+    destination: ProcessId
+    payload: Any
+    sender_label: Optional[ProcessId] = None
+
+
+@dataclass
+class ChannelConfig:
+    """Behavioural parameters of a directed channel.
+
+    Attributes
+    ----------
+    capacity:
+        Maximum number of in-flight packets (the paper's ``cap``).  A send
+        into a full channel silently drops the *new* packet, matching the
+        paper ("the new packet might be omitted or some already sent packet
+        may be lost").
+    loss_probability:
+        Probability that an accepted packet is dropped instead of delivered.
+        Must be strictly below 1.0 to preserve fair communication.
+    duplicate_probability:
+        Probability that an accepted packet is delivered twice.
+    min_delay / max_delay:
+        Uniform delivery-delay bounds; a wide interval produces reordering.
+    """
+
+    capacity: int = 8
+    loss_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    min_delay: float = 0.5
+    max_delay: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise SimulationError("channel capacity must be at least 1")
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise SimulationError("loss probability must be in [0, 1)")
+        if not 0.0 <= self.duplicate_probability <= 1.0:
+            raise SimulationError("duplicate probability must be in [0, 1]")
+        if self.min_delay < 0 or self.max_delay < self.min_delay:
+            raise SimulationError("delay bounds must satisfy 0 <= min <= max")
+
+
+class Channel:
+    """A directed, bounded-capacity, unreliable channel.
+
+    The channel tracks the set of in-flight packets (for capacity accounting
+    and for fault-injection snapshots) and delegates the actual timing of
+    deliveries to the owning :class:`Network`.
+    """
+
+    def __init__(
+        self,
+        source: ProcessId,
+        destination: ProcessId,
+        config: ChannelConfig,
+        seed: int,
+    ) -> None:
+        self.source = source
+        self.destination = destination
+        self.config = config
+        self._rng = make_rng(seed, "channel", source, destination)
+        self._in_flight: Deque[Packet] = deque()
+        self.sent_count = 0
+        self.delivered_count = 0
+        self.dropped_count = 0
+        self.duplicated_count = 0
+
+    @property
+    def in_flight(self) -> Tuple[Packet, ...]:
+        """Snapshot of packets currently in flight (oldest first)."""
+        return tuple(self._in_flight)
+
+    def occupancy(self) -> int:
+        """Number of packets currently occupying channel capacity."""
+        return len(self._in_flight)
+
+    def try_accept(self, packet: Packet) -> List[Tuple[Packet, float]]:
+        """Try to accept *packet* for transmission.
+
+        Returns a list of ``(packet, delay)`` pairs to be scheduled for
+        delivery — empty when the packet was dropped (lost or channel full),
+        length two when the packet was duplicated.
+        """
+        self.sent_count += 1
+        if len(self._in_flight) >= self.config.capacity:
+            # Channel full: the new packet is omitted (paper, Section 2).
+            self.dropped_count += 1
+            return []
+        if self._rng.random() < self.config.loss_probability:
+            self.dropped_count += 1
+            return []
+        self._in_flight.append(packet)
+        deliveries = [(packet, self._draw_delay())]
+        if self._rng.random() < self.config.duplicate_probability:
+            self.duplicated_count += 1
+            deliveries.append((packet, self._draw_delay()))
+        return deliveries
+
+    def stuff(self, packet: Packet) -> bool:
+        """Force *packet* into the channel (fault injection of stale packets).
+
+        Returns ``False`` when the channel is already at capacity: the paper's
+        adversary is limited to ``cap`` stale packets per channel.
+        """
+        if len(self._in_flight) >= self.config.capacity:
+            return False
+        self._in_flight.append(packet)
+        return True
+
+    def complete_delivery(self, packet: Packet) -> bool:
+        """Remove *packet* from the in-flight set; return whether it was there.
+
+        Duplicated deliveries of the same packet only remove one in-flight
+        slot; the second delivery still hands the payload to the receiver but
+        does not consume capacity (it never did).
+        """
+        try:
+            self._in_flight.remove(packet)
+        except ValueError:
+            return False
+        self.delivered_count += 1
+        return True
+
+    def drop_in_flight(self) -> int:
+        """Drop every in-flight packet (used when a processor crashes)."""
+        dropped = len(self._in_flight)
+        self._in_flight.clear()
+        self.dropped_count += dropped
+        return dropped
+
+    def _draw_delay(self) -> float:
+        lo, hi = self.config.min_delay, self.config.max_delay
+        if hi <= lo:
+            return lo
+        return self._rng.uniform(lo, hi)
+
+
+class Network:
+    """The fully-connected fabric of directed :class:`Channel` objects.
+
+    The network is lazy: a channel is created the first time a packet flows
+    between a pair of processors, using the default :class:`ChannelConfig`
+    (or a per-pair override installed via :meth:`set_channel_config`).
+    Delivery scheduling is delegated to a callback installed by the
+    :class:`~repro.sim.simulator.Simulator`.
+    """
+
+    def __init__(self, default_config: Optional[ChannelConfig] = None, seed: int = 0) -> None:
+        self.default_config = default_config or ChannelConfig()
+        self._seed = seed
+        self._channels: Dict[Tuple[ProcessId, ProcessId], Channel] = {}
+        self._overrides: Dict[Tuple[ProcessId, ProcessId], ChannelConfig] = {}
+        self._schedule_delivery: Optional[Callable[[Channel, Packet, float], None]] = None
+        self._partitions: set[frozenset[ProcessId]] = set()
+
+    def bind_scheduler(self, schedule_delivery: Callable[[Channel, Packet, float], None]) -> None:
+        """Install the delivery-scheduling callback (done by the simulator)."""
+        self._schedule_delivery = schedule_delivery
+
+    def set_channel_config(
+        self, source: ProcessId, destination: ProcessId, config: ChannelConfig
+    ) -> None:
+        """Override the channel configuration for one directed pair."""
+        self._overrides[(source, destination)] = config
+        existing = self._channels.get((source, destination))
+        if existing is not None:
+            existing.config = config
+
+    def channel(self, source: ProcessId, destination: ProcessId) -> Channel:
+        """Return (creating if needed) the directed channel source→destination."""
+        key = (source, destination)
+        chan = self._channels.get(key)
+        if chan is None:
+            config = self._overrides.get(key, self.default_config)
+            chan = Channel(source, destination, config, seed=self._seed)
+            self._channels[key] = chan
+        return chan
+
+    def channels(self) -> Iterable[Channel]:
+        """Iterate over every channel created so far."""
+        return self._channels.values()
+
+    def partition(self, group_a: Iterable[ProcessId], group_b: Iterable[ProcessId]) -> None:
+        """Install a (temporary) partition: packets between the groups are lost."""
+        for a in group_a:
+            for b in group_b:
+                self._partitions.add(frozenset((a, b)))
+
+    def heal_partitions(self) -> None:
+        """Remove every installed partition."""
+        self._partitions.clear()
+
+    def is_partitioned(self, source: ProcessId, destination: ProcessId) -> bool:
+        """Return True when the pair is currently separated by a partition."""
+        return frozenset((source, destination)) in self._partitions
+
+    def send(self, packet: Packet) -> None:
+        """Submit *packet* for transmission on its directed channel."""
+        if self._schedule_delivery is None:
+            raise SimulationError("network is not bound to a simulator")
+        if self.is_partitioned(packet.source, packet.destination):
+            chan = self.channel(packet.source, packet.destination)
+            chan.sent_count += 1
+            chan.dropped_count += 1
+            return
+        chan = self.channel(packet.source, packet.destination)
+        for pkt, delay in chan.try_accept(packet):
+            self._schedule_delivery(chan, pkt, delay)
+
+    def stuff_channel(self, source: ProcessId, destination: ProcessId, payload: Any) -> bool:
+        """Inject a stale packet into a channel and schedule its delivery.
+
+        Used by the transient-fault injector to model arbitrary initial
+        channel contents.  Returns ``False`` when the channel was full.
+        """
+        if self._schedule_delivery is None:
+            raise SimulationError("network is not bound to a simulator")
+        chan = self.channel(source, destination)
+        packet = Packet(source=source, destination=destination, payload=payload)
+        if not chan.stuff(packet):
+            return False
+        self._schedule_delivery(chan, packet, chan._draw_delay())
+        return True
+
+    def total_in_flight(self) -> int:
+        """Total packets currently in flight across all channels."""
+        return sum(chan.occupancy() for chan in self._channels.values())
+
+    def statistics(self) -> Dict[str, int]:
+        """Aggregate send/deliver/drop/duplicate counters over all channels."""
+        stats = {"sent": 0, "delivered": 0, "dropped": 0, "duplicated": 0}
+        for chan in self._channels.values():
+            stats["sent"] += chan.sent_count
+            stats["delivered"] += chan.delivered_count
+            stats["dropped"] += chan.dropped_count
+            stats["duplicated"] += chan.duplicated_count
+        return stats

@@ -1,0 +1,149 @@
+"""Process abstraction: the unit of computation in the interleaving model.
+
+A :class:`Process` owns local state and reacts to two kinds of input events
+(paper, Section 2): the arrival of a packet, and a periodic timer that
+triggers the next iteration of its *do-forever loop*.  Each handler runs as a
+single atomic step of the interleaving model.
+
+Concrete protocol layers (data link, failure detector, recSA, recMA, joining,
+applications) are implemented as plain Python objects owned by a process (see
+:mod:`repro.sim.cluster`); this module only provides the scheduling plumbing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.common.types import ProcessId
+from repro.common.logging_utils import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.simulator import Simulator
+
+_log = get_logger("process")
+
+
+@dataclass
+class ProcessContext:
+    """Capabilities handed to a process by the simulator.
+
+    A context exposes exactly what the system model allows a processor to do:
+    read the (local) clock, draw local randomness, send packets, and arm
+    timers.  Processes never touch the simulator directly, which keeps the
+    algorithm code independent of the simulation engine.
+    """
+
+    pid: ProcessId
+    simulator: "Simulator"
+    rng: random.Random
+
+    def now(self) -> float:
+        """Current simulated time (used only for metrics, not by algorithms)."""
+        return self.simulator.now
+
+    def send(self, destination: ProcessId, payload: Any) -> None:
+        """Send *payload* to *destination* over the unreliable network."""
+        self.simulator.send(self.pid, destination, payload)
+
+    def set_timer(self, delay: float, callback: Callable[[], None], label: str = "") -> Any:
+        """Arm a one-shot timer firing after *delay* time units."""
+        return self.simulator.set_timer(self.pid, delay, callback, label=label)
+
+    def cancel_timer(self, handle: Any) -> None:
+        """Cancel a timer previously armed with :meth:`set_timer`."""
+        self.simulator.cancel_timer(handle)
+
+
+class Process:
+    """Base class for simulated processors.
+
+    Subclasses override :meth:`on_start`, :meth:`on_timer` and
+    :meth:`on_receive`.  The default implementation arms a periodic timer with
+    period ``step_interval`` (with a small seeded jitter so processors do not
+    run in lockstep) and calls :meth:`on_timer` on each tick — this models the
+    "periodic timer triggering pi to (re)send" input event of the paper.
+    """
+
+    def __init__(self, pid: ProcessId, step_interval: float = 1.0, jitter: float = 0.2) -> None:
+        self.pid = pid
+        self.step_interval = step_interval
+        self.jitter = jitter
+        self.context: Optional[ProcessContext] = None
+        self.crashed = False
+        self.started = False
+        self.step_count = 0
+        self.received_count = 0
+        self._timer_handle: Any = None
+
+    # ------------------------------------------------------------------ API
+    def bind(self, context: ProcessContext) -> None:
+        """Attach the simulator-provided context (called by the simulator)."""
+        self.context = context
+
+    def start(self) -> None:
+        """Begin executing: run :meth:`on_start` and arm the periodic timer."""
+        if self.context is None:
+            raise RuntimeError(f"process {self.pid} not bound to a simulator")
+        if self.crashed or self.started:
+            return
+        self.started = True
+        self.on_start()
+        self._arm_timer()
+
+    def crash(self) -> None:
+        """Stop-fail: the process takes no further steps and never rejoins."""
+        self.crashed = True
+        if self._timer_handle is not None and self.context is not None:
+            self.context.cancel_timer(self._timer_handle)
+            self._timer_handle = None
+
+    def deliver(self, sender: ProcessId, payload: Any) -> None:
+        """Entry point used by the simulator when a packet arrives."""
+        if self.crashed or not self.started:
+            return
+        self.received_count += 1
+        self.on_receive(sender, payload)
+
+    # ------------------------------------------------------------ overrides
+    def on_start(self) -> None:
+        """Hook executed once when the process starts."""
+
+    def on_timer(self) -> None:
+        """One iteration of the do-forever loop."""
+
+    def on_receive(self, sender: ProcessId, payload: Any) -> None:
+        """Handle an incoming high-level message."""
+
+    # ------------------------------------------------------------ internals
+    def _arm_timer(self) -> None:
+        if self.crashed or self.context is None:
+            return
+        delay = self.step_interval
+        if self.jitter > 0:
+            delay += self.context.rng.uniform(-self.jitter, self.jitter) * self.step_interval
+            delay = max(delay, self.step_interval * 0.1)
+        self._timer_handle = self.context.set_timer(
+            delay, self._timer_fired, label=f"step:{self.pid}"
+        )
+
+    def _timer_fired(self) -> None:
+        if self.crashed:
+            return
+        self.step_count += 1
+        try:
+            self.on_timer()
+        finally:
+            self._arm_timer()
+
+    # ----------------------------------------------------------- inspection
+    def describe(self) -> Dict[str, Any]:
+        """A small status dictionary used by traces and debugging helpers."""
+        return {
+            "pid": self.pid,
+            "crashed": self.crashed,
+            "started": self.started,
+            "steps": self.step_count,
+            "received": self.received_count,
+        }

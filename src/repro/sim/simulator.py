@@ -1,0 +1,217 @@
+"""The discrete-event simulator driving processes, timers and the network.
+
+The simulator owns:
+
+* the simulated clock and event queue,
+* the registry of :class:`~repro.sim.process.Process` instances,
+* the :class:`~repro.sim.network.Network` (delivery scheduling is bound here),
+* optional per-step hooks used by monitors and the fault injector.
+
+Running modes
+-------------
+``run(until=...)`` executes events until the clock passes the deadline;
+``run_steps(n)`` executes exactly ``n`` events; ``run_until(predicate, ...)``
+executes until a condition over the system state holds (used heavily by the
+convergence experiments).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.common.logging_utils import get_logger
+from repro.common.rng import make_rng
+from repro.common.types import ProcessId
+from repro.sim.events import Event, EventQueue
+from repro.sim.network import Channel, ChannelConfig, Network, Packet
+from repro.sim.process import Process, ProcessContext
+
+_log = get_logger("simulator")
+
+
+class Simulator:
+    """Deterministic discrete-event simulator for the asynchronous model."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        channel_config: Optional[ChannelConfig] = None,
+        network: Optional[Network] = None,
+    ) -> None:
+        self.seed = seed
+        self.now: float = 0.0
+        self.events = EventQueue()
+        self.network = network or Network(default_config=channel_config, seed=seed)
+        self.network.bind_scheduler(self._schedule_delivery)
+        self.processes: Dict[ProcessId, Process] = {}
+        self.executed_events = 0
+        self.delivered_messages = 0
+        self._pre_step_hooks: List[Callable[["Simulator"], None]] = []
+        self._post_step_hooks: List[Callable[["Simulator"], None]] = []
+        self._root_rng = make_rng(seed, "simulator")
+
+    # ------------------------------------------------------------ processes
+    def add_process(self, process: Process, start: bool = True) -> Process:
+        """Register *process* (unique pid required) and optionally start it."""
+        if process.pid in self.processes:
+            raise SimulationError(f"duplicate process id {process.pid}")
+        self.processes[process.pid] = process
+        context = ProcessContext(
+            pid=process.pid,
+            simulator=self,
+            rng=make_rng(self.seed, "process", process.pid),
+        )
+        process.bind(context)
+        if start:
+            process.start()
+        return process
+
+    def get_process(self, pid: ProcessId) -> Process:
+        """Return the registered process with identifier *pid*."""
+        return self.processes[pid]
+
+    def active_processes(self) -> List[Process]:
+        """Processes that have started and not crashed."""
+        return [p for p in self.processes.values() if p.started and not p.crashed]
+
+    def crash_process(self, pid: ProcessId, drop_in_flight: bool = False) -> None:
+        """Crash (stop-fail) the process *pid*.
+
+        When *drop_in_flight* is true, packets already in flight to or from
+        the crashed process are discarded (modelling a crash that also takes
+        down its network interface); by default they are still delivered,
+        matching the paper's model in which a crash only stops future steps.
+        """
+        process = self.processes[pid]
+        process.crash()
+        if drop_in_flight:
+            for chan in self.network.channels():
+                if chan.source == pid or chan.destination == pid:
+                    chan.drop_in_flight()
+
+    # --------------------------------------------------------------- timers
+    def set_timer(
+        self, pid: ProcessId, delay: float, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Arm a one-shot timer on behalf of process *pid*."""
+        if delay < 0:
+            raise SimulationError("timer delay must be non-negative")
+        return self.events.schedule(self.now + delay, callback, label=label or f"timer:{pid}")
+
+    def cancel_timer(self, handle: Event) -> None:
+        """Cancel a previously armed timer."""
+        self.events.cancel(handle)
+
+    def call_at(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule an arbitrary callback at absolute simulated *time*."""
+        if time < self.now:
+            raise SimulationError("cannot schedule an event in the past")
+        return self.events.schedule(time, callback, label=label)
+
+    def call_later(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule an arbitrary callback *delay* time units from now."""
+        return self.call_at(self.now + delay, callback, label=label)
+
+    # -------------------------------------------------------------- network
+    def send(self, source: ProcessId, destination: ProcessId, payload: Any) -> None:
+        """Send a packet from *source* to *destination* (may be lost)."""
+        packet = Packet(source=source, destination=destination, payload=payload)
+        self.network.send(packet)
+
+    def _schedule_delivery(self, channel: Channel, packet: Packet, delay: float) -> None:
+        self.events.schedule(
+            self.now + delay,
+            lambda: self._deliver(channel, packet),
+            label=f"deliver:{packet.source}->{packet.destination}",
+        )
+
+    def _deliver(self, channel: Channel, packet: Packet) -> None:
+        channel.complete_delivery(packet)
+        process = self.processes.get(packet.destination)
+        if process is None or process.crashed or not process.started:
+            return
+        self.delivered_messages += 1
+        process.deliver(packet.source, packet.payload)
+
+    # ----------------------------------------------------------------- hooks
+    def add_pre_step_hook(self, hook: Callable[["Simulator"], None]) -> None:
+        """Run *hook(self)* before every executed event."""
+        self._pre_step_hooks.append(hook)
+
+    def add_post_step_hook(self, hook: Callable[["Simulator"], None]) -> None:
+        """Run *hook(self)* after every executed event."""
+        self._post_step_hooks.append(hook)
+
+    # ------------------------------------------------------------------ run
+    def step(self) -> bool:
+        """Execute a single event; return ``False`` when the queue is empty."""
+        event = self.events.pop()
+        if event is None:
+            return False
+        if event.time < self.now:
+            raise SimulationError("event queue returned an event from the past")
+        self.now = event.time
+        for hook in self._pre_step_hooks:
+            hook(self)
+        event.callback()
+        self.executed_events += 1
+        for hook in self._post_step_hooks:
+            hook(self)
+        return True
+
+    def run(self, until: float) -> None:
+        """Run until the simulated clock passes *until* (or no events remain)."""
+        while True:
+            next_time = self.events.peek_time()
+            if next_time is None or next_time > until:
+                self.now = max(self.now, until)
+                return
+            self.step()
+
+    def run_steps(self, count: int) -> int:
+        """Execute at most *count* events; return the number executed."""
+        executed = 0
+        for _ in range(count):
+            if not self.step():
+                break
+            executed += 1
+        return executed
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float = 10_000.0,
+        check_interval: int = 1,
+    ) -> bool:
+        """Run until *predicate()* holds or the clock exceeds *timeout*.
+
+        The predicate is evaluated every *check_interval* executed events.
+        Returns ``True`` when the predicate became true, ``False`` on timeout
+        or event-queue exhaustion.
+        """
+        counter = 0
+        if predicate():
+            return True
+        while True:
+            next_time = self.events.peek_time()
+            if next_time is None or next_time > timeout:
+                return predicate()
+            self.step()
+            counter += 1
+            if counter % check_interval == 0 and predicate():
+                return True
+
+    # ------------------------------------------------------------ inspection
+    def statistics(self) -> Dict[str, Any]:
+        """Aggregate simulator + network statistics (used by benchmarks)."""
+        stats: Dict[str, Any] = {
+            "time": self.now,
+            "executed_events": self.executed_events,
+            "delivered_messages": self.delivered_messages,
+            "processes": len(self.processes),
+            "active": len(self.active_processes()),
+        }
+        stats.update({f"net_{k}": v for k, v in self.network.statistics().items()})
+        return stats

@@ -1,0 +1,30 @@
+"""Virtually synchronous state-machine replication (Section 4.3).
+
+The reconfiguration scheme plus the label/counter services are combined into
+a self-stabilizing, reconfigurable virtual-synchrony layer:
+
+* :mod:`repro.vs.view` — views (a counter-identified member set);
+* :mod:`repro.vs.smr` — pluggable replicated state machines;
+* :mod:`repro.vs.virtual_synchrony` — the coordinator-based VS service
+  (Algorithm 4.7) with coordinator-led delicate reconfiguration
+  (Algorithm 4.6);
+* :mod:`repro.vs.shared_memory` — the MWMR shared-register emulation built on
+  the replicated state machine.
+"""
+
+from repro.vs.view import View
+from repro.vs.smr import StateMachine, LogStateMachine, RegisterStateMachine, KeyValueStateMachine
+from repro.vs.virtual_synchrony import VirtualSynchronyService, VSState, VSStatus
+from repro.vs.shared_memory import SharedRegister
+
+__all__ = [
+    "View",
+    "StateMachine",
+    "LogStateMachine",
+    "RegisterStateMachine",
+    "KeyValueStateMachine",
+    "VirtualSynchronyService",
+    "VSState",
+    "VSStatus",
+    "SharedRegister",
+]

@@ -1,0 +1,127 @@
+"""Replicated state machines used by the virtual-synchrony layer.
+
+The virtual-synchrony service is agnostic to the application: it replicates
+any object implementing the small :class:`StateMachine` interface.  Three
+ready-made machines are provided:
+
+* :class:`LogStateMachine` — an append-only log of delivered commands, the
+  canonical state machine used by the tests (virtual synchrony is easiest to
+  check against the delivered-message history);
+* :class:`KeyValueStateMachine` — a dictionary store driven by ``("put", k,
+  v)`` / ``("del", k)`` commands;
+* :class:`RegisterStateMachine` — a single multi-writer multi-reader register
+  (the machine backing :class:`repro.vs.shared_memory.SharedRegister`).
+"""
+
+from __future__ import annotations
+
+import copy
+from abc import ABC, abstractmethod
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class StateMachine(ABC):
+    """Interface of a deterministic, copyable replicated state machine."""
+
+    @abstractmethod
+    def apply(self, command: Any) -> Any:
+        """Apply *command*, mutating the machine; returns an output value."""
+
+    @abstractmethod
+    def snapshot(self) -> Any:
+        """A deep, self-contained copy of the machine's state."""
+
+    @abstractmethod
+    def restore(self, snapshot: Any) -> None:
+        """Replace the machine's state with *snapshot* (as from ``snapshot()``)."""
+
+    def reset(self) -> None:
+        """Return the machine to its initial (default) state."""
+        self.restore(type(self)().snapshot())  # pragma: no cover - overridden
+
+
+class LogStateMachine(StateMachine):
+    """Append-only log of applied commands."""
+
+    def __init__(self) -> None:
+        self.log: List[Any] = []
+
+    def apply(self, command: Any) -> Any:
+        self.log.append(command)
+        return len(self.log)
+
+    def snapshot(self) -> Any:
+        return list(self.log)
+
+    def restore(self, snapshot: Any) -> None:
+        self.log = list(snapshot or [])
+
+    def reset(self) -> None:
+        self.log = []
+
+
+class KeyValueStateMachine(StateMachine):
+    """A replicated dictionary driven by ``("put", key, value)`` / ``("del", key)``."""
+
+    def __init__(self) -> None:
+        self.data: Dict[Any, Any] = {}
+
+    def apply(self, command: Any) -> Any:
+        if not isinstance(command, tuple) or not command:
+            return None
+        op = command[0]
+        if op == "put" and len(command) == 3:
+            _, key, value = command
+            self.data[key] = value
+            return value
+        if op == "del" and len(command) == 2:
+            return self.data.pop(command[1], None)
+        if op == "get" and len(command) == 2:
+            return self.data.get(command[1])
+        return None
+
+    def snapshot(self) -> Any:
+        return copy.deepcopy(self.data)
+
+    def restore(self, snapshot: Any) -> None:
+        self.data = copy.deepcopy(snapshot) if snapshot else {}
+
+    def reset(self) -> None:
+        self.data = {}
+
+
+class RegisterStateMachine(StateMachine):
+    """A single MWMR register: commands are ``("write", value, writer, tag)``.
+
+    Reads are served from the replicated state and therefore need no command;
+    the tuple stored alongside the value records which writer wrote last and
+    with what (monotonically increasing) tag, which the shared-memory tests
+    use to check write ordering.
+    """
+
+    def __init__(self) -> None:
+        self.value: Any = None
+        self.last_writer: Optional[int] = None
+        self.write_count: int = 0
+
+    def apply(self, command: Any) -> Any:
+        if isinstance(command, tuple) and command and command[0] == "write":
+            self.value = command[1]
+            self.last_writer = command[2] if len(command) > 2 else None
+            self.write_count += 1
+            return self.value
+        return None
+
+    def snapshot(self) -> Any:
+        return (self.value, self.last_writer, self.write_count)
+
+    def restore(self, snapshot: Any) -> None:
+        if snapshot is None:
+            self.reset()
+            return
+        self.value, self.last_writer, self.write_count = snapshot
+
+    def reset(self) -> None:
+        self.value = None
+        self.last_writer = None
+        self.write_count = 0

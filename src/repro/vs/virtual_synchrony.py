@@ -1,0 +1,535 @@
+"""Self-stabilizing reconfigurable virtually synchronous SMR (Algorithm 4.7).
+
+Structure of the reconstruction (the pseudo-code of the technical report is
+followed functionally; see DESIGN.md for the mapping):
+
+* every participant periodically broadcasts its VS state (view, status,
+  round, proposed view, suspend flag, pending input, ...) to the trusted
+  participants — the ``state[]`` exchange of Algorithm 4.7;
+* a **coordinator** is recognized (``valCrd``) when it proposes/leads a view
+  whose member set contains a majority of the current configuration and whose
+  identifier — a counter obtained from the counter-increment algorithm — is
+  the largest among such proposals;
+* when no valid coordinator is visible, a configuration member that trusts a
+  majority of the configuration and observes a majority agreeing that there
+  is no coordinator obtains a fresh counter and **proposes** a view over its
+  trusted participants (status ``PROPOSE``);
+* once every proposed member echoes the proposal, the coordinator
+  synchronizes the replica state (adopting the state with the largest
+  ``(view, round)`` among the members) and **installs** the view
+  (status ``INSTALL`` then ``MULTICAST`` with round 0);
+* in ``MULTICAST`` status the coordinator runs rounds: it collects one
+  pending input from each member's report, delivers the batch in a
+  deterministic order, applies it to the replicated state machine and
+  advances the round; followers adopt the coordinator's state verbatim —
+  which is exactly what makes the replication virtually synchronous;
+* **coordinator-led delicate reconfiguration** (Algorithm 4.6): when the
+  coordinator's ``evalConfig()`` policy asks for a reconfiguration it raises
+  ``suspend``, waits until every view member reports having suspended, then
+  calls the scheme's ``estab`` (``request_reconfiguration``); multicast stays
+  suspended while ``noReco()`` reports a reconfiguration, and once the new
+  configuration is installed a (possibly new) coordinator re-establishes a
+  view carrying the preserved state.
+"""
+
+from __future__ import annotations
+
+import copy
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.common.logging_utils import get_logger
+from repro.common.types import Configuration, ProcessId
+from repro.core.scheme import ReconfigurationScheme
+from repro.counters.counter import Counter, counter_less_than
+from repro.counters.service import CounterService, IncrementOutcome
+from repro.vs.smr import LogStateMachine, StateMachine
+from repro.vs.view import View
+
+_log = get_logger("vs")
+
+SendFn = Callable[[ProcessId, Any], None]
+DeliveryCallback = Callable[[int, View, List[Any]], None]
+EvalConfigPolicy = Callable[[], bool]
+
+
+class VSStatus(enum.Enum):
+    """The three statuses of Algorithm 4.7."""
+
+    MULTICAST = "multicast"
+    PROPOSE = "propose"
+    INSTALL = "install"
+
+
+@dataclass(frozen=True)
+class VSState:
+    """The per-participant state record exchanged by Algorithm 4.7."""
+
+    sender: ProcessId
+    view: Optional[View]
+    status: VSStatus
+    rnd: int
+    prop_view: Optional[View]
+    no_crd: bool
+    suspend: bool
+    input: Optional[Tuple[ProcessId, int, Any]]
+    state_snapshot: Any = None
+    delivered: Tuple = ()
+    crd: Optional[ProcessId] = None
+
+
+class VirtualSynchronyService:
+    """Per-participant virtually synchronous SMR service."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        scheme: ReconfigurationScheme,
+        counters: CounterService,
+        send: SendFn,
+        state_machine: Optional[StateMachine] = None,
+        eval_config: Optional[EvalConfigPolicy] = None,
+        delivery_callback: Optional[DeliveryCallback] = None,
+    ) -> None:
+        self.pid = pid
+        self.scheme = scheme
+        self.counters = counters
+        self.send = send
+        self.machine: StateMachine = state_machine or LogStateMachine()
+        self.eval_config: EvalConfigPolicy = eval_config or (lambda: False)
+        self.delivery_callback = delivery_callback
+
+        # Algorithm 4.7 state.
+        self.view: Optional[View] = None
+        self.status: VSStatus = VSStatus.MULTICAST
+        self.rnd: int = 0
+        self.prop_view: Optional[View] = None
+        self.no_crd: bool = True
+        self.suspend: bool = False
+        self.reconf_ready: bool = False
+
+        # Received peer states.
+        self.states: Dict[ProcessId, VSState] = {}
+
+        # Client interaction.
+        self._pending: List[Tuple[ProcessId, int, Any]] = []
+        self._next_input_seq = 0
+        self._delivered_history: List[Tuple[int, Any]] = []
+        self._last_batch: Tuple = ()
+
+        # Election bookkeeping.
+        self._counter_pending = False
+        self._last_coordinator: Optional[ProcessId] = None
+
+        # Diagnostics.
+        self.views_installed = 0
+        self.rounds_completed = 0
+        self.reconfigurations_requested = 0
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def submit(self, command: Any) -> None:
+        """Submit *command* for totally-ordered delivery in the current view."""
+        self._pending.append((self.pid, self._next_input_seq, command))
+        self._next_input_seq += 1
+
+    def pending_count(self) -> int:
+        """Commands submitted locally and not yet delivered."""
+        return len(self._pending)
+
+    def delivered_commands(self) -> List[Any]:
+        """Every command this replica has applied, in application order."""
+        return [cmd for _, cmd in self._delivered_history]
+
+    def current_view(self) -> Optional[View]:
+        """The installed view (None before the first installation)."""
+        return self.view if self.status is VSStatus.MULTICAST else self.view
+
+    def is_coordinator(self) -> bool:
+        """True when this participant currently leads the installed view."""
+        return self._valid_coordinator() == self.pid
+
+    # ------------------------------------------------------------------
+    # Coordinator recognition (lines 6-8 of Algorithm 4.7)
+    # ------------------------------------------------------------------
+    def _own_state(self) -> VSState:
+        return VSState(
+            sender=self.pid,
+            view=self.view,
+            status=self.status,
+            rnd=self.rnd,
+            prop_view=self.prop_view,
+            no_crd=self.no_crd,
+            suspend=self.suspend,
+            input=self._pending[0] if self._pending else None,
+            state_snapshot=None,
+            delivered=self._last_batch,
+            crd=self._last_coordinator,
+        )
+
+    def _all_states(self) -> Dict[ProcessId, VSState]:
+        states = dict(self.states)
+        states[self.pid] = self._own_state()
+        return states
+
+    def _seeming_coordinators(self, config: Configuration) -> List[ProcessId]:
+        trusted = self.scheme.recsa.trusted()
+        majority = len(config) // 2 + 1
+        seeming: List[ProcessId] = []
+        for pid, state in self._all_states().items():
+            if pid not in trusted or pid not in config:
+                continue
+            prop = state.prop_view
+            if prop is None:
+                continue
+            if pid != prop.coordinator:
+                continue
+            if pid not in prop.members:
+                continue
+            if len(prop.members & config) < majority:
+                continue
+            if state.status is VSStatus.MULTICAST and (
+                state.view is None or state.view != prop
+            ):
+                continue
+            seeming.append(pid)
+        return seeming
+
+    def _valid_coordinator(self) -> Optional[ProcessId]:
+        config = self.scheme.configuration()
+        if config is None:
+            return None
+        seeming = self._seeming_coordinators(config)
+        if not seeming:
+            return None
+        states = self._all_states()
+
+        def key(pid: ProcessId):
+            prop = states[pid].prop_view
+            assert prop is not None
+            return (prop.view_id.sort_key(), pid)
+
+        # The largest proposal identifier wins.  After transient faults two
+        # leading proposals can carry *incomparable* counters (their epoch
+        # labels come from different corrupted label states); the
+        # deterministic sort key then breaks the tie identically at every
+        # processor, so the system still agrees on one coordinator and the
+        # labeling scheme repairs the epoch ordering in the background.
+        return max(seeming, key=key)
+
+    # ------------------------------------------------------------------
+    # The do-forever loop
+    # ------------------------------------------------------------------
+    def on_timer(self) -> None:
+        """One iteration of the Algorithm 4.7 do-forever loop."""
+        if not self.scheme.is_participant():
+            return
+        config = self.scheme.configuration()
+        if config is None:
+            self._broadcast()
+            return
+
+        coordinator = self._valid_coordinator()
+        self._last_coordinator = coordinator
+        self.no_crd = coordinator is None
+
+        if not self.scheme.no_reco():
+            # During a reconfiguration message delivery stays suspended.
+            self.suspend = True
+        elif coordinator is not None and coordinator != self.pid:
+            state = self.states.get(coordinator)
+            if state is not None and state.status in (VSStatus.PROPOSE, VSStatus.INSTALL):
+                self.suspend = False
+                self.reconf_ready = False
+
+        if coordinator == self.pid:
+            self._coordinator_step(config)
+        elif coordinator is not None:
+            self._follower_step(coordinator)
+        else:
+            self._election_step(config)
+
+        self._broadcast()
+
+    # -- election (line 10) -------------------------------------------------
+    def _election_step(self, config: Configuration) -> None:
+        if self.pid not in config:
+            return
+        trusted = self.scheme.recsa.trusted()
+        majority = len(config) // 2 + 1
+        if len(trusted & config) < majority:
+            return
+        if not self.scheme.no_reco():
+            return
+        states = self._all_states()
+        no_crd_supporters = [
+            pid
+            for pid, state in states.items()
+            if pid in trusted and state.no_crd
+        ]
+        i_lead_previous = (
+            self.prop_view is not None
+            and self.prop_view.coordinator == self.pid
+        )
+        if len(no_crd_supporters) < majority and not i_lead_previous:
+            return
+        if self._counter_pending:
+            return
+        # Obtain a fresh view identifier from the counter service.
+        participants = frozenset(self.scheme.recsa.participants()) & trusted
+        members = participants | {self.pid}
+        self._counter_pending = True
+
+        def _on_counter(outcome: IncrementOutcome) -> None:
+            self._counter_pending = False
+            if not outcome.success or outcome.counter is None:
+                return
+            self.prop_view = View(view_id=outcome.counter, members=members)
+            self.status = VSStatus.PROPOSE
+            self.suspend = False
+            self.reconf_ready = False
+
+        self.counters.increment(_on_counter)
+
+    # -- coordinator (lines 11-17) -------------------------------------------
+    def _coordinator_step(self, config: Configuration) -> None:
+        states = self._all_states()
+        assert self.prop_view is not None
+
+        if self.status is VSStatus.PROPOSE:
+            members = self.prop_view.members
+            agreed = all(
+                pid == self.pid
+                or (
+                    (state := states.get(pid)) is not None
+                    and state.prop_view == self.prop_view
+                    and state.status is VSStatus.PROPOSE
+                    # The member's replica snapshot must have arrived so that
+                    # synchState() can pick the most advanced state.
+                    and state.state_snapshot is not None
+                )
+                for pid in members
+            )
+            if agreed:
+                self._synchronize_state(members)
+                self.status = VSStatus.INSTALL
+            return
+
+        if self.status is VSStatus.INSTALL:
+            members = self.prop_view.members
+            agreed = all(
+                (state := states.get(pid)) is not None
+                and state.prop_view == self.prop_view
+                and state.status in (VSStatus.INSTALL, VSStatus.MULTICAST)
+                for pid in members
+            )
+            if agreed:
+                self.view = self.prop_view
+                self.status = VSStatus.MULTICAST
+                self.rnd = 0
+                self.suspend = False
+                self.reconf_ready = False
+                self.views_installed += 1
+            return
+
+        # MULTICAST status.
+        if self.view is None:
+            return
+        members = self.view.members
+        in_sync = all(
+            (state := states.get(pid)) is not None
+            and state.view == self.view
+            and state.status is VSStatus.MULTICAST
+            and state.rnd == self.rnd
+            for pid in members
+        )
+        if not in_sync:
+            # A member stopped following (crash or FD change): propose a new
+            # view over the processors still trusted.
+            self._maybe_repropose(config)
+            return
+
+        if not self.scheme.no_reco():
+            return
+
+        # Coordinator-led delicate reconfiguration (Algorithm 4.6).
+        if self.eval_config():
+            self.suspend = True
+        if self.suspend:
+            all_suspended = all(
+                (state := states.get(pid)) is not None and (state.suspend or pid == self.pid)
+                for pid in members
+            )
+            self.reconf_ready = all_suspended
+            if self.reconf_ready and self.eval_config():
+                proposal = frozenset(self.scheme.recsa.participants())
+                if self.scheme.request_reconfiguration(proposal):
+                    self.reconfigurations_requested += 1
+                    self.suspend = True
+                    return
+                if proposal == self.scheme.configuration():
+                    # Nothing to change (the participants already are the
+                    # configuration): resume instead of staying suspended.
+                    self.suspend = False
+                    self.reconf_ready = False
+                return
+            if self.reconf_ready:
+                # The policy withdrew its request: resume normal operation.
+                self.suspend = False
+                self.reconf_ready = False
+        if self.suspend:
+            return
+
+        # A multicast round: deliver one pending input per member.
+        batch = []
+        for pid in sorted(members):
+            state = states.get(pid)
+            if state is not None and state.input is not None:
+                batch.append(state.input)
+        self._apply_batch(batch)
+        self.rnd += 1
+        self.rounds_completed += 1
+
+    def _maybe_repropose(self, config: Configuration) -> None:
+        if self._counter_pending or not self.scheme.no_reco():
+            return
+        trusted = self.scheme.recsa.trusted()
+        majority = len(config) // 2 + 1
+        if len(trusted & config) < majority:
+            return
+        assert self.view is not None
+        participants = frozenset(self.scheme.recsa.participants()) & trusted
+        members = participants | {self.pid}
+        if members == self.view.members:
+            # Members report an older round or view; wait for them to catch up
+            # instead of churning views.
+            return
+        self._counter_pending = True
+
+        def _on_counter(outcome: IncrementOutcome) -> None:
+            self._counter_pending = False
+            if not outcome.success or outcome.counter is None:
+                return
+            self.prop_view = View(view_id=outcome.counter, members=members)
+            self.status = VSStatus.PROPOSE
+            self.suspend = False
+            self.reconf_ready = False
+
+        self.counters.increment(_on_counter)
+
+    def _synchronize_state(self, members: FrozenSet[ProcessId]) -> None:
+        """``synchState`` / ``synchMsgs``: adopt the most advanced replica."""
+        states = self._all_states()
+        best_snapshot = None
+        best_key: Tuple = (-1, -1)
+        best_history: List[Tuple[int, Any]] = self._delivered_history
+        for pid in members:
+            state = states.get(pid)
+            if state is None or state.state_snapshot is None:
+                continue
+            snapshot, history = state.state_snapshot
+            view_key = (
+                state.view.view_id.sort_key() if state.view is not None else ((), -1, -1)
+            )
+            key = (len(history), state.rnd)
+            if key > best_key:
+                best_key = key
+                best_snapshot = snapshot
+                best_history = history
+        own_key = (len(self._delivered_history), self.rnd)
+        if best_snapshot is not None and best_key > own_key:
+            self.machine.restore(copy.deepcopy(best_snapshot))
+            self._delivered_history = list(best_history)
+
+    # -- follower (lines 18-23) ------------------------------------------------
+    def _follower_step(self, coordinator: ProcessId) -> None:
+        state = self.states.get(coordinator)
+        if state is None:
+            return
+        if state.status is VSStatus.PROPOSE:
+            if state.prop_view is not None and self.pid in state.prop_view.members:
+                self.prop_view = state.prop_view
+                self.status = VSStatus.PROPOSE
+            return
+        if state.status is VSStatus.INSTALL:
+            if state.prop_view is not None and self.pid in state.prop_view.members:
+                self.prop_view = state.prop_view
+                self.view = state.prop_view
+                self.status = VSStatus.INSTALL
+                if state.state_snapshot is not None:
+                    snapshot, history = state.state_snapshot
+                    self.machine.restore(copy.deepcopy(snapshot))
+                    self._delivered_history = list(history)
+                    self.rnd = state.rnd
+            return
+        # Coordinator is multicasting.
+        if state.view is None or self.pid not in state.view.members:
+            return
+        if self.view != state.view or self.status is not VSStatus.MULTICAST:
+            self.view = state.view
+            self.prop_view = state.prop_view
+            self.status = VSStatus.MULTICAST
+        if state.rnd > self.rnd:
+            if state.state_snapshot is not None:
+                snapshot, history = state.state_snapshot
+                self.machine.restore(copy.deepcopy(snapshot))
+                self._replay_history(history)
+            self.rnd = state.rnd
+            self._consume_delivered(state.delivered)
+        self.suspend = bool(state.suspend) or not self.scheme.no_reco()
+
+    def _replay_history(self, history: List[Tuple[int, Any]]) -> None:
+        known = len(self._delivered_history)
+        self._delivered_history = list(history)
+        for rnd, command in history[known:]:
+            if self.delivery_callback is not None and self.view is not None:
+                self.delivery_callback(rnd, self.view, [command])
+
+    def _consume_delivered(self, delivered: Tuple) -> None:
+        delivered_set = set(delivered)
+        self._pending = [item for item in self._pending if tuple(item) not in delivered_set]
+
+    # -- delivery --------------------------------------------------------------
+    def _apply_batch(self, batch: List[Tuple[ProcessId, int, Any]]) -> None:
+        ordered = sorted(batch, key=lambda item: (item[0], item[1]))
+        applied: List[Any] = []
+        for sender, seq, command in ordered:
+            self.machine.apply(command)
+            self._delivered_history.append((self.rnd, command))
+            applied.append(command)
+        self._last_batch = tuple(tuple(item) for item in ordered)
+        self._consume_delivered(self._last_batch)
+        if applied and self.delivery_callback is not None and self.view is not None:
+            self.delivery_callback(self.rnd, self.view, applied)
+
+    # ------------------------------------------------------------------
+    # Gossip
+    # ------------------------------------------------------------------
+    def _broadcast(self) -> None:
+        if not self.scheme.is_participant():
+            return
+        state = self._own_state()
+        include_snapshot = self.is_coordinator() or self.status in (
+            VSStatus.PROPOSE,
+            VSStatus.INSTALL,
+        )
+        if include_snapshot:
+            state = replace(
+                state,
+                state_snapshot=(self.machine.snapshot(), list(self._delivered_history)),
+            )
+        targets = frozenset(self.scheme.recsa.participants()) | (
+            self.view.members if self.view is not None else frozenset()
+        )
+        for pid in targets:
+            if pid != self.pid:
+                self.send(pid, state)
+
+    def on_message(self, sender: ProcessId, message: Any) -> bool:
+        """Store a peer's VS state record; True when the message was ours."""
+        if not isinstance(message, VSState):
+            return False
+        self.states[sender] = message
+        return True

@@ -1,0 +1,19 @@
+"""Workload generators for tests and the benchmark harness."""
+
+from repro.workloads.churn import ChurnTrace, ChurnEvent, generate_churn_trace
+from repro.workloads.corruption import (
+    corrupt_recsa_state,
+    corrupt_recma_flags,
+    stuff_stale_recma_packets,
+    scramble_cluster,
+)
+
+__all__ = [
+    "ChurnTrace",
+    "ChurnEvent",
+    "generate_churn_trace",
+    "corrupt_recsa_state",
+    "corrupt_recma_flags",
+    "stuff_stale_recma_packets",
+    "scramble_cluster",
+]

@@ -1,0 +1,103 @@
+"""Churn traces: schedules of crashes and joins.
+
+A churn trace is a reproducible sequence of membership events; the benchmark
+harness installs it on a cluster and measures how the reconfiguration scheme
+tracks the changing participant set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.common.rng import make_rng
+from repro.common.types import ProcessId
+from repro.sim.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One membership event: a crash of an existing node or a new joiner."""
+
+    time: float
+    kind: str  # "crash" | "join"
+    pid: ProcessId
+
+
+@dataclass
+class ChurnTrace:
+    """An ordered list of churn events plus installation helpers."""
+
+    events: List[ChurnEvent]
+
+    def install(self, cluster: Cluster) -> None:
+        """Register every event of the trace with the cluster's simulator."""
+        for event in self.events:
+            if event.kind == "crash":
+                cluster.simulator.call_at(
+                    event.time,
+                    lambda pid=event.pid: cluster.crash(pid),
+                    label=f"churn:crash:{event.pid}",
+                )
+            elif event.kind == "join":
+                cluster.simulator.call_at(
+                    event.time,
+                    lambda pid=event.pid: cluster.add_joiner(pid),
+                    label=f"churn:join:{event.pid}",
+                )
+
+    def crashes(self) -> List[ChurnEvent]:
+        """The crash events of the trace."""
+        return [event for event in self.events if event.kind == "crash"]
+
+    def joins(self) -> List[ChurnEvent]:
+        """The join events of the trace."""
+        return [event for event in self.events if event.kind == "join"]
+
+
+def generate_churn_trace(
+    initial_members: Iterable[ProcessId],
+    duration: float,
+    crash_rate: float = 0.0,
+    join_rate: float = 0.0,
+    seed: int = 0,
+    max_crashes: Optional[int] = None,
+    first_new_pid: int = 1000,
+    start_time: float = 0.0,
+) -> ChurnTrace:
+    """Generate a random churn trace.
+
+    ``crash_rate`` / ``join_rate`` are expected events per unit of simulated
+    time; ``max_crashes`` caps crashes (by default at just below half of the
+    initial membership so a majority survives, matching the paper's
+    assumption for delicate reconfiguration).
+    """
+    rng = make_rng(seed, "churn")
+    members = sorted(initial_members)
+    if max_crashes is None:
+        max_crashes = max(0, (len(members) - 1) // 2)
+    events: List[ChurnEvent] = []
+
+    time = start_time
+    crash_candidates = list(members)
+    crashes_done = 0
+    while crash_rate > 0 and crash_candidates and crashes_done < max_crashes:
+        time += rng.expovariate(crash_rate)
+        if time >= start_time + duration:
+            break
+        victim = rng.choice(crash_candidates)
+        crash_candidates.remove(victim)
+        events.append(ChurnEvent(time=time, kind="crash", pid=victim))
+        crashes_done += 1
+
+    time = start_time
+    next_pid = first_new_pid
+    while join_rate > 0:
+        time += rng.expovariate(join_rate)
+        if time >= start_time + duration:
+            break
+        events.append(ChurnEvent(time=time, kind="join", pid=next_pid))
+        next_pid += 1
+
+    events.sort(key=lambda event: event.time)
+    return ChurnTrace(events=events)

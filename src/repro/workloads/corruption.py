@@ -1,0 +1,129 @@
+"""Transient-fault (state-corruption) workloads.
+
+These helpers realize the paper's fault model — an arbitrary starting state —
+against a running cluster: they overwrite recSA/recMA variables with
+adversarially chosen values and stuff channels with stale protocol packets,
+all driven by a seeded RNG so campaigns are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+from repro.common.rng import make_rng
+from repro.common.types import (
+    BOTTOM,
+    DEFAULT_PROPOSAL,
+    NOT_PARTICIPANT,
+    Phase,
+    ProcessId,
+    Proposal,
+    make_config,
+)
+from repro.core.recma import RecMAMessage
+from repro.sim.cluster import Cluster, ClusterNode
+
+
+def _random_config_value(rng: random.Random, universe: Sequence[ProcessId]):
+    roll = rng.random()
+    if roll < 0.15:
+        return BOTTOM
+    if roll < 0.25:
+        return NOT_PARTICIPANT
+    if roll < 0.35:
+        return frozenset()
+    size = rng.randint(1, len(universe))
+    return make_config(rng.sample(list(universe), size))
+
+
+def _random_proposal(rng: random.Random, universe: Sequence[ProcessId]) -> Proposal:
+    phase = Phase(rng.choice([0, 1, 2]))
+    if rng.random() < 0.3:
+        members = None
+    else:
+        size = rng.randint(1, len(universe))
+        members = make_config(rng.sample(list(universe), size))
+    return Proposal(phase=phase, members=members)
+
+
+def corrupt_recsa_state(node: ClusterNode, universe: Sequence[ProcessId], seed: int = 0) -> int:
+    """Overwrite a node's recSA arrays with arbitrary values.
+
+    Returns the number of fields corrupted (used by the benchmark reports).
+    """
+    rng = make_rng(seed, "corrupt-recsa", node.pid)
+    recsa = node.recsa
+    corrupted = 0
+    targets = list(universe)
+    recsa.config[node.pid] = _random_config_value(rng, targets)
+    corrupted += 1
+    for other in targets:
+        if rng.random() < 0.5:
+            recsa.config[other] = _random_config_value(rng, targets)
+            corrupted += 1
+        if rng.random() < 0.5:
+            recsa.prp[other] = _random_proposal(rng, targets)
+            corrupted += 1
+        if rng.random() < 0.3:
+            recsa.all_flags[other] = rng.random() < 0.5
+            corrupted += 1
+    if rng.random() < 0.5:
+        recsa.prp[node.pid] = _random_proposal(rng, targets)
+        corrupted += 1
+    recsa.all_seen = set(rng.sample(targets, rng.randint(0, len(targets))))
+    return corrupted
+
+
+def corrupt_recma_flags(node: ClusterNode, universe: Sequence[ProcessId], seed: int = 0) -> int:
+    """Set a node's recMA flag arrays to adversarial (all-True) values."""
+    rng = make_rng(seed, "corrupt-recma", node.pid)
+    recma = node.recma
+    corrupted = 0
+    for other in list(universe) + [node.pid]:
+        recma.no_maj[other] = True
+        recma.need_reconf[other] = True
+        corrupted += 2
+    if rng.random() < 0.5:
+        recma.prev_config = None
+        corrupted += 1
+    return corrupted
+
+
+def stuff_stale_recma_packets(
+    cluster: Cluster, target: ProcessId, count: int, seed: int = 0
+) -> int:
+    """Inject stale ``⟨noMaj=True, needReconf=True⟩`` packets toward *target*.
+
+    Models the channel-resident stale information whose effect Lemma 3.18
+    bounds by O(N^2 * cap).  Returns how many packets were accepted (the
+    channels themselves bound the injection).
+    """
+    rng = make_rng(seed, "stuff-recma", target)
+    accepted = 0
+    senders = [pid for pid in cluster.nodes if pid != target]
+    for index in range(count):
+        sender = rng.choice(senders)
+        message = RecMAMessage(sender=sender, no_maj=True, need_reconf=True)
+        if cluster.simulator.network.stuff_channel(sender, target, message):
+            accepted += 1
+    return accepted
+
+
+def scramble_cluster(cluster: Cluster, seed: int = 0, fraction: float = 1.0) -> Dict[str, int]:
+    """Corrupt the recSA and recMA state of a fraction of the cluster's nodes.
+
+    The canonical "arbitrary starting state" campaign used by experiment E1:
+    every selected node gets arbitrary configuration/proposal values, and the
+    report of what was corrupted is returned for logging.
+    """
+    rng = make_rng(seed, "scramble")
+    universe = sorted(cluster.nodes.keys())
+    nodes = [node for node in cluster.alive_nodes()]
+    rng.shuffle(nodes)
+    selected = nodes[: max(1, int(len(nodes) * fraction))]
+    report = {"nodes": len(selected), "recsa_fields": 0, "recma_fields": 0}
+    for node in selected:
+        report["recsa_fields"] += corrupt_recsa_state(node, universe, seed=seed + node.pid)
+        report["recma_fields"] += corrupt_recma_flags(node, universe, seed=seed + node.pid)
+    return report

@@ -1,0 +1,136 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+import pytest
+
+from repro.common.types import BOTTOM, ProcessId, make_config
+from repro.core.recsa import RecSA
+from repro.sim.cluster import Cluster, build_cluster
+from repro.sim.network import ChannelConfig
+
+
+def quick_cluster(n: int, seed: int = 1, **kwargs: Any) -> Cluster:
+    """A small, fast cluster with low-latency channels for tests."""
+    kwargs.setdefault(
+        "channel_config",
+        ChannelConfig(capacity=8, loss_probability=0.0, min_delay=0.2, max_delay=0.6),
+    )
+    kwargs.setdefault("step_interval", 1.0)
+    return build_cluster(n=n, seed=seed, **kwargs)
+
+
+class LocalBus:
+    """A synchronous, in-memory message bus for unit-testing protocol objects.
+
+    Messages sent through the bus are queued; :meth:`deliver_all` hands every
+    queued message to its destination's handler.  This gives fully
+    deterministic unit tests of recSA/recMA without the discrete-event
+    simulator.
+    """
+
+    def __init__(self) -> None:
+        self.queues: Dict[ProcessId, List] = {}
+        self.handlers: Dict[ProcessId, Any] = {}
+        self.dropped: int = 0
+
+    def sender_for(self, pid: ProcessId):
+        def _send(destination: ProcessId, message: Any) -> None:
+            self.queues.setdefault(destination, []).append((pid, message))
+
+        return _send
+
+    def register(self, pid: ProcessId, handler: Any) -> None:
+        self.handlers[pid] = handler
+
+    def deliver_all(self) -> int:
+        """Deliver every queued message; returns how many were delivered."""
+        delivered = 0
+        pending = {pid: list(messages) for pid, messages in self.queues.items()}
+        self.queues = {}
+        for destination, messages in pending.items():
+            handler = self.handlers.get(destination)
+            for sender, message in messages:
+                if handler is None:
+                    self.dropped += 1
+                    continue
+                handler(sender, message)
+                delivered += 1
+        return delivered
+
+
+class RecSAHarness:
+    """A set of RecSA instances wired over a :class:`LocalBus`.
+
+    The failure detector is simulated by a mutable ``trusted`` mapping: tests
+    control exactly which processors each instance trusts.
+    """
+
+    def __init__(self, pids: Iterable[ProcessId], initial_config: Any = BOTTOM) -> None:
+        self.pids = sorted(pids)
+        self.bus = LocalBus()
+        self.trusted: Dict[ProcessId, frozenset] = {
+            pid: frozenset(self.pids) for pid in self.pids
+        }
+        self.instances: Dict[ProcessId, RecSA] = {}
+        for pid in self.pids:
+            instance = RecSA(
+                pid=pid,
+                fd_provider=(lambda p=pid: self.trusted[p]),
+                send=self.bus.sender_for(pid),
+                initial_config=initial_config,
+            )
+            self.instances[pid] = instance
+            self.bus.register(pid, instance.on_message)
+
+    def __getitem__(self, pid: ProcessId) -> RecSA:
+        return self.instances[pid]
+
+    def crash(self, pid: ProcessId) -> None:
+        """Remove *pid* from every failure detector and stop scheduling it."""
+        self.pids = [p for p in self.pids if p != pid]
+        self.instances.pop(pid, None)
+        self.bus.handlers.pop(pid, None)
+        for other in self.pids:
+            self.trusted[other] = frozenset(self.pids)
+
+    def round(self, count: int = 1) -> None:
+        """Run *count* rounds of (step every instance, deliver every message)."""
+        for _ in range(count):
+            for pid in self.pids:
+                self.instances[pid].step()
+            self.bus.deliver_all()
+
+    def run_until(self, predicate, max_rounds: int = 200) -> bool:
+        """Run rounds until *predicate()* holds; False when it never did."""
+        if predicate():
+            return True
+        for _ in range(max_rounds):
+            self.round()
+            if predicate():
+                return True
+        return False
+
+    def configs(self) -> Dict[ProcessId, Any]:
+        """Each instance's own configuration value."""
+        return {pid: self.instances[pid].config.get(pid) for pid in self.pids}
+
+    def converged(self) -> bool:
+        """All instances hold the same real configuration and report stability."""
+        values = set()
+        for pid in self.pids:
+            value = self.instances[pid].config.get(pid)
+            if not isinstance(value, frozenset):
+                return False
+            values.add(value)
+        if len(values) != 1:
+            return False
+        return all(self.instances[pid].no_reco() for pid in self.pids)
+
+
+@pytest.fixture
+def recsa_harness() -> RecSAHarness:
+    """A three-processor RecSA harness bootstrapping via a reset."""
+    return RecSAHarness(pids=[1, 2, 3])

@@ -1,0 +1,191 @@
+"""Tests for the baselines, workload generators and an end-to-end scenario."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.coherent_start import CoherentStartMessage, CoherentStartNode
+from repro.baselines.static_replication import StaticMajorityReplication
+from repro.common.types import make_config
+from repro.sim.simulator import Simulator
+from repro.workloads.churn import generate_churn_trace
+from repro.workloads.corruption import scramble_cluster, stuff_stale_recma_packets
+
+from tests.conftest import quick_cluster
+
+
+class TestCoherentStartBaseline:
+    def _baseline(self, n=4, seed=5):
+        sim = Simulator(seed=seed)
+        nodes = {}
+        for pid in range(n):
+            node = CoherentStartNode(pid, peers=range(n), initial_config=range(n))
+            sim.add_process(node)
+            nodes[pid] = node
+        return sim, nodes
+
+    def test_normal_reconfiguration_propagates(self):
+        sim, nodes = self._baseline()
+        nodes[0].propose_reconfiguration([0, 1, 2])
+        sim.run(until=60.0)
+        assert all(node.config == make_config([0, 1, 2]) for node in nodes.values())
+
+    def test_transient_fault_never_recovers(self):
+        """The non-self-stabilizing baseline stays split forever (E9)."""
+        sim, nodes = self._baseline()
+        sim.run(until=20.0)
+        # Transient fault: two nodes end up with the same sequence number but
+        # different configurations.
+        nodes[0].config = make_config([0, 1])
+        nodes[0].sequence = 7
+        nodes[1].config = make_config([2, 3])
+        nodes[1].sequence = 7
+        sim.run(until=400.0)
+        configs = {node.config for node in nodes.values()}
+        assert len(configs) > 1, "baseline must remain permanently split"
+
+    def test_corrupted_sequence_number_sticks(self):
+        sim, nodes = self._baseline()
+        nodes[2].sequence = 10 ** 9
+        nodes[2].config = make_config([2])
+        sim.run(until=100.0)
+        # The corrupt high sequence number wins everywhere: the fault spreads
+        # instead of being repaired.
+        assert all(node.config == make_config([2]) for node in nodes.values())
+
+
+class TestStaticReplicationBaseline:
+    def test_available_with_majority(self):
+        replica = StaticMajorityReplication([1, 2, 3, 4, 5])
+        assert replica.write("x")
+        assert replica.read() == "x"
+        replica.crash(1)
+        replica.crash(2)
+        assert replica.has_majority()
+        assert replica.write("y")
+
+    def test_unavailable_after_majority_crash(self):
+        replica = StaticMajorityReplication([1, 2, 3, 4, 5])
+        for pid in (1, 2, 3):
+            replica.crash(pid)
+        assert not replica.has_majority()
+        assert not replica.write("z")
+        assert replica.read() is None
+        assert replica.failed_operations == 2
+
+    def test_crash_of_non_member_ignored(self):
+        replica = StaticMajorityReplication([1, 2, 3])
+        replica.crash(99)
+        assert replica.alive_members() == make_config([1, 2, 3])
+
+
+class TestChurnTraces:
+    def test_trace_is_reproducible(self):
+        a = generate_churn_trace(range(5), duration=100, crash_rate=0.05, join_rate=0.05, seed=3)
+        b = generate_churn_trace(range(5), duration=100, crash_rate=0.05, join_rate=0.05, seed=3)
+        assert a.events == b.events
+
+    def test_crash_cap_preserves_majority(self):
+        trace = generate_churn_trace(range(5), duration=1000, crash_rate=1.0, seed=4)
+        assert len(trace.crashes()) <= 2
+
+    def test_events_sorted_by_time(self):
+        trace = generate_churn_trace(
+            range(4), duration=200, crash_rate=0.05, join_rate=0.1, seed=5
+        )
+        times = [event.time for event in trace.events]
+        assert times == sorted(times)
+
+    def test_install_on_cluster(self):
+        cluster = quick_cluster(4, seed=81)
+        assert cluster.run_until_converged(timeout=800)
+        trace = generate_churn_trace(
+            range(4),
+            duration=100,
+            crash_rate=0.02,
+            join_rate=0.02,
+            seed=6,
+            start_time=cluster.simulator.now,
+        )
+        trace.install(cluster)
+        cluster.run(until=cluster.simulator.now + 150)
+        for event in trace.crashes():
+            assert cluster.nodes[event.pid].crashed
+        for event in trace.joins():
+            assert event.pid in cluster.nodes
+
+
+class TestCorruptionWorkloads:
+    def test_scramble_reports_fields(self):
+        cluster = quick_cluster(3, seed=82)
+        assert cluster.run_until_converged(timeout=800)
+        report = scramble_cluster(cluster, seed=1, fraction=0.5)
+        assert report["nodes"] >= 1
+        assert report["recsa_fields"] > 0
+
+    def test_stuffing_respects_channel_capacity(self):
+        cluster = quick_cluster(3, seed=83)
+        assert cluster.run_until_converged(timeout=800)
+        accepted = stuff_stale_recma_packets(cluster, target=0, count=500, seed=2)
+        assert accepted <= 2 * cluster.channel_capacity
+
+
+class TestEndToEnd:
+    def test_full_stack_lifecycle(self):
+        """Bootstrap → serve → churn → transient fault → recover → serve."""
+        from repro.counters.service import CounterService
+        from repro.vs.smr import RegisterStateMachine
+        from repro.vs.shared_memory import SharedRegister
+        from repro.vs.virtual_synchrony import VirtualSynchronyService, VSStatus
+
+        cluster = quick_cluster(4, seed=84)
+        registers = {}
+        vss = {}
+        for pid, node in cluster.nodes.items():
+            counters = node.register_service(CounterService(pid, node.scheme, node._send_raw))
+            vs = VirtualSynchronyService(
+                pid, node.scheme, counters, node._send_raw,
+                state_machine=RegisterStateMachine(),
+            )
+            node.register_service(vs)
+            vss[pid] = vs
+            registers[pid] = SharedRegister(pid, vs)
+
+        assert cluster.run_until_converged(timeout=800)
+        assert cluster.run_until(
+            lambda: any(
+                vs.view is not None and vs.status is VSStatus.MULTICAST and vs.is_coordinator()
+                for vs in vss.values()
+            ),
+            timeout=4000,
+        )
+        registers[0].write("epoch-1")
+        assert cluster.run_until(
+            lambda: all(
+                registers[pid].read() == "epoch-1"
+                for pid in cluster.nodes
+                if not cluster.nodes[pid].crashed
+            ),
+            timeout=cluster.simulator.now + 400,
+        )
+        # Minority crash plus a transient recSA corruption.
+        cluster.crash(3)
+        scramble_cluster(cluster, seed=9, fraction=0.4)
+        assert cluster.run_until_converged(timeout=6000)
+        # The service keeps working after recovery.
+        alive = [pid for pid in cluster.nodes if not cluster.nodes[pid].crashed]
+        assert cluster.run_until(
+            lambda: any(
+                vss[pid].view is not None
+                and vss[pid].status is VSStatus.MULTICAST
+                and vss[pid].is_coordinator()
+                for pid in alive
+            ),
+            timeout=cluster.simulator.now + 6000,
+        )
+        writer = alive[0]
+        registers[writer].write("epoch-2")
+        assert cluster.run_until(
+            lambda: all(registers[pid].read() == "epoch-2" for pid in alive),
+            timeout=cluster.simulator.now + 600,
+        )

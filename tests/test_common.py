@@ -1,0 +1,177 @@
+"""Unit tests for repro.common (types, rng, errors) and repro.analysis."""
+
+from __future__ import annotations
+
+import copy
+import pickle
+
+import pytest
+
+from repro.analysis.metrics import ExperimentResult, ResultTable, summarize
+from repro.common import errors
+from repro.common.rng import derive_seed, make_rng, seed_stream
+from repro.common.types import (
+    BOTTOM,
+    DEFAULT_PROPOSAL,
+    NOT_PARTICIPANT,
+    Phase,
+    Proposal,
+    degree,
+    is_majority,
+    majority_size,
+    make_config,
+)
+
+
+class TestSentinels:
+    def test_sentinels_are_distinct(self):
+        assert BOTTOM is not NOT_PARTICIPANT
+        assert BOTTOM != NOT_PARTICIPANT
+
+    def test_sentinel_repr(self):
+        assert repr(BOTTOM) == "BOTTOM"
+        assert repr(NOT_PARTICIPANT) == "NOT_PARTICIPANT"
+
+    def test_sentinel_copy_preserves_identity(self):
+        assert copy.copy(BOTTOM) is BOTTOM
+        assert copy.deepcopy(NOT_PARTICIPANT) is NOT_PARTICIPANT
+
+    def test_sentinel_pickle_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(BOTTOM)) is BOTTOM
+        assert pickle.loads(pickle.dumps(NOT_PARTICIPANT)) is NOT_PARTICIPANT
+
+
+class TestMajority:
+    def test_majority_size(self):
+        assert majority_size([1]) == 1
+        assert majority_size([1, 2]) == 2
+        assert majority_size([1, 2, 3]) == 2
+        assert majority_size(range(10)) == 6
+
+    def test_is_majority(self):
+        config = make_config([1, 2, 3, 4, 5])
+        assert is_majority([1, 2, 3], config)
+        assert not is_majority([1, 2], config)
+        assert not is_majority([6, 7, 8], config)
+
+    def test_is_majority_ignores_outsiders(self):
+        config = make_config([1, 2, 3])
+        assert not is_majority([1, 8, 9], config)
+        assert is_majority([1, 2, 9], config)
+
+
+class TestPhase:
+    def test_phase_next_transitions(self):
+        assert Phase.IDLE.next() is Phase.IDLE
+        assert Phase.SELECT.next() is Phase.REPLACE
+        assert Phase.REPLACE.next() is Phase.IDLE
+
+    def test_phase_values(self):
+        assert int(Phase.IDLE) == 0
+        assert int(Phase.SELECT) == 1
+        assert int(Phase.REPLACE) == 2
+
+
+class TestProposal:
+    def test_default_proposal(self):
+        assert DEFAULT_PROPOSAL.is_default
+        assert DEFAULT_PROPOSAL.phase is Phase.IDLE
+        assert DEFAULT_PROPOSAL.members is None
+
+    def test_lexical_order_by_phase(self):
+        a = Proposal(Phase.SELECT, make_config([1]))
+        b = Proposal(Phase.REPLACE, make_config([1]))
+        assert a < b
+        assert b > a
+
+    def test_lexical_order_by_members_within_phase(self):
+        a = Proposal(Phase.SELECT, make_config([1, 2]))
+        b = Proposal(Phase.SELECT, make_config([1, 3]))
+        assert a < b
+
+    def test_default_is_smallest(self):
+        real = Proposal(Phase.SELECT, make_config([1]))
+        assert DEFAULT_PROPOSAL < real
+
+    def test_with_phase_keeps_members(self):
+        a = Proposal(Phase.SELECT, make_config([1, 2]))
+        b = a.with_phase(Phase.REPLACE)
+        assert b.phase is Phase.REPLACE
+        assert b.members == a.members
+
+    def test_degree_macro(self):
+        assert degree(DEFAULT_PROPOSAL, False) == 0
+        assert degree(Proposal(Phase.SELECT, make_config([1])), False) == 2
+        assert degree(Proposal(Phase.SELECT, make_config([1])), True) == 3
+        assert degree(Proposal(Phase.REPLACE, make_config([1])), True) == 5
+
+    def test_proposal_is_hashable_and_frozen(self):
+        a = Proposal(Phase.SELECT, make_config([1]))
+        assert hash(a) == hash(Proposal(Phase.SELECT, make_config([1])))
+        with pytest.raises(Exception):
+            a.phase = Phase.REPLACE  # type: ignore[misc]
+
+
+class TestRng:
+    def test_derive_seed_is_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+        assert derive_seed(1, "a", 2) != derive_seed(1, "a", 3)
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_make_rng_streams_are_independent(self):
+        rng_a = make_rng(7, "x")
+        rng_b = make_rng(7, "y")
+        assert [rng_a.random() for _ in range(3)] != [rng_b.random() for _ in range(3)]
+
+    def test_make_rng_is_reproducible(self):
+        assert make_rng(7, "x").random() == make_rng(7, "x").random()
+
+    def test_seed_stream_yields_distinct_values(self):
+        stream = seed_stream(1, "lbl")
+        values = [next(stream) for _ in range(5)]
+        assert len(set(values)) == 5
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(errors.SimulationError, errors.ReproError)
+        assert issubclass(errors.ChannelFullError, errors.SimulationError)
+        assert issubclass(errors.ReconfigurationInProgress, errors.ReproError)
+        assert issubclass(errors.QuorumUnavailable, errors.ReproError)
+
+    def test_raise_and_catch_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.InvariantViolation("boom")
+
+
+class TestAnalysis:
+    def test_result_table_rows_and_render(self):
+        table = ResultTable(title="demo", columns=["n", "time"])
+        table.add({"n": 3}, {"time": 1.5})
+        table.add({"n": 5}, {"time": 2.0})
+        assert table.rows() == [[3, 1.5], [5, 2.0]]
+        rendered = table.render()
+        assert "demo" in rendered
+        assert "1.50" in rendered
+
+    def test_result_table_column(self):
+        table = ResultTable(title="t", columns=["n", "x"])
+        table.add({"n": 1}, {"x": 10})
+        table.add({"n": 2}, {"x": 20})
+        assert table.column("x") == [10, 20]
+
+    def test_summarize(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats["mean"] == pytest.approx(2.0)
+        assert stats["median"] == pytest.approx(2.0)
+        assert stats["min"] == 1.0
+        assert stats["max"] == 3.0
+        assert stats["count"] == 3
+
+    def test_summarize_empty(self):
+        stats = summarize([])
+        assert stats["count"] == 0
+
+    def test_experiment_result_as_row_handles_missing(self):
+        result = ExperimentResult(parameters={"a": 1}, metrics={"b": 2})
+        assert result.as_row(["a", "b", "c"]) == [1, 2, ""]

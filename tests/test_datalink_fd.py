@@ -1,0 +1,217 @@
+"""Tests for the data-link layer and the (N, Theta)-failure detector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalink.heartbeat import HeartbeatService
+from repro.datalink.token_exchange import DataLinkMessage, LinkEndpoint, LinkState, TokenExchangeLink
+from repro.failure_detector.ntheta import NThetaFailureDetector
+
+
+def _wire(a: LinkEndpoint, b: LinkEndpoint, rounds: int = 50):
+    """Run *rounds* of synchronous exchange between two endpoints."""
+    delivered_a, delivered_b = [], []
+    for _ in range(rounds):
+        for msg in a.on_timer():
+            replies, delivered, _ = b.on_packet(msg)
+            delivered_b.extend(delivered)
+            for reply in replies:
+                _, delivered2, _ = a.on_packet(reply)
+                delivered_a.extend(delivered2)
+        for msg in b.on_timer():
+            replies, delivered, _ = a.on_packet(msg)
+            delivered_a.extend(delivered)
+            for reply in replies:
+                _, delivered2, _ = b.on_packet(reply)
+                delivered_b.extend(delivered2)
+    return delivered_a, delivered_b
+
+
+class TestTokenExchangeLink:
+    def test_round_trip_requires_capacity_plus_one_acks(self):
+        link = TokenExchangeLink(local=1, remote=2, capacity=3)
+        msg = link.current_message()
+        for _ in range(3):
+            assert not link.on_ack(msg.seq)
+        assert link.on_ack(msg.seq)
+        assert link.completed_round_trips == 1
+
+    def test_stale_ack_ignored(self):
+        link = TokenExchangeLink(local=1, remote=2, capacity=1)
+        assert not link.on_ack(999)
+        assert link.ack_count == 0
+
+    def test_fifo_message_progression(self):
+        link = TokenExchangeLink(local=1, remote=2, capacity=0)
+        link.enqueue("first")
+        link.enqueue("second")
+        assert link.current_message().payload == "first"
+        assert link.on_ack(link.seq)
+        assert link.current_message().payload == "second"
+
+
+class TestLinkEndpoint:
+    def test_cleaning_completes_then_delivers(self):
+        a = LinkEndpoint(1, 2, capacity=2, require_cleaning=True)
+        b = LinkEndpoint(2, 1, capacity=2, require_cleaning=True)
+        a.send("hello")
+        delivered_a, delivered_b = _wire(a, b, rounds=30)
+        assert a.is_established()
+        assert b.is_established()
+        assert "hello" in delivered_b
+
+    def test_no_cleaning_mode_delivers_immediately(self):
+        a = LinkEndpoint(1, 2, capacity=1, require_cleaning=False)
+        b = LinkEndpoint(2, 1, capacity=1, require_cleaning=False)
+        a.send("x")
+        _, delivered_b = _wire(a, b, rounds=10)
+        assert delivered_b == ["x"]
+
+    def test_duplicate_data_not_redelivered(self):
+        a = LinkEndpoint(1, 2, capacity=0, require_cleaning=False)
+        b = LinkEndpoint(2, 1, capacity=0, require_cleaning=False)
+        a.send("once")
+        msg = a.on_timer()[0]
+        _, d1, _ = b.on_packet(msg)
+        _, d2, _ = b.on_packet(msg)
+        assert d1 == ["once"]
+        assert d2 == []
+
+    def test_packets_during_cleaning_not_delivered(self):
+        b = LinkEndpoint(2, 1, capacity=2, require_cleaning=True)
+        data = DataLinkMessage(kind="data", link_sender=1, seq=0, payload="stale")
+        replies, delivered, heartbeat = b.on_packet(data)
+        assert delivered == []
+        assert heartbeat
+        assert b.state is LinkState.CLEANING
+
+    def test_fifo_order_preserved(self):
+        a = LinkEndpoint(1, 2, capacity=1, require_cleaning=False)
+        b = LinkEndpoint(2, 1, capacity=1, require_cleaning=False)
+        for value in ["m1", "m2", "m3"]:
+            a.send(value)
+        _, delivered_b = _wire(a, b, rounds=40)
+        assert delivered_b == ["m1", "m2", "m3"]
+
+
+class TestHeartbeatService:
+    def _pair(self, require_cleaning=False):
+        wires = {}
+
+        def send_a(dest, payload):
+            wires.setdefault(dest, []).append((1, payload))
+
+        def send_b(dest, payload):
+            wires.setdefault(dest, []).append((2, payload))
+
+        svc_a = HeartbeatService(1, send_a, channel_capacity=2, require_cleaning=require_cleaning)
+        svc_b = HeartbeatService(2, send_b, channel_capacity=2, require_cleaning=require_cleaning)
+        svc_a.add_peer(2)
+        svc_b.add_peer(1)
+        return svc_a, svc_b, wires
+
+    def _pump(self, svc_a, svc_b, wires, rounds=20):
+        for _ in range(rounds):
+            svc_a.on_timer()
+            svc_b.on_timer()
+            for dest, queued in list(wires.items()):
+                wires[dest] = []
+                for sender, payload in queued:
+                    target = svc_a if dest == 1 else svc_b
+                    target.on_packet(sender, payload)
+
+    def test_heartbeats_reach_listener(self):
+        svc_a, svc_b, wires = self._pair()
+        beats = []
+        svc_a.add_heartbeat_listener(beats.append)
+        self._pump(svc_a, svc_b, wires)
+        assert beats.count(2) > 0
+
+    def test_reliable_payload_delivery(self):
+        svc_a, svc_b, wires = self._pair()
+        got = []
+        svc_b.add_payload_handler(lambda sender, payload: got.append((sender, payload)))
+        svc_a.send_reliable(2, "data")
+        self._pump(svc_a, svc_b, wires, rounds=30)
+        assert (1, "data") in got
+
+    def test_cleaning_eventually_establishes(self):
+        svc_a, svc_b, wires = self._pair(require_cleaning=True)
+        self._pump(svc_a, svc_b, wires, rounds=30)
+        assert 2 in svc_a.established_peers()
+        assert 1 in svc_b.established_peers()
+
+    def test_rejects_self_peer(self):
+        svc_a, _, _ = self._pair()
+        with pytest.raises(ValueError):
+            svc_a.add_peer(1)
+
+    def test_mislabelled_packet_ignored(self):
+        svc_a, _, _ = self._pair()
+        beats = []
+        svc_a.add_heartbeat_listener(beats.append)
+        bogus = DataLinkMessage(kind="data", link_sender=77, seq=0, payload="x")
+        svc_a.on_packet(2, bogus)
+        assert beats == []
+
+
+class TestNThetaFailureDetector:
+    def test_initially_trusts_only_self(self):
+        fd = NThetaFailureDetector(pid=1, upper_bound_n=10)
+        assert fd.trusted() == frozenset({1})
+
+    def test_trusts_heartbeating_peers(self):
+        fd = NThetaFailureDetector(pid=1, upper_bound_n=10)
+        for _ in range(5):
+            for peer in (2, 3, 4):
+                fd.heartbeat(peer)
+        assert fd.trusted() == frozenset({1, 2, 3, 4})
+        assert fd.suspects() == frozenset()
+
+    def test_crashed_peer_eventually_suspected(self):
+        fd = NThetaFailureDetector(pid=1, upper_bound_n=10, gap_factor=2.0, gap_slack=4)
+        for _ in range(5):
+            for peer in (2, 3, 4):
+                fd.heartbeat(peer)
+        # Peer 4 stops heartbeating; 2 and 3 continue.
+        for _ in range(200):
+            fd.heartbeat(2)
+            fd.heartbeat(3)
+        assert 4 in fd.suspects()
+        assert fd.trusted() == frozenset({1, 2, 3})
+
+    def test_own_heartbeat_ignored(self):
+        fd = NThetaFailureDetector(pid=1, upper_bound_n=10)
+        fd.heartbeat(1)
+        assert fd.heartbeats_received == 0
+
+    def test_counts_update_rule(self):
+        fd = NThetaFailureDetector(pid=1, upper_bound_n=10)
+        fd.heartbeat(2)
+        fd.heartbeat(3)
+        counts = fd.snapshot_counts()
+        assert counts[3] == 0
+        assert counts[2] == 1
+
+    def test_estimate_active_caps_at_upper_bound(self):
+        fd = NThetaFailureDetector(pid=1, upper_bound_n=3)
+        for _ in range(3):
+            for peer in (2, 3, 4, 5, 6):
+                fd.heartbeat(peer)
+        assert fd.estimate_active() <= 3
+
+    def test_forget_removes_peer(self):
+        fd = NThetaFailureDetector(pid=1, upper_bound_n=10)
+        fd.heartbeat(2)
+        fd.forget(2)
+        assert 2 not in fd.known()
+
+    def test_view_is_immutable_snapshot(self):
+        fd = NThetaFailureDetector(pid=1, upper_bound_n=10)
+        fd.heartbeat(2)
+        view = fd.view()
+        assert view.owner == 1
+        assert 2 in view
+        assert len(view) == 2
+        assert list(view) == [1, 2]

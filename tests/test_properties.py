@@ -1,0 +1,140 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.types import Phase, Proposal, is_majority, majority_size, make_config
+from repro.core.quorum import MajorityQuorumSystem
+from repro.counters.counter import Counter, counter_less_than
+from repro.labels.label import (
+    EpochLabel,
+    label_less_than,
+    max_label,
+    next_label,
+)
+from repro.sim.events import EventQueue
+
+
+pids = st.integers(min_value=0, max_value=20)
+pid_sets = st.frozensets(pids, min_size=1, max_size=8)
+
+
+proposals = st.builds(
+    Proposal,
+    phase=st.sampled_from(list(Phase)),
+    members=st.one_of(st.none(), pid_sets),
+)
+
+
+class TestProposalOrderProperties:
+    @given(proposals, proposals)
+    def test_order_is_total_and_antisymmetric(self, a, b):
+        assert (a < b) or (b < a) or (a.sort_key() == b.sort_key())
+        assert not ((a < b) and (b < a))
+
+    @given(proposals, proposals, proposals)
+    def test_order_is_transitive(self, a, b, c):
+        if a < b and b < c:
+            assert a < c
+
+    @given(proposals)
+    def test_default_is_minimum(self, a):
+        from repro.common.types import DEFAULT_PROPOSAL
+
+        assert DEFAULT_PROPOSAL <= a
+
+
+class TestMajorityProperties:
+    @given(pid_sets)
+    def test_majority_is_more_than_half(self, members):
+        size = majority_size(members)
+        assert 2 * size > len(members)
+        assert 2 * (size - 1) <= len(members)
+
+    @given(pid_sets, st.data())
+    def test_two_majorities_intersect(self, members, data):
+        size = majority_size(members)
+        quorum_a = frozenset(data.draw(st.permutations(sorted(members)))[:size])
+        quorum_b = frozenset(data.draw(st.permutations(sorted(members)))[:size])
+        assert quorum_a & quorum_b
+
+    @given(pid_sets)
+    def test_quorum_system_consistent_with_is_majority(self, members):
+        system = MajorityQuorumSystem(members)
+        sorted_members = sorted(members)
+        subset = frozenset(sorted_members[: system.quorum_size()])
+        assert system.is_quorum(subset)
+        assert is_majority(subset, members)
+
+
+labels = st.builds(
+    EpochLabel,
+    creator=st.integers(min_value=0, max_value=5),
+    sting=st.integers(min_value=0, max_value=30),
+    antistings=st.frozensets(st.integers(min_value=0, max_value=30), max_size=6),
+)
+
+
+class TestLabelProperties:
+    @given(labels, labels)
+    def test_strict_order_is_antisymmetric(self, a, b):
+        assert not (label_less_than(a, b) and label_less_than(b, a))
+
+    @given(labels)
+    def test_irreflexive(self, a):
+        assert not label_less_than(a, a)
+
+    @given(st.lists(labels, min_size=1, max_size=6))
+    def test_max_label_is_maximal(self, known):
+        chosen = max_label(known)
+        assert chosen is not None
+        assert not any(label_less_than(chosen, other) for other in known)
+
+    @settings(max_examples=50)
+    @given(st.lists(labels, max_size=6), st.integers(min_value=0, max_value=5))
+    def test_next_label_dominates_same_creator_labels(self, known, creator):
+        fresh = next_label(creator=creator, known=known)
+        for label in known:
+            if label.creator == creator:
+                assert label_less_than(label, fresh)
+            assert not label_less_than(fresh, label) or label.creator > creator
+
+
+counters = st.builds(
+    Counter,
+    label=labels,
+    seqn=st.integers(min_value=0, max_value=1000),
+    wid=st.integers(min_value=0, max_value=10),
+)
+
+
+class TestCounterProperties:
+    @given(counters, counters)
+    def test_antisymmetric(self, a, b):
+        assert not (counter_less_than(a, b) and counter_less_than(b, a))
+
+    @given(counters)
+    def test_increment_is_strictly_greater(self, a):
+        assert counter_less_than(a, a.next(writer=a.wid))
+
+    @given(counters, st.integers(min_value=0, max_value=10), st.integers(min_value=0, max_value=10))
+    def test_same_seqn_ordered_by_wid(self, a, wid1, wid2):
+        c1 = Counter(label=a.label, seqn=a.seqn, wid=wid1)
+        c2 = Counter(label=a.label, seqn=a.seqn, wid=wid2)
+        if wid1 != wid2:
+            assert counter_less_than(c1, c2) or counter_less_than(c2, c1)
+
+
+class TestEventQueueProperties:
+    @settings(max_examples=50)
+    @given(st.lists(st.floats(min_value=0, max_value=1000), min_size=1, max_size=40))
+    def test_events_pop_in_time_order(self, times):
+        queue = EventQueue()
+        for t in times:
+            queue.schedule(t, lambda: None)
+        popped = []
+        while queue:
+            popped.append(queue.pop().time)
+        assert popped == sorted(popped)
+        assert len(popped) == len(times)

@@ -1,0 +1,221 @@
+"""Tests for the recMA layer (Algorithm 3.2) and the joining mechanism (3.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.types import make_config
+from repro.core.prediction import (
+    AlwaysReconfigure,
+    CallbackPolicy,
+    FractionCrashedPolicy,
+    MembershipDriftPolicy,
+    NeverReconfigure,
+)
+from repro.core.quorum import MajorityQuorumSystem
+from repro.core.recma import RecMAMessage
+from repro.workloads.corruption import corrupt_recma_flags, stuff_stale_recma_packets
+
+from tests.conftest import quick_cluster
+
+
+class TestPredictionPolicies:
+    def test_never_and_always(self):
+        config = make_config([1, 2, 3])
+        trusted = frozenset([1, 2, 3])
+        assert not NeverReconfigure()(config, trusted)
+        assert AlwaysReconfigure()(config, trusted)
+
+    def test_fraction_crashed_policy(self):
+        policy = FractionCrashedPolicy(fraction=0.25)
+        config = make_config(range(8))
+        assert not policy(config, frozenset(range(8)))
+        assert not policy(config, frozenset(range(1, 8)))  # 1/8 missing < 1/4
+        assert policy(config, frozenset(range(2, 8)))  # 2/8 missing >= 1/4
+
+    def test_fraction_policy_validates_fraction(self):
+        with pytest.raises(ValueError):
+            FractionCrashedPolicy(fraction=0.0)
+
+    def test_membership_drift_policy(self):
+        policy = MembershipDriftPolicy(overlap=0.5)
+        config = make_config([1, 2])
+        assert not policy(config, frozenset([1, 2, 3]))
+        assert policy(config, frozenset([1, 2, 3, 4, 5]))
+
+    def test_callback_policy(self):
+        policy = CallbackPolicy(lambda config, trusted: len(trusted) > len(config))
+        assert policy(make_config([1]), frozenset([1, 2]))
+        assert not policy(make_config([1, 2]), frozenset([1]))
+
+
+class TestQuorumSystem:
+    def test_majority_quorum_size_and_membership(self):
+        quorum = MajorityQuorumSystem([1, 2, 3, 4, 5])
+        assert quorum.quorum_size() == 3
+        assert quorum.is_quorum([1, 2, 3])
+        assert not quorum.is_quorum([1, 2])
+        assert not quorum.is_quorum([7, 8, 9])
+
+    def test_quorums_pairwise_intersect(self):
+        assert MajorityQuorumSystem([1, 2, 3, 4]).intersects()
+        assert MajorityQuorumSystem([1, 2, 3, 4, 5]).intersects()
+
+
+class TestRecMA:
+    def test_no_trigger_in_steady_state(self):
+        cluster = quick_cluster(4, seed=31)
+        assert cluster.run_until_converged(timeout=800)
+        cluster.run(until=cluster.simulator.now + 150)
+        assert sum(node.recma.trigger_count for node in cluster.nodes.values()) == 0
+
+    def test_majority_collapse_triggers_reconfiguration(self):
+        cluster = quick_cluster(5, seed=32)
+        assert cluster.run_until_converged(timeout=800)
+        old_config = cluster.agreed_configuration()
+        for pid in (0, 1, 2):
+            cluster.crash(pid)
+        assert cluster.run_until(
+            lambda: cluster.is_converged()
+            and cluster.agreed_configuration() is not None
+            and cluster.agreed_configuration() != old_config,
+            timeout=4000,
+        )
+        new_config = cluster.agreed_configuration()
+        assert new_config <= make_config([3, 4])
+        assert sum(node.recma.majority_triggers for node in cluster.nodes.values()) >= 1
+
+    def test_minority_crash_does_not_trigger(self):
+        cluster = quick_cluster(5, seed=33)
+        assert cluster.run_until_converged(timeout=800)
+        config = cluster.agreed_configuration()
+        cluster.crash(0)
+        cluster.run(until=cluster.simulator.now + 200)
+        assert cluster.agreed_configuration() == config
+        assert sum(node.recma.majority_triggers for node in cluster.nodes.values()) == 0
+
+    def test_prediction_majority_triggers_reconfiguration(self):
+        # A drift policy plus two joiners: once a majority of members see the
+        # drift, the configuration is replaced with the wider participant set.
+        cluster = quick_cluster(3, seed=34, prediction_policy=MembershipDriftPolicy(overlap=0.8))
+        assert cluster.run_until_converged(timeout=800)
+        old_config = cluster.agreed_configuration()
+        joiners = [cluster.add_joiner(100), cluster.add_joiner(101)]
+        assert cluster.run_until(
+            lambda: all(j.scheme.is_participant() for j in joiners), timeout=3000
+        )
+        assert cluster.run_until(
+            lambda: cluster.is_converged()
+            and cluster.agreed_configuration() is not None
+            and cluster.agreed_configuration() > old_config,
+            timeout=4000,
+        )
+        assert 100 in cluster.agreed_configuration()
+
+    def test_single_prediction_vote_does_not_trigger(self):
+        # Only one node's policy votes for reconfiguration: no majority, no
+        # trigger (the paper's protection against unilateral requests).
+        votes = {0}
+        cluster = quick_cluster(4, seed=35)
+        for pid, node in cluster.nodes.items():
+            node.recma.policy = CallbackPolicy(
+                lambda config, trusted, pid=pid: pid in votes
+            )
+        assert cluster.run_until_converged(timeout=800)
+        cluster.run(until=cluster.simulator.now + 200)
+        assert sum(node.recma.prediction_triggers for node in cluster.nodes.values()) == 0
+
+    def test_corrupt_flags_cause_bounded_triggers(self):
+        """Lemma 3.18: stale flags cause at most a bounded number of triggers."""
+        cluster = quick_cluster(4, seed=36)
+        assert cluster.run_until_converged(timeout=800)
+        universe = list(range(4))
+        for node in cluster.nodes.values():
+            corrupt_recma_flags(node, universe, seed=5)
+        stuff_stale_recma_packets(cluster, target=0, count=10, seed=6)
+        cluster.run(until=cluster.simulator.now + 400)
+        triggers = sum(node.recma.trigger_count for node in cluster.nodes.values())
+        capacity = cluster.channel_capacity
+        n = len(cluster.nodes)
+        assert triggers <= n * n * capacity
+        # And the system is stable again afterwards.
+        assert cluster.run_until_converged(timeout=2000)
+
+    def test_flags_reset_each_iteration(self):
+        cluster = quick_cluster(3, seed=37)
+        assert cluster.run_until_converged(timeout=800)
+        node = cluster.nodes[0]
+        node.recma.no_maj[0] = True
+        node.recma.need_reconf[0] = True
+        cluster.run(until=cluster.simulator.now + 10)
+        assert not node.recma.no_maj[0]
+        assert not node.recma.need_reconf[0]
+
+    def test_non_participant_ignores_recma_messages(self):
+        cluster = quick_cluster(3, seed=38)
+        joiner = cluster.add_joiner(50)
+        joiner.recma.on_message(1, RecMAMessage(sender=1, no_maj=True, need_reconf=True))
+        assert not joiner.recma.no_maj.get(1, False)
+
+
+class TestJoining:
+    def test_joiner_becomes_participant(self):
+        cluster = quick_cluster(4, seed=41)
+        assert cluster.run_until_converged(timeout=800)
+        joiner = cluster.add_joiner(99)
+        assert cluster.run_until(lambda: joiner.scheme.is_participant(), timeout=2500)
+        assert joiner.current_config() == cluster.agreed_configuration()
+        assert cluster.is_converged() or cluster.run_until_converged(timeout=1000)
+
+    def test_joiner_not_member_until_reconfiguration(self):
+        cluster = quick_cluster(3, seed=42)
+        assert cluster.run_until_converged(timeout=800)
+        joiner = cluster.add_joiner(77)
+        assert cluster.run_until(lambda: joiner.scheme.is_participant(), timeout=2500)
+        # A participant, but not a member of the (unchanged) configuration.
+        assert not joiner.scheme.is_member()
+        assert 77 not in cluster.agreed_configuration()
+
+    def test_admission_policy_denies_join(self):
+        cluster = quick_cluster(3, seed=43, admission_policy=lambda joiner: False)
+        assert cluster.run_until_converged(timeout=800)
+        joiner = cluster.add_joiner(88)
+        cluster.run(until=cluster.simulator.now + 250)
+        assert not joiner.scheme.is_participant()
+        assert joiner.joining.join_requests_sent > 0
+
+    def test_state_transfer_to_joiner(self):
+        cluster = quick_cluster(3, seed=44)
+        # Members expose an application state through the joining interface.
+        for pid, node in cluster.nodes.items():
+            node.joining.state_provider = lambda pid=pid: {"snapshot-from": pid}
+        assert cluster.run_until_converged(timeout=800)
+        joiner = cluster.add_joiner(66)
+        received = {}
+        joiner.joining.state_initializer = received.update
+        assert cluster.run_until(lambda: joiner.scheme.is_participant(), timeout=2500)
+        assert received
+        assert all(value["snapshot-from"] in cluster.nodes for value in received.values())
+
+    def test_multiple_joiners(self):
+        cluster = quick_cluster(3, seed=45)
+        assert cluster.run_until_converged(timeout=800)
+        joiners = [cluster.add_joiner(pid) for pid in (200, 201, 202)]
+        assert cluster.run_until(
+            lambda: all(j.scheme.is_participant() for j in joiners), timeout=4000
+        )
+        assert cluster.run_until_converged(timeout=1000)
+
+    def test_responses_withheld_during_reconfiguration(self):
+        cluster = quick_cluster(4, seed=46)
+        assert cluster.run_until_converged(timeout=800)
+        member = cluster.nodes[0]
+        # Force a replacement to be in progress, then ask for a pass.
+        assert member.scheme.request_reconfiguration(make_config([0, 1, 2]))
+        from repro.core.joining import JoinRequest
+
+        sent = []
+        member.joining.send = lambda dest, msg: sent.append((dest, msg))
+        member.joining.on_join_request(JoinRequest(sender=99))
+        assert sent, "a response must still be sent"
+        assert all(not msg.granted for _, msg in sent)

@@ -1,0 +1,267 @@
+"""Tests for the Reconfiguration Stability Assurance layer (Algorithm 3.1).
+
+Unit tests drive :class:`RecSA` instances over the synchronous
+:class:`~tests.conftest.LocalBus`; integration tests use the full simulated
+cluster (unreliable channels, failure detectors, the works).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.types import (
+    BOTTOM,
+    DEFAULT_PROPOSAL,
+    NOT_PARTICIPANT,
+    Phase,
+    Proposal,
+    make_config,
+)
+from repro.core.stale import StaleInfoType, classify_stale_information
+from repro.workloads.corruption import corrupt_recsa_state, scramble_cluster
+
+from tests.conftest import RecSAHarness, quick_cluster
+
+
+class TestStaleClassification:
+    def _classify(self, harness: RecSAHarness, pid=1):
+        inst = harness[pid]
+        trusted = inst.trusted()
+        return classify_stale_information(
+            own=pid,
+            configs=inst.config,
+            proposals=inst.prp,
+            fd_views=inst.fd,
+            own_view=trusted,
+            trusted=trusted,
+            participants=inst.participants(trusted),
+        )
+
+    def test_clean_state_has_no_stale_info(self):
+        harness = RecSAHarness([1, 2, 3], initial_config=make_config([1, 2, 3]))
+        harness.round(3)
+        assert self._classify(harness) == []
+
+    def test_type1_detected(self):
+        harness = RecSAHarness([1, 2, 3], initial_config=make_config([1, 2, 3]))
+        harness.round(3)
+        harness[1].prp[2] = Proposal(Phase.IDLE, make_config([1]))
+        assert StaleInfoType.TYPE_1 in self._classify(harness)
+
+    def test_config_conflict_is_not_type2_but_is_detected_separately(self):
+        from repro.core.stale import has_config_conflict
+
+        harness = RecSAHarness([1, 2, 3], initial_config=make_config([1, 2, 3]))
+        harness.round(3)
+        harness[1].config[2] = make_config([1, 2])
+        # Conflicts are handled by the no-notification branch, not the
+        # always-on classification (see stale.has_type2 docstring).
+        assert StaleInfoType.TYPE_2 not in self._classify(harness)
+        assert has_config_conflict(harness[1].config, harness[1].trusted())
+
+    def test_type2_bottom_detected(self):
+        harness = RecSAHarness([1, 2, 3], initial_config=make_config([1, 2, 3]))
+        harness.round(3)
+        harness[1].config[3] = BOTTOM
+        assert StaleInfoType.TYPE_2 in self._classify(harness)
+
+    def test_type3_phase2_disagreement_detected(self):
+        harness = RecSAHarness([1, 2, 3], initial_config=make_config([1, 2, 3]))
+        harness.round(3)
+        harness[1].prp[2] = Proposal(Phase.REPLACE, make_config([1, 2]))
+        harness[1].prp[3] = Proposal(Phase.REPLACE, make_config([2, 3]))
+        assert StaleInfoType.TYPE_3 in self._classify(harness)
+
+    def test_type4_no_active_member_detected(self):
+        # A configuration containing no active participant is type-4 stale
+        # information: the instances detect it and start a reset.
+        harness = RecSAHarness([1, 2, 3], initial_config=make_config([7, 8, 9]))
+        harness.round(2)
+        assert any(
+            harness[p].stale_detections[StaleInfoType.TYPE_4] > 0 for p in harness.pids
+        )
+
+    def test_type4_recovers_to_participant_based_configuration(self):
+        harness = RecSAHarness([1, 2, 3], initial_config=make_config([7, 8, 9]))
+        assert harness.run_until(
+            lambda: harness.converged()
+            and set(harness.configs().values()) == {make_config([1, 2, 3])}
+        )
+
+
+class TestRecSAUnit:
+    def test_bootstrap_from_bottom_converges_to_fd_set(self, recsa_harness):
+        assert recsa_harness.run_until(recsa_harness.converged)
+        configs = set(recsa_harness.configs().values())
+        assert configs == {make_config([1, 2, 3])}
+
+    def test_coherent_start_is_stable(self):
+        harness = RecSAHarness([1, 2, 3], initial_config=make_config([1, 2, 3]))
+        harness.round(5)
+        assert harness.converged()
+        assert all(harness[p].reset_count == 0 for p in harness.pids)
+
+    def test_conflicting_configs_trigger_reset_and_reconverge(self):
+        harness = RecSAHarness([1, 2, 3], initial_config=make_config([1, 2, 3]))
+        harness.round(3)
+        harness[1].config[1] = make_config([1])
+        assert harness.run_until(harness.converged)
+        assert any(harness[p].reset_count > 0 for p in harness.pids)
+        assert set(harness.configs().values()) == {make_config([1, 2, 3])}
+
+    def test_estab_rejected_when_not_stable(self):
+        harness = RecSAHarness([1, 2, 3])
+        # Before convergence a reset is in progress, so estab must refuse.
+        assert not harness[1].estab([1, 2])
+        assert harness[1].estab_rejected == 1
+
+    def test_estab_rejected_for_current_config_or_empty(self):
+        harness = RecSAHarness([1, 2, 3], initial_config=make_config([1, 2, 3]))
+        harness.round(5)
+        assert not harness[1].estab([])
+        assert not harness[1].estab([1, 2, 3])
+
+    def test_estab_installs_proposed_configuration(self):
+        harness = RecSAHarness([1, 2, 3], initial_config=make_config([1, 2, 3]))
+        harness.round(5)
+        assert harness[1].estab([1, 2])
+        assert harness.run_until(
+            lambda: set(harness.configs().values()) == {make_config([1, 2])}
+            and harness.converged()
+        )
+        assert all(harness[p].install_count >= 1 for p in harness.pids)
+
+    def test_concurrent_estabs_select_single_configuration(self):
+        harness = RecSAHarness([1, 2, 3], initial_config=make_config([1, 2, 3]))
+        harness.round(5)
+        assert harness[1].estab([1, 2])
+        assert harness[2].estab([2, 3])  # has not yet seen 1's proposal
+        assert harness.run_until(harness.converged)
+        configs = set(harness.configs().values())
+        assert len(configs) == 1
+        # The lexically larger proposal wins the selection.
+        assert configs == {make_config([2, 3])}
+
+    def test_no_reco_false_during_replacement(self):
+        harness = RecSAHarness([1, 2, 3], initial_config=make_config([1, 2, 3]))
+        harness.round(5)
+        harness[1].estab([1, 2])
+        harness.round(1)
+        assert not harness[1].no_reco()
+
+    def test_estab_rejected_while_replacement_in_progress(self):
+        harness = RecSAHarness([1, 2, 3], initial_config=make_config([1, 2, 3]))
+        harness.round(5)
+        assert harness[1].estab([1, 2])
+        harness.round(2)
+        assert not harness[2].estab([2, 3])
+
+    def test_participate_on_complete_collapse_starts_reset(self):
+        # A joiner facing a complete collapse (no participant holds a real
+        # configuration) adopts ⊥, which starts the brute-force recovery.
+        harness = RecSAHarness([1, 2, 3], initial_config=None)
+        joiner = harness[1]
+        assert joiner.participate()
+        assert joiner.config[1] is BOTTOM
+        assert not joiner.no_reco()
+
+    def test_participate_refused_during_replacement(self):
+        harness = RecSAHarness([1, 2, 3], initial_config=make_config([1, 2, 3]))
+        harness.round(5)
+        harness[2].estab([1, 2])
+        harness.round(1)
+        joiner = harness[3]
+        joiner.config[3] = NOT_PARTICIPANT
+        assert not joiner.participate()
+
+    def test_non_participant_does_not_broadcast(self):
+        harness = RecSAHarness([1, 2], initial_config=make_config([1, 2]))
+        harness.round(3)
+        bus_before = dict(harness.bus.queues)
+        harness[1].config[1] = NOT_PARTICIPANT
+        harness[1].step()
+        sent = sum(len(v) for v in harness.bus.queues.values()) - sum(
+            len(v) for v in bus_before.values()
+        )
+        assert sent == 0
+
+    def test_crash_of_member_keeps_config_stable(self):
+        harness = RecSAHarness([1, 2, 3, 4, 5], initial_config=make_config([1, 2, 3, 4, 5]))
+        harness.round(5)
+        harness.crash(5)
+        assert harness.run_until(harness.converged)
+        # The configuration itself is untouched by a minority crash.
+        assert set(harness.configs().values()) == {make_config([1, 2, 3, 4, 5])}
+
+    def test_get_config_returns_bottom_during_reset(self):
+        harness = RecSAHarness([1, 2, 3])
+        harness[1].step()
+        assert harness[1].get_config() in (BOTTOM, make_config([1, 2, 3]))
+
+    def test_chs_config_returns_bottom_when_no_values(self):
+        harness = RecSAHarness([1, 2], initial_config=None)
+        assert harness[1].chs_config() is BOTTOM
+
+    def test_arbitrary_corruption_recovers(self):
+        harness = RecSAHarness([1, 2, 3, 4], initial_config=make_config([1, 2, 3, 4]))
+        harness.round(5)
+        # Arbitrary garbage in every array of processor 1 and 3.
+        harness[1].config[1] = frozenset()
+        harness[1].prp[2] = Proposal(Phase.REPLACE, make_config([9]))
+        harness[3].prp[3] = Proposal(Phase.SELECT, make_config([1, 9]))
+        harness[3].all_flags[3] = True
+        assert harness.run_until(harness.converged, max_rounds=300)
+        values = set(harness.configs().values())
+        assert len(values) == 1
+
+
+class TestRecSACluster:
+    def test_self_bootstrap_converges(self):
+        cluster = quick_cluster(5, seed=21)
+        assert cluster.run_until_converged(timeout=800)
+        config = cluster.agreed_configuration()
+        assert config == make_config(range(5))
+        assert cluster.all_nodes_participating()
+
+    def test_coherent_start_converges_without_resets(self):
+        cluster = quick_cluster(4, seed=22, coherent_start=True)
+        assert cluster.run_until_converged(timeout=800)
+        assert sum(node.recsa.reset_count for node in cluster.nodes.values()) == 0
+
+    def test_convergence_from_scrambled_state(self):
+        cluster = quick_cluster(5, seed=23)
+        assert cluster.run_until_converged(timeout=800)
+        report = scramble_cluster(cluster, seed=99)
+        assert report["recsa_fields"] > 0
+        assert cluster.run_until_converged(timeout=4000)
+        config = cluster.agreed_configuration()
+        assert config is not None and len(config) >= 1
+
+    def test_single_node_corruption_recovers(self):
+        cluster = quick_cluster(4, seed=24)
+        assert cluster.run_until_converged(timeout=800)
+        corrupt_recsa_state(cluster.nodes[0], universe=list(range(4)), seed=7)
+        assert cluster.run_until_converged(timeout=4000)
+
+    def test_explicit_estab_through_scheme(self):
+        cluster = quick_cluster(4, seed=25)
+        assert cluster.run_until_converged(timeout=800)
+        node = cluster.nodes[0]
+        target = make_config([0, 1, 2])
+        assert node.scheme.request_reconfiguration(target)
+        assert cluster.run_until(
+            lambda: cluster.agreed_configuration() == target and cluster.is_converged(),
+            timeout=2500,
+        )
+
+    def test_closure_no_spurious_reconfigurations(self):
+        """After convergence and with no faults, the configuration never changes."""
+        cluster = quick_cluster(4, seed=26)
+        assert cluster.run_until_converged(timeout=800)
+        config = cluster.agreed_configuration()
+        installs_before = sum(node.recsa.install_count for node in cluster.nodes.values())
+        resets_before = sum(node.recsa.reset_count for node in cluster.nodes.values())
+        cluster.run(until=cluster.simulator.now + 200)
+        assert cluster.agreed_configuration() == config
+        assert sum(node.recsa.install_count for node in cluster.nodes.values()) == installs_before
+        assert sum(node.recsa.reset_count for node in cluster.nodes.values()) == resets_before

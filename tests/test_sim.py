@@ -1,0 +1,295 @@
+"""Unit tests for the simulation substrate (events, network, simulator, faults)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.types import make_config
+from repro.sim.events import EventQueue
+from repro.sim.faults import FaultInjector, TransientFaultCampaign
+from repro.sim.monitors import ConvergenceTracker, InvariantMonitor
+from repro.sim.network import Channel, ChannelConfig, Network, Packet
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(2.0, lambda: fired.append("b"))
+        queue.schedule(1.0, lambda: fired.append("a"))
+        queue.schedule(3.0, lambda: fired.append("c"))
+        while queue:
+            queue.pop().callback()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_broken_in_insertion_order(self):
+        queue = EventQueue()
+        fired = []
+        for name in "abc":
+            queue.schedule(1.0, lambda n=name: fired.append(n))
+        while queue:
+            queue.pop().callback()
+        assert fired == ["a", "b", "c"]
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        queue.cancel(event)
+        assert len(queue) == 1
+        assert queue.pop().time == 2.0
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.schedule(5.0, lambda: None)
+        assert queue.peek_time() == 5.0
+
+    def test_rejects_non_finite_time(self):
+        queue = EventQueue()
+        with pytest.raises(SimulationError):
+            queue.schedule(float("inf"), lambda: None)
+        with pytest.raises(SimulationError):
+            queue.schedule(float("nan"), lambda: None)
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        queue.clear()
+        assert not queue
+
+
+class TestChannel:
+    def test_capacity_drops_new_packet(self):
+        chan = Channel(1, 2, ChannelConfig(capacity=2), seed=0)
+        packets = [Packet(1, 2, i) for i in range(3)]
+        assert chan.try_accept(packets[0])
+        assert chan.try_accept(packets[1])
+        assert chan.try_accept(packets[2]) == []
+        assert chan.dropped_count == 1
+        assert chan.occupancy() == 2
+
+    def test_complete_delivery_frees_capacity(self):
+        chan = Channel(1, 2, ChannelConfig(capacity=1), seed=0)
+        packet = Packet(1, 2, "x")
+        chan.try_accept(packet)
+        assert chan.complete_delivery(packet)
+        assert chan.occupancy() == 0
+        assert not chan.complete_delivery(packet)
+
+    def test_total_loss_probability_rejected(self):
+        with pytest.raises(SimulationError):
+            ChannelConfig(loss_probability=1.0)
+
+    def test_loss_probability_drops_some_packets(self):
+        chan = Channel(1, 2, ChannelConfig(capacity=1000, loss_probability=0.5), seed=3)
+        deliveries = sum(
+            1 for i in range(200) if chan.try_accept(Packet(1, 2, i))
+        )
+        assert 0 < deliveries < 200
+
+    def test_duplication(self):
+        chan = Channel(1, 2, ChannelConfig(capacity=10, duplicate_probability=1.0), seed=0)
+        result = chan.try_accept(Packet(1, 2, "x"))
+        assert len(result) == 2
+        assert chan.duplicated_count == 1
+
+    def test_stuff_respects_capacity(self):
+        chan = Channel(1, 2, ChannelConfig(capacity=1), seed=0)
+        assert chan.stuff(Packet(1, 2, "a"))
+        assert not chan.stuff(Packet(1, 2, "b"))
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            ChannelConfig(capacity=0)
+
+
+class _Echo(Process):
+    """Test process replying 'pong' to every 'ping'."""
+
+    def __init__(self, pid):
+        super().__init__(pid, step_interval=1.0)
+        self.got = []
+
+    def on_receive(self, sender, payload):
+        self.got.append((sender, payload))
+        if payload == "ping":
+            self.context.send(sender, "pong")
+
+
+class TestSimulator:
+    def test_send_and_receive(self):
+        sim = Simulator(seed=1)
+        a, b = _Echo(1), _Echo(2)
+        sim.add_process(a)
+        sim.add_process(b)
+        sim.send(1, 2, "ping")
+        sim.run(until=10.0)
+        assert (1, "ping") in b.got
+        assert (2, "pong") in a.got
+
+    def test_duplicate_pid_rejected(self):
+        sim = Simulator(seed=1)
+        sim.add_process(_Echo(1))
+        with pytest.raises(SimulationError):
+            sim.add_process(_Echo(1))
+
+    def test_crashed_process_receives_nothing(self):
+        sim = Simulator(seed=1)
+        a, b = _Echo(1), _Echo(2)
+        sim.add_process(a)
+        sim.add_process(b)
+        sim.crash_process(2)
+        sim.send(1, 2, "ping")
+        sim.run(until=10.0)
+        assert b.got == []
+        assert b.crashed
+
+    def test_periodic_timer_runs_steps(self):
+        sim = Simulator(seed=1)
+        proc = _Echo(1)
+        sim.add_process(proc)
+        sim.run(until=10.0)
+        assert proc.step_count >= 5
+
+    def test_run_until_predicate(self):
+        sim = Simulator(seed=1)
+        proc = _Echo(1)
+        sim.add_process(proc)
+        assert sim.run_until(lambda: proc.step_count >= 3, timeout=100.0)
+        assert proc.step_count >= 3
+
+    def test_run_until_timeout(self):
+        sim = Simulator(seed=1)
+        proc = _Echo(1)
+        sim.add_process(proc)
+        assert not sim.run_until(lambda: False, timeout=5.0)
+        assert sim.now <= 6.5
+
+    def test_call_later_and_cancel(self):
+        sim = Simulator(seed=1)
+        fired = []
+        handle = sim.call_later(1.0, lambda: fired.append("x"))
+        sim.cancel_timer(handle)
+        sim.call_later(2.0, lambda: fired.append("y"))
+        sim.run(until=5.0)
+        assert fired == ["y"]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator(seed=1)
+        sim.call_later(1.0, lambda: None)
+        sim.run(until=2.0)
+        with pytest.raises(SimulationError):
+            sim.call_at(1.0, lambda: None)
+
+    def test_statistics_keys(self):
+        sim = Simulator(seed=1)
+        sim.add_process(_Echo(1))
+        sim.run(until=3.0)
+        stats = sim.statistics()
+        assert {"time", "executed_events", "processes", "net_sent"} <= set(stats)
+
+
+class TestNetworkPartition:
+    def test_partition_blocks_and_heal_restores(self):
+        sim = Simulator(seed=1)
+        a, b = _Echo(1), _Echo(2)
+        sim.add_process(a)
+        sim.add_process(b)
+        sim.network.partition([1], [2])
+        sim.send(1, 2, "ping")
+        sim.run(until=5.0)
+        assert b.got == []
+        sim.network.heal_partitions()
+        sim.send(1, 2, "ping")
+        sim.run(until=10.0)
+        assert (1, "ping") in b.got
+
+
+class TestFaultInjector:
+    def test_crash_and_records(self):
+        sim = Simulator(seed=1)
+        proc = _Echo(1)
+        sim.add_process(proc)
+        injector = FaultInjector(sim, seed=2)
+        injector.crash(1)
+        assert proc.crashed
+        assert injector.records[0].kind == "crash"
+
+    def test_crash_majority_of(self):
+        sim = Simulator(seed=1)
+        for pid in range(5):
+            sim.add_process(_Echo(pid))
+        injector = FaultInjector(sim, seed=2)
+        victims = injector.crash_majority_of(make_config(range(5)))
+        assert len(victims) == 3
+        assert all(sim.get_process(v).crashed for v in victims)
+
+    def test_stuff_channel_delivers_stale_packet(self):
+        sim = Simulator(seed=1)
+        a, b = _Echo(1), _Echo(2)
+        sim.add_process(a)
+        sim.add_process(b)
+        assert FaultInjector(sim, seed=0).stuff_channel(1, 2, "stale")
+        sim.run(until=10.0)
+        assert (1, "stale") in b.got
+
+    def test_random_config_value_types(self):
+        sim = Simulator(seed=1)
+        injector = FaultInjector(sim, seed=5)
+        values = [injector.random_config_value([1, 2, 3]) for _ in range(50)]
+        assert any(isinstance(v, frozenset) for v in values)
+
+    def test_campaign_installs_actions(self):
+        sim = Simulator(seed=1)
+        fired = []
+        campaign = TransientFaultCampaign()
+        campaign.add(1.0, lambda: fired.append(1))
+        campaign.add(2.0, lambda: fired.append(2))
+        campaign.install(sim)
+        assert len(campaign) == 2
+        sim.run(until=5.0)
+        assert fired == [1, 2]
+
+
+class TestMonitors:
+    def test_invariant_monitor_records_violations(self):
+        sim = Simulator(seed=1)
+        proc = _Echo(1)
+        sim.add_process(proc)
+        monitor = InvariantMonitor(sim)
+        monitor.add_invariant("few-steps", lambda: proc.step_count < 3)
+        sim.run(until=10.0)
+        assert not monitor.ok()
+        assert monitor.violated("few-steps")
+
+    def test_invariant_monitor_strict_raises(self):
+        from repro.common.errors import InvariantViolation
+
+        sim = Simulator(seed=1)
+        proc = _Echo(1)
+        sim.add_process(proc)
+        monitor = InvariantMonitor(sim, strict=True)
+        monitor.add_invariant("never", lambda: False)
+        with pytest.raises(InvariantViolation):
+            sim.run(until=5.0)
+
+    def test_convergence_tracker(self):
+        sim = Simulator(seed=1)
+        proc = _Echo(1)
+        sim.add_process(proc)
+        tracker = ConvergenceTracker(sim, lambda: proc.step_count >= 3, name="steps")
+        sim.run(until=20.0)
+        assert tracker.currently_true
+        assert tracker.stabilization_time is not None
+        assert tracker.summary()["converged"]
+
+    def test_convergence_tracker_not_converged(self):
+        sim = Simulator(seed=1)
+        sim.add_process(_Echo(1))
+        tracker = ConvergenceTracker(sim, lambda: False)
+        sim.run(until=5.0)
+        assert tracker.stabilization_time is None

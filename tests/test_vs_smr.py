@@ -1,0 +1,269 @@
+"""Tests for the virtually synchronous SMR layer and shared-memory emulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.counters.service import CounterService
+from repro.vs.smr import KeyValueStateMachine, LogStateMachine, RegisterStateMachine
+from repro.vs.view import View, newer_view
+from repro.vs.virtual_synchrony import VirtualSynchronyService, VSStatus
+from repro.vs.shared_memory import SharedRegister
+from repro.counters.counter import Counter
+from repro.labels.label import EpochLabel
+
+from tests.conftest import quick_cluster
+
+
+class TestStateMachines:
+    def test_log_machine_roundtrip(self):
+        machine = LogStateMachine()
+        machine.apply("a")
+        machine.apply("b")
+        snapshot = machine.snapshot()
+        other = LogStateMachine()
+        other.restore(snapshot)
+        assert other.log == ["a", "b"]
+        other.reset()
+        assert other.log == []
+
+    def test_kv_machine_operations(self):
+        machine = KeyValueStateMachine()
+        machine.apply(("put", "x", 1))
+        machine.apply(("put", "y", 2))
+        assert machine.apply(("get", "x")) == 1
+        assert machine.apply(("del", "y")) == 2
+        assert machine.data == {"x": 1}
+        assert machine.apply("garbage") is None
+
+    def test_register_machine(self):
+        machine = RegisterStateMachine()
+        machine.apply(("write", "v1", 7, 1))
+        assert machine.value == "v1"
+        assert machine.last_writer == 7
+        snapshot = machine.snapshot()
+        machine.apply(("write", "v2", 8, 2))
+        machine.restore(snapshot)
+        assert machine.value == "v1"
+        assert machine.write_count == 1
+
+
+class TestView:
+    def _counter(self, seqn, wid=1):
+        return Counter(label=EpochLabel(1, 0, frozenset()), seqn=seqn, wid=wid)
+
+    def test_view_membership_and_coordinator(self):
+        view = View(view_id=self._counter(3, wid=5), members=frozenset([1, 5]))
+        assert 5 in view
+        assert len(view) == 2
+        assert view.coordinator == 5
+
+    def test_newer_view(self):
+        old = View(view_id=self._counter(1), members=frozenset([1]))
+        new = View(view_id=self._counter(2), members=frozenset([1, 2]))
+        assert newer_view(old, new) == new
+        assert newer_view(None, old) == old
+        assert newer_view(old, None) == old
+
+
+class _VSCluster:
+    """Cluster of nodes running counters + virtual synchrony."""
+
+    def __init__(self, n, seed, machine_factory=LogStateMachine, eval_config=None):
+        self.cluster = quick_cluster(n, seed=seed)
+        self.vs = {}
+        self.eval_flags = {}
+        for pid, node in self.cluster.nodes.items():
+            counters = node.register_service(
+                CounterService(pid, node.scheme, node._send_raw)
+            )
+            self.eval_flags[pid] = {"value": False}
+            policy = eval_config or (lambda pid=pid: self.eval_flags[pid]["value"])
+            vs = VirtualSynchronyService(
+                pid,
+                node.scheme,
+                counters,
+                node._send_raw,
+                state_machine=machine_factory(),
+                eval_config=policy,
+            )
+            node.register_service(vs)
+            self.vs[pid] = vs
+        assert self.cluster.run_until_converged(timeout=800)
+
+    def _alive(self):
+        return {
+            pid: vs
+            for pid, vs in self.vs.items()
+            if not self.cluster.nodes[pid].crashed
+        }
+
+    def wait_for_view(self, timeout=3000):
+        return self.cluster.run_until(
+            lambda: any(
+                vs.view is not None and vs.status is VSStatus.MULTICAST and vs.is_coordinator()
+                for vs in self._alive().values()
+            ),
+            timeout=self.cluster.simulator.now + timeout,
+        )
+
+    def coordinator(self):
+        for pid, vs in self._alive().items():
+            if vs.is_coordinator() and vs.view is not None:
+                return pid
+        return None
+
+    def members_in_view(self):
+        coord = self.coordinator()
+        if coord is None:
+            return []
+        return [pid for pid in self.vs if self.vs[coord].view and pid in self.vs[coord].view]
+
+
+class TestVirtualSynchrony:
+    def test_view_installation_and_coordinator_election(self):
+        env = _VSCluster(4, seed=71)
+        assert env.wait_for_view()
+        coord = env.coordinator()
+        assert coord is not None
+        view = env.vs[coord].view
+        assert coord in view.members
+        assert len(view.members & env.cluster.agreed_configuration()) >= 3
+
+    def test_total_order_delivery(self):
+        env = _VSCluster(4, seed=72)
+        assert env.wait_for_view()
+        env.vs[0].submit("a")
+        env.vs[1].submit("b")
+        env.vs[2].submit("c")
+        env.cluster.run_until(
+            lambda: all(len(vs.machine.log) == 3 for vs in env.vs.values()),
+            timeout=env.cluster.simulator.now + 300,
+        )
+        logs = {tuple(vs.machine.log) for vs in env.vs.values()}
+        assert len(logs) == 1
+        assert set(next(iter(logs))) == {"a", "b", "c"}
+
+    def test_delivery_callback_invoked(self):
+        env = _VSCluster(3, seed=73)
+        assert env.wait_for_view()
+        delivered = []
+        coord = env.coordinator()
+        env.vs[coord].delivery_callback = lambda rnd, view, batch: delivered.extend(batch)
+        env.vs[coord].submit("hello")
+        env.cluster.run_until(
+            lambda: "hello" in delivered, timeout=env.cluster.simulator.now + 200
+        )
+        assert "hello" in delivered
+
+    def test_coordinator_crash_elects_new_coordinator(self):
+        env = _VSCluster(4, seed=74)
+        assert env.wait_for_view()
+        old_coord = env.coordinator()
+        env.vs[old_coord].submit("before-crash")
+        env.cluster.run_until(
+            lambda: any(
+                "before-crash" in vs.machine.log for pid, vs in env.vs.items() if pid != old_coord
+            ),
+            timeout=env.cluster.simulator.now + 300,
+        )
+        env.cluster.crash(old_coord)
+        assert env.cluster.run_until(
+            lambda: any(
+                vs.is_coordinator() and vs.view is not None and old_coord not in vs.view.members
+                for pid, vs in env.vs.items()
+                if pid != old_coord
+            ),
+            timeout=env.cluster.simulator.now + 5000,
+        )
+        new_coord = env.coordinator()
+        assert new_coord is not None and new_coord != old_coord
+        # State survived the coordinator change.
+        assert "before-crash" in env.vs[new_coord].machine.log
+
+    def test_coordinator_led_reconfiguration_preserves_state(self):
+        env = _VSCluster(4, seed=75)
+        assert env.wait_for_view()
+        coord = env.coordinator()
+        env.vs[coord].submit("persist-me")
+        env.cluster.run_until(
+            lambda: all("persist-me" in vs.machine.log for vs in env.vs.values()),
+            timeout=env.cluster.simulator.now + 300,
+        )
+        # A membership change (a joiner) makes the participant set differ from
+        # the configuration, so the coordinator has something to reconfigure to.
+        joiner = env.cluster.add_joiner(9)
+        assert env.cluster.run_until(
+            lambda: joiner.scheme.is_participant(),
+            timeout=env.cluster.simulator.now + 3000,
+        )
+        installs_before = sum(node.recsa.install_count for node in env.cluster.nodes.values())
+        # The coordinator's evalConfig() now asks for a delicate reconfiguration.
+        env.eval_flags[coord]["value"] = True
+        assert env.cluster.run_until(
+            lambda: sum(node.recsa.install_count for node in env.cluster.nodes.values())
+            > installs_before,
+            timeout=env.cluster.simulator.now + 5000,
+        )
+        env.eval_flags[coord]["value"] = False
+        assert env.cluster.run_until_converged(timeout=3000)
+        # The new configuration includes the joiner, the reconfiguration was
+        # requested by the VS coordinator, and the replicated state survived.
+        assert 9 in env.cluster.agreed_configuration()
+        assert env.vs[coord].reconfigurations_requested >= 1
+        assert env.wait_for_view(timeout=5000)
+        new_coord = env.coordinator()
+        assert "persist-me" in env.vs[new_coord].machine.log
+
+    def test_reconfiguration_request_skipped_when_nothing_to_change(self):
+        env = _VSCluster(3, seed=79)
+        assert env.wait_for_view()
+        coord = env.coordinator()
+        # Participants already equal the configuration: the policy fires but
+        # there is nothing to reconfigure to, and the service must resume
+        # (rather than staying suspended forever).
+        env.eval_flags[coord]["value"] = True
+        env.cluster.run(until=env.cluster.simulator.now + 120)
+        env.eval_flags[coord]["value"] = False
+        env.cluster.run(until=env.cluster.simulator.now + 120)
+        env.vs[coord].submit("still-alive")
+        assert env.cluster.run_until(
+            lambda: all("still-alive" in vs.machine.log for vs in env._alive().values()),
+            timeout=env.cluster.simulator.now + 500,
+        )
+
+
+class TestSharedRegister:
+    def test_requires_register_machine(self):
+        env = _VSCluster(3, seed=76)
+        with pytest.raises(TypeError):
+            SharedRegister(0, env.vs[0])
+
+    def test_write_read_roundtrip(self):
+        env = _VSCluster(3, seed=77, machine_factory=RegisterStateMachine)
+        assert env.wait_for_view()
+        registers = {pid: SharedRegister(pid, vs) for pid, vs in env.vs.items()}
+        registers[0].write("value-1")
+        env.cluster.run_until(
+            lambda: all(reg.read() == "value-1" for reg in registers.values()),
+            timeout=env.cluster.simulator.now + 300,
+        )
+        value, writer, count = registers[1].read_with_metadata()
+        assert value == "value-1"
+        assert writer == 0
+        assert count == 1
+
+    def test_concurrent_writes_totally_ordered(self):
+        env = _VSCluster(3, seed=78, machine_factory=RegisterStateMachine)
+        assert env.wait_for_view()
+        registers = {pid: SharedRegister(pid, vs) for pid, vs in env.vs.items()}
+        registers[0].write("from-0")
+        registers[1].write("from-1")
+        env.cluster.run_until(
+            lambda: all(len(reg.history()) == 2 for reg in registers.values()),
+            timeout=env.cluster.simulator.now + 300,
+        )
+        histories = {tuple(reg.history()) for reg in registers.values()}
+        assert len(histories) == 1
+        final_values = {reg.read() for reg in registers.values()}
+        assert len(final_values) == 1

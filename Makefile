@@ -1,0 +1,19 @@
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test bench bench-quick bench-pytest
+
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+# Full perf trajectory: writes BENCH_pr1.json at the repository root.
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --tag pr1
+
+# Smoke run (<60s) for CI: scalability + hotpath scenarios only.
+bench-quick:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --quick --tag pr1
+
+# The pytest-benchmark experiment suite (E1-E12 + hotpath micro-benches).
+bench-pytest:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/bench_scalability.py benchmarks/bench_hotpath.py -q

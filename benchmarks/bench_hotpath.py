@@ -1,0 +1,134 @@
+"""Micro-benchmarks of the simulation hot path (event queue, gossip round).
+
+Unlike the experiment benchmarks (E1-E12) these do not reproduce a claim of
+the paper; they pin the cost of the two inner loops every experiment runs
+through — event scheduling/dispatch and the recSA broadcast round — so that
+future PRs can detect regressions in the fast path itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import bench_cluster, record
+
+from repro.core.recsa import RecSA
+from repro.sim.events import EventQueue
+
+
+def _event_throughput(n_events: int) -> dict:
+    """Schedule and drain *n_events* through the tuple heap."""
+    queue = EventQueue()
+    sink = []
+    append = sink.append
+    for i in range(n_events):
+        queue.schedule(float(i % 97), append, args=(i,))
+    drained = 0
+    while queue:
+        queue.pop().fire()
+        drained += 1
+    return {"events": n_events, "drained": drained}
+
+
+def _event_bulk_throughput(n_events: int, batch: int) -> dict:
+    """Same, but scheduling through the ``schedule_many`` bulk API."""
+    queue = EventQueue()
+    sink = []
+    append = sink.append
+    for start in range(0, n_events, batch):
+        queue.schedule_many(
+            (float((start + i) % 97), append, (start + i,), "")
+            for i in range(min(batch, n_events - start))
+        )
+    drained = 0
+    while queue:
+        queue.pop().fire()
+        drained += 1
+    return {"events": n_events, "batch": batch, "drained": drained}
+
+
+def _broadcast_round_cost(n: int, rounds: int) -> dict:
+    """Cost of *rounds* recSA do-forever iterations over a synchronous mesh.
+
+    Messages are exchanged through plain python lists (no simulator), so the
+    number measures the protocol layer itself: message construction, change
+    detection and receipt bookkeeping.
+    """
+    from repro.common.types import BOTTOM
+
+    pids = list(range(n))
+    inboxes: dict = {pid: [] for pid in pids}
+    instances = {}
+    for pid in pids:
+        def _send(dest, message, _pid=pid):
+            inboxes[dest].append((_pid, message))
+
+        instances[pid] = RecSA(
+            pid=pid,
+            fd_provider=lambda _pids=frozenset(pids): _pids,
+            send=_send,
+            initial_config=BOTTOM,
+        )
+    messages = 0
+    for _ in range(rounds):
+        for pid in pids:
+            instances[pid].step()
+        for pid in pids:
+            queue = inboxes[pid]
+            inboxes[pid] = []
+            messages += len(queue)
+            for sender, message in queue:
+                instances[pid].on_message(sender, message)
+    sent = sum(inst.broadcasts_sent for inst in instances.values())
+    skipped = sum(inst.broadcasts_skipped for inst in instances.values())
+    return {
+        "n": n,
+        "rounds": rounds,
+        "messages_exchanged": messages,
+        "broadcasts_sent": sent,
+        "broadcasts_skipped": skipped,
+    }
+
+
+def _delivery_path_cost(n: int, until: float) -> dict:
+    """End-to-end simulator cost: a full cluster run for *until* sim-time."""
+    cluster = bench_cluster(n, seed=7)
+    cluster.run(until=until)
+    stats = cluster.statistics()
+    return {
+        "n": n,
+        "executed_events": stats["executed_events"],
+        "delivered_messages": stats["delivered_messages"],
+    }
+
+
+@pytest.mark.parametrize("n_events", [100_000])
+def test_event_queue_throughput(benchmark, n_events):
+    result = benchmark.pedantic(_event_throughput, args=(n_events,), rounds=3, iterations=1)
+    record(benchmark, result)
+    assert result["drained"] == n_events
+
+
+@pytest.mark.parametrize("batch", [64])
+def test_event_queue_bulk_throughput(benchmark, batch):
+    result = benchmark.pedantic(
+        _event_bulk_throughput, args=(100_000, batch), rounds=3, iterations=1
+    )
+    record(benchmark, result)
+    assert result["drained"] == 100_000
+
+
+@pytest.mark.parametrize("n", [16])
+def test_recsa_broadcast_round(benchmark, n):
+    result = benchmark.pedantic(_broadcast_round_cost, args=(n, 50), rounds=3, iterations=1)
+    record(benchmark, result)
+    assert result["broadcasts_sent"] > 0
+    # Change detection must actually suppress steady-state traffic.
+    assert result["broadcasts_skipped"] > result["broadcasts_sent"]
+
+
+@pytest.mark.parametrize("n", [8])
+def test_simulator_delivery_path(benchmark, n):
+    result = benchmark.pedantic(_delivery_path_cost, args=(n, 50.0), rounds=1, iterations=1)
+    record(benchmark, result)
+    assert result["executed_events"] > 0

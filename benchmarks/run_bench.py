@@ -1,0 +1,192 @@
+"""Benchmark runner: measures the perf-critical scenarios and emits JSON.
+
+Runs without pytest so it can be wired into CI / ``make bench``: each entry
+measures wall-clock plus the experiment metrics of one scenario and the
+whole trajectory is written to ``BENCH_<tag>.json`` at the repository root,
+so successive PRs accumulate comparable perf records.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py            # full run
+    PYTHONPATH=src python benchmarks/run_bench.py --quick    # <60s smoke run
+    PYTHONPATH=src python benchmarks/run_bench.py --tag pr1  # output name
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from repro.sim.cluster import build_cluster  # noqa: E402
+from repro.sim.events import EventQueue  # noqa: E402
+from repro.sim.network import ChannelConfig  # noqa: E402
+
+
+#: Measurements of the pre-fast-path tree (PR0 seed) on the same scenarios,
+#: taken with the same harness on the CI container; kept in the emitted JSON
+#: so every BENCH_*.json is self-contained when comparing trajectories.
+SEED_BASELINE = {
+    "bootstrap_n16": {
+        "wall_seconds": 0.249,
+        "time_to_converge": 4.82,
+        "executed_events": 3209,
+        "messages_delivered": 3142,
+    },
+    "steady_state_n16": {
+        "horizon": 200.0,
+        "messages_delivered": 192521,
+    },
+}
+
+
+def _bench_cluster(n: int, seed: int, capacity: int = 8, **kwargs):
+    config = ChannelConfig(
+        capacity=capacity, loss_probability=0.0, min_delay=0.2, max_delay=0.6
+    )
+    return build_cluster(n=n, seed=seed, channel_config=config, **kwargs)
+
+
+def bench_event_throughput(n_events: int) -> dict:
+    """Raw event queue schedule+drain throughput."""
+    queue = EventQueue()
+    sink = []
+    t0 = time.perf_counter()
+    for i in range(n_events):
+        queue.schedule(float(i % 97), sink.append, args=(i,))
+    while queue:
+        queue.pop().fire()
+    elapsed = time.perf_counter() - t0
+    return {
+        "events": n_events,
+        "wall_seconds": elapsed,
+        "events_per_second": n_events / elapsed if elapsed else None,
+    }
+
+
+def bench_bootstrap(n: int, seed: int, timeout: float = 6_000.0) -> dict:
+    """Self-organizing bootstrap to convergence (the E11 scalability core)."""
+    t0 = time.perf_counter()
+    cluster = _bench_cluster(n, seed=seed)
+    converged = cluster.run_until_converged(timeout=timeout)
+    elapsed = time.perf_counter() - t0
+    stats = cluster.statistics()
+    recsa_sent = sum(node.recsa.broadcasts_sent for node in cluster.nodes.values())
+    recsa_skipped = sum(node.recsa.broadcasts_skipped for node in cluster.nodes.values())
+    recma_sent = sum(node.recma.broadcasts_sent for node in cluster.nodes.values())
+    recma_skipped = sum(node.recma.broadcasts_skipped for node in cluster.nodes.values())
+    return {
+        "n": n,
+        "seed": seed,
+        "converged": converged,
+        "wall_seconds": elapsed,
+        "time_to_converge": cluster.simulator.now,
+        "executed_events": stats["executed_events"],
+        "messages_delivered": stats["delivered_messages"],
+        "messages_sent": stats["net_sent"],
+        "recsa_broadcasts_sent": recsa_sent,
+        "recsa_broadcasts_skipped": recsa_skipped,
+        "recma_broadcasts_sent": recma_sent,
+        "recma_broadcasts_skipped": recma_skipped,
+    }
+
+
+def bench_steady_state(n: int, seed: int, horizon: float = 200.0) -> dict:
+    """Post-convergence steady-state traffic over a fixed sim-time horizon."""
+    cluster = _bench_cluster(n, seed=seed)
+    if not cluster.run_until_converged(timeout=6_000.0):
+        return {"n": n, "seed": seed, "converged": False}
+    stats_before = cluster.statistics()
+    start = cluster.simulator.now
+    t0 = time.perf_counter()
+    cluster.run(until=start + horizon)
+    elapsed = time.perf_counter() - t0
+    stats_after = cluster.statistics()
+    delivered = stats_after["delivered_messages"] - stats_before["delivered_messages"]
+    events = stats_after["executed_events"] - stats_before["executed_events"]
+    return {
+        "n": n,
+        "seed": seed,
+        "converged": True,
+        "horizon": horizon,
+        "wall_seconds": elapsed,
+        "events": events,
+        "messages_delivered": delivered,
+        "messages_per_simtime": delivered / horizon,
+        "events_per_second": events / elapsed if elapsed else None,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smoke run, <60s")
+    parser.add_argument("--tag", default="pr1", help="suffix of BENCH_<tag>.json")
+    parser.add_argument("--output", default=None, help="explicit output path")
+    args = parser.parse_args(argv)
+
+    sizes = [4, 8, 16] if not args.quick else [4, 16]
+    event_counts = [200_000] if not args.quick else [100_000]
+
+    results = {
+        "meta": {
+            "tag": args.tag,
+            "quick": args.quick,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "seed_baseline": SEED_BASELINE,
+        "benchmarks": {},
+    }
+
+    for n_events in event_counts:
+        key = f"event_throughput_{n_events}"
+        print(f"[bench] {key} ...", flush=True)
+        results["benchmarks"][key] = bench_event_throughput(n_events)
+
+    for n in sizes:
+        key = f"bootstrap_n{n}"
+        print(f"[bench] {key} ...", flush=True)
+        results["benchmarks"][key] = bench_bootstrap(n, seed=89)
+
+    steady_sizes = [8] if args.quick else [8, 16]
+    for n in steady_sizes:
+        key = f"steady_state_n{n}"
+        print(f"[bench] {key} ...", flush=True)
+        results["benchmarks"][key] = bench_steady_state(
+            n, seed=89, horizon=100.0 if args.quick else 200.0
+        )
+
+    headline = results["benchmarks"].get("bootstrap_n16")
+    baseline = SEED_BASELINE.get("bootstrap_n16")
+    if headline and baseline and headline.get("wall_seconds"):
+        results["meta"]["speedup_bootstrap_n16"] = round(
+            baseline["wall_seconds"] / headline["wall_seconds"], 2
+        )
+        results["meta"]["delivered_reduction_bootstrap_n16"] = round(
+            1.0 - headline["messages_delivered"] / baseline["messages_delivered"], 3
+        )
+
+    output = Path(args.output) if args.output else REPO_ROOT / f"BENCH_{args.tag}.json"
+    output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"[bench] wrote {output}")
+
+    failures = [
+        key
+        for key, entry in results["benchmarks"].items()
+        if entry.get("converged") is False
+    ]
+    if failures:
+        print(f"[bench] FAILED to converge: {failures}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

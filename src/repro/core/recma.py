@@ -21,12 +21,12 @@ the local flags are flushed, and subsequent iterations observe
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, FrozenSet, Optional
+from typing import Any, Callable, Dict, FrozenSet, Optional, Tuple
 
 from repro.common.logging_utils import get_logger
 from repro.common.types import Configuration, ProcessId
 from repro.core.prediction import NeverReconfigure, PredictionPolicy
-from repro.core.recsa import RecSA
+from repro.core.recsa import DEFAULT_GOSSIP_REFRESH_INTERVAL, RecSA
 from repro.core.stale import is_real_config
 
 _log = get_logger("recma")
@@ -54,22 +54,33 @@ class RecMA:
         fd_provider: FdProvider,
         send: SendFn,
         policy: Optional[PredictionPolicy] = None,
+        gossip_refresh_interval: int = DEFAULT_GOSSIP_REFRESH_INTERVAL,
     ) -> None:
         self.pid = pid
         self.recsa = recsa
         self.fd_provider = fd_provider
         self.send = send
         self.policy: PredictionPolicy = policy or NeverReconfigure()
+        self.gossip_refresh_interval = max(1, int(gossip_refresh_interval))
 
         # Replicated flag arrays (own entry + most recently received values).
         self.no_maj: Dict[ProcessId, bool] = {pid: False}
         self.need_reconf: Dict[ProcessId, bool] = {pid: False}
         self.prev_config: Optional[Configuration] = None
 
+        # Change-detected gossip bookkeeping: the ⟨noMaj, needReconf⟩ pair
+        # last sent per peer plus a round counter backing the periodic
+        # unconditional refresh (the flags are idempotent state, so a lost
+        # packet is repaired by the next refresh within K rounds).
+        self._sent_flags: Dict[ProcessId, Tuple[bool, bool]] = {}
+        self._rounds_since_sent: Dict[ProcessId, int] = {}
+
         # Experiment counters (Lemma 3.18 bounds the spurious ones).
         self.trigger_count = 0
         self.majority_triggers = 0
         self.prediction_triggers = 0
+        self.broadcasts_sent = 0
+        self.broadcasts_skipped = 0
 
     # ------------------------------------------------------------------
     # Macros (lines 3-5)
@@ -165,14 +176,37 @@ class RecMA:
         self.flush_flags()
 
     def _broadcast(self) -> None:
-        message = RecMAMessage(
-            sender=self.pid,
-            no_maj=self.no_maj[self.pid],
-            need_reconf=self.need_reconf[self.pid],
-        )
-        for pid in self.recsa.participants():
-            if pid != self.pid:
-                self.send(pid, message)
+        flags = (self.no_maj[self.pid], self.need_reconf[self.pid])
+        refresh = self.gossip_refresh_interval
+        participants = self.recsa.participants()
+        if len(self._sent_flags) > len(participants):
+            # Drop bookkeeping for departed peers (mirrors recSA's cleanup in
+            # _clean_after_crashes) so churn cannot grow the dicts unboundedly.
+            for pid in list(self._sent_flags):
+                if pid not in participants:
+                    del self._sent_flags[pid]
+                    self._rounds_since_sent.pop(pid, None)
+        message: Optional[RecMAMessage] = None
+        for pid in participants:
+            if pid == self.pid:
+                continue
+            rounds = self._rounds_since_sent.get(pid, refresh)
+            if (
+                refresh > 1
+                and rounds + 1 < refresh
+                and self._sent_flags.get(pid) == flags
+            ):
+                self._rounds_since_sent[pid] = rounds + 1
+                self.broadcasts_skipped += 1
+                continue
+            if message is None:
+                message = RecMAMessage(
+                    sender=self.pid, no_maj=flags[0], need_reconf=flags[1]
+                )
+            self.send(pid, message)
+            self._sent_flags[pid] = flags
+            self._rounds_since_sent[pid] = 0
+            self.broadcasts_sent += 1
 
     # ------------------------------------------------------------------
     # Message receipt (line 20)

@@ -61,6 +61,16 @@ _log = get_logger("recsa")
 
 FdProvider = Callable[[], FrozenSet[ProcessId]]
 SendFn = Callable[[ProcessId, Any], None]
+SendManyFn = Callable[[List[Tuple[ProcessId, Any]]], Any]
+
+#: Default period (in do-forever iterations) of the unconditional full
+#: re-broadcast that backs the change-detected gossip.  Re-sending the whole
+#: state every K rounds — even to peers that have provably echoed the current
+#: values — preserves the paper's fair-communication assumption: any state
+#: divergence (lost packet, corrupted echo bookkeeping) is repaired within K
+#: rounds, so every convergence bound merely stretches by a constant factor.
+#: ``1`` disables change detection entirely (the seed behaviour).
+DEFAULT_GOSSIP_REFRESH_INTERVAL = 5
 
 
 @dataclass(frozen=True)
@@ -117,10 +127,14 @@ class RecSA:
         fd_provider: FdProvider,
         send: SendFn,
         initial_config: Any = None,
+        send_many: Optional[SendManyFn] = None,
+        gossip_refresh_interval: int = DEFAULT_GOSSIP_REFRESH_INTERVAL,
     ) -> None:
         self.pid = pid
         self.fd_provider = fd_provider
         self.send = send
+        self.send_many = send_many
+        self.gossip_refresh_interval = max(1, int(gossip_refresh_interval))
 
         # Replicated arrays (own entry + most recently received per peer).
         self.config: Dict[ProcessId, Any] = {}
@@ -131,11 +145,24 @@ class RecSA:
         self.echo: Dict[ProcessId, EchoTriple] = {}
         self.all_seen: Set[ProcessId] = set()
 
+        # Change-detected gossip bookkeeping (line 29 fast path): the local
+        # broadcast core — everything in a RecSAMessage except the per-peer
+        # ``echo`` — is versioned; a peer that demonstrably holds the current
+        # version (its echo reflects our current values) is skipped until the
+        # periodic full refresh.
+        self._state_version = 0
+        self._last_core_key: Any = None
+        self._sent_version: Dict[ProcessId, int] = {}
+        self._sent_echo: Dict[ProcessId, Optional[EchoTriple]] = {}
+        self._rounds_since_sent: Dict[ProcessId, int] = {}
+
         # Diagnostics / experiment counters.
         self.reset_count = 0
         self.install_count = 0
         self.estab_accepted = 0
         self.estab_rejected = 0
+        self.broadcasts_sent = 0
+        self.broadcasts_skipped = 0
         self.stale_detections: Dict[StaleInfoType, int] = {t: 0 for t in StaleInfoType}
 
         # Boot (the paper's line 31 interrupt): every entry defaults to
@@ -414,6 +441,9 @@ class RecSA:
                 self.all_flags[pid] = False
                 self.echo.pop(pid, None)
                 self.part.pop(pid, None)
+                self._sent_version.pop(pid, None)
+                self._sent_echo.pop(pid, None)
+                self._rounds_since_sent.pop(pid, None)
 
     # -- line 26: brute-force stabilization -----------------------------------
     def _brute_force_step(
@@ -538,11 +568,39 @@ class RecSA:
 
     # -- line 29: broadcast -----------------------------------------------------
     def _broadcast(self, trusted: FrozenSet[ProcessId]) -> None:
-        if self.config.get(self.pid, NOT_PARTICIPANT) is NOT_PARTICIPANT:
+        """End-of-iteration gossip with change detection.
+
+        The message core (``fd``, ``part``, ``config``, ``prp``, ``all``) is
+        identical for every destination; it is built once and versioned.  A
+        re-broadcast to a peer is skipped only when *all* of the following
+        hold, so the skip can never hide information the peer still needs:
+
+        * the core has not changed since the last send to that peer,
+        * our echo of *that peer's* values has not changed either,
+        * the peer's last echo reflects our current ``(part, prp, all)`` —
+          evidence it already received values equal to the current ones,
+        * fewer than ``gossip_refresh_interval`` rounds have passed since the
+          last send (the unconditional refresh restores the paper's
+          fair-communication guarantee against lost packets and corrupted
+          bookkeeping; see PERFORMANCE.md for the stabilization argument).
+        """
+        own_config = self.config.get(self.pid, NOT_PARTICIPANT)
+        if own_config is NOT_PARTICIPANT:
             # Non-participants follow the computation silently (line 29's
             # guard): they receive but never broadcast.
             return
         part = self.participants(trusted)
+        own_prp = self._own_prp()
+        own_all = self._own_all()
+
+        core_key = (trusted, part, own_config, own_prp, own_all)
+        if core_key != self._last_core_key:
+            self._state_version += 1
+            self._last_core_key = core_key
+        version = self._state_version
+        refresh = self.gossip_refresh_interval
+
+        outgoing: List[Tuple[ProcessId, RecSAMessage]] = []
         for pid in trusted:
             if pid == self.pid:
                 continue
@@ -553,16 +611,38 @@ class RecSA:
                     prp=self.prp.get(pid, DEFAULT_PROPOSAL),
                     all_flag=bool(self.all_flags.get(pid, False)),
                 )
+            rounds = self._rounds_since_sent.get(pid, refresh)
+            if (
+                refresh > 1
+                and rounds + 1 < refresh
+                and self._sent_version.get(pid) == version
+                and self._sent_echo.get(pid) == echo
+                and self._peer_echoed(pid, part, with_all=True)
+            ):
+                self._rounds_since_sent[pid] = rounds + 1
+                self.broadcasts_skipped += 1
+                continue
             message = RecSAMessage(
                 sender=self.pid,
                 fd=trusted,
                 part=part,
-                config=self.config.get(self.pid),
-                prp=self._own_prp(),
-                all_flag=self._own_all(),
+                config=own_config,
+                prp=own_prp,
+                all_flag=own_all,
                 echo=echo,
             )
-            self.send(pid, message)
+            outgoing.append((pid, message))
+            self._sent_version[pid] = version
+            self._sent_echo[pid] = echo
+            self._rounds_since_sent[pid] = 0
+
+        if outgoing:
+            self.broadcasts_sent += len(outgoing)
+            if self.send_many is not None:
+                self.send_many(outgoing)
+            else:
+                for pid, message in outgoing:
+                    self.send(pid, message)
 
     # ------------------------------------------------------------------
     # Message receipt (line 30)

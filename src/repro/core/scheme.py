@@ -37,6 +37,7 @@ from repro.core.stale import is_real_config
 
 FdProvider = Callable[[], FrozenSet[ProcessId]]
 SendFn = Callable[[ProcessId, Any], None]
+SendManyFn = Callable[[Any], Any]
 
 
 class ReconfigurationScheme:
@@ -53,14 +54,23 @@ class ReconfigurationScheme:
         state_provider: Optional[StateProvider] = None,
         state_initializer: Optional[StateInitializer] = None,
         state_resetter: Optional[StateResetter] = None,
+        send_many: Optional[SendManyFn] = None,
+        gossip_refresh_interval: Optional[int] = None,
     ) -> None:
         self.pid = pid
         self.fd_provider = fd_provider
+        recsa_kwargs: Dict[str, Any] = {}
+        recma_kwargs: Dict[str, Any] = {}
+        if gossip_refresh_interval is not None:
+            recsa_kwargs["gossip_refresh_interval"] = gossip_refresh_interval
+            recma_kwargs["gossip_refresh_interval"] = gossip_refresh_interval
         self.recsa = RecSA(
             pid=pid,
             fd_provider=fd_provider,
             send=send,
             initial_config=initial_config,
+            send_many=send_many,
+            **recsa_kwargs,
         )
         self.recma = RecMA(
             pid=pid,
@@ -68,6 +78,7 @@ class ReconfigurationScheme:
             fd_provider=fd_provider,
             send=send,
             policy=prediction_policy,
+            **recma_kwargs,
         )
         self.joining = JoiningProtocol(
             pid=pid,

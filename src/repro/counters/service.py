@@ -159,6 +159,10 @@ class CounterService:
         self.increments_aborted = 0
         self.exhaustion_rollovers = 0
         self.rebuild_count = 0
+        # Labels whose exhaustion this service has already counted, so the
+        # rollover diagnostic fires once per retired epoch regardless of
+        # which path (gossiped cancellation vs findMaxCounter) retires it.
+        self._exhausted_seen: set = set()
 
     # ------------------------------------------------------------------
     # Membership / structure management
@@ -210,8 +214,17 @@ class CounterService:
         seqn, wid = self.seqns.get(label, (0, self.pid))
         counter = Counter(label=label, seqn=seqn, wid=wid)
         if counter.is_exhausted(self.seqn_bound):
+            # Emitting a cancelled pair starts the epoch's retirement through
+            # the label gossip — an exhaustion rollover just like the
+            # findMaxCounter path, so it is counted the same way.
+            self._count_exhaustion(label)
             return CounterPair(mct=counter, cct=counter)
         return CounterPair(mct=counter)
+
+    def _count_exhaustion(self, label: EpochLabel) -> None:
+        if label not in self._exhausted_seen:
+            self._exhausted_seen.add(label)
+            self.exhaustion_rollovers += 1
 
     def _find_max_counter(self) -> Optional[Counter]:
         """``findMaxCounter()``: cancel exhausted epochs, elect a usable max.
@@ -232,7 +245,7 @@ class CounterService:
             if not counter.is_exhausted(self.seqn_bound):
                 return counter
             # Cancel the exhausted epoch and elect a new label.
-            self.exhaustion_rollovers += 1
+            self._count_exhaustion(label)
             own = self.store.own_max()
             if own is not None and own.ml == label:
                 self.store.max_pairs[self.pid] = LabelPair(ml=label, cl=label)

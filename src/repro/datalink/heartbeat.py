@@ -23,6 +23,13 @@ HeartbeatListener = Callable[[ProcessId], None]
 PayloadHandler = Callable[[ProcessId, Any], None]
 SendFunction = Callable[[ProcessId, Any], None]
 
+#: Default retransmission period (in do-forever iterations) for *idle*
+#: established links.  While a link carries no application payload the token
+#: is a pure heartbeat, and the owner may let other traffic (protocol gossip
+#: reported through :meth:`HeartbeatService.notify_traffic`) stand in for it;
+#: ``1`` retransmits every iteration (the seed behaviour).
+DEFAULT_IDLE_RESEND_INTERVAL = 1
+
 
 class HeartbeatService:
     """Per-process manager of token-exchange links and heartbeat fan-out."""
@@ -33,12 +40,15 @@ class HeartbeatService:
         send: SendFunction,
         channel_capacity: int = 8,
         require_cleaning: bool = True,
+        idle_resend_interval: int = DEFAULT_IDLE_RESEND_INTERVAL,
     ) -> None:
         self.pid = pid
         self._send = send
         self.channel_capacity = channel_capacity
         self.require_cleaning = require_cleaning
+        self.idle_resend_interval = max(1, int(idle_resend_interval))
         self.links: Dict[ProcessId, LinkEndpoint] = {}
+        self._idle_rounds: Dict[ProcessId, int] = {}
         self._heartbeat_listeners: List[HeartbeatListener] = []
         self._payload_handlers: List[PayloadHandler] = []
 
@@ -76,10 +86,38 @@ class HeartbeatService:
         self.add_peer(peer).send(payload)
 
     def on_timer(self) -> None:
-        """Retransmit tokens / cleaning probes on every link (one step)."""
+        """Retransmit tokens / cleaning probes on every link (one step).
+
+        Established links with no payload in flight are *idle*: their token
+        is pure liveness signalling, so the retransmission is throttled to
+        every ``idle_resend_interval``-th iteration.  Cleaning probes and
+        links carrying payload always transmit — the snap-stabilizing
+        handshake and the reliable-FIFO latency are never throttled.
+        """
+        interval = self.idle_resend_interval
         for peer, endpoint in self.links.items():
+            if interval > 1 and endpoint.is_established() and endpoint.is_idle():
+                rounds = self._idle_rounds.get(peer, interval)
+                if rounds + 1 < interval:
+                    self._idle_rounds[peer] = rounds + 1
+                    continue
+                self._idle_rounds[peer] = 0
+            else:
+                self._idle_rounds[peer] = 0
             for message in endpoint.on_timer():
                 self._send(peer, message)
+
+    def notify_traffic(self, sender: ProcessId) -> None:
+        """Report liveness evidence carried by non-data-link traffic.
+
+        Any packet received from *sender* proves the peer was recently alive
+        (packets are never created spontaneously; stale in-flight packets are
+        bounded by the channel capacity), so protocol gossip can stand in for
+        throttled heartbeat tokens.  Fans the heartbeat out to the listeners
+        exactly like a token arrival.
+        """
+        for listener in self._heartbeat_listeners:
+            listener(sender)
 
     def on_packet(self, sender: ProcessId, message: DataLinkMessage) -> None:
         """Feed a received data-link packet to the owning endpoint."""

@@ -87,21 +87,35 @@ class TokenExchangeLink:
         self.outbox: Deque[Any] = deque()
         self.current_payload: Any = None
         self.completed_round_trips = 0
+        self._cached_message: Optional[DataLinkMessage] = None
 
     def enqueue(self, payload: Any) -> None:
         """Queue *payload* for reliable FIFO delivery to the remote peer."""
         self.outbox.append(payload)
+        if self.current_payload is None:
+            self._cached_message = None
 
     def current_message(self) -> DataLinkMessage:
-        """The packet to (re)transmit on the next send opportunity."""
+        """The packet to (re)transmit on the next send opportunity.
+
+        The message is immutable and identical across retransmissions of the
+        same token, so it is built once and reused until the sequence number
+        advances or the payload changes (retransmission is the hottest loop
+        of the whole simulation — one message per peer per iteration).
+        """
         if self.current_payload is None and self.outbox:
             self.current_payload = self.outbox.popleft()
-        return DataLinkMessage(
-            kind="data",
-            link_sender=self.local,
-            seq=self.seq,
-            payload=self.current_payload,
-        )
+            self._cached_message = None
+        message = self._cached_message
+        if message is None:
+            message = DataLinkMessage(
+                kind="data",
+                link_sender=self.local,
+                seq=self.seq,
+                payload=self.current_payload,
+            )
+            self._cached_message = message
+        return message
 
     def on_ack(self, seq: int) -> bool:
         """Process an acknowledgement; return True when a round trip completed.
@@ -119,6 +133,7 @@ class TokenExchangeLink:
         self.seq = (self.seq + 1) % (2 * self.capacity + 2)
         self.ack_count = 0
         self.current_payload = None
+        self._cached_message = None
         self.completed_round_trips += 1
         return True
 
@@ -134,6 +149,7 @@ class TokenExchangeLink:
         if self.current_payload is not None:
             self.outbox.appendleft(self.current_payload)
         self.current_payload = None
+        self._cached_message = None
         if not preserve_outbox:
             self.outbox.clear()
 
@@ -170,6 +186,11 @@ class LinkEndpoint:
         self.last_delivered_seq: Optional[int] = None
         self.heartbeats_observed = 0
         self.delivered_payload_count = 0
+        # Reusable immutable messages for the two retransmission hot spots:
+        # the cleaning probe (constant until establishment) and the ack for
+        # the remote token (constant until the remote sequence advances).
+        self._clean_probe: Optional[DataLinkMessage] = None
+        self._ack_cache: Optional[DataLinkMessage] = None
 
     # --------------------------------------------------------------- sending
     def send(self, payload: Any) -> None:
@@ -179,9 +200,13 @@ class LinkEndpoint:
     def on_timer(self) -> List[DataLinkMessage]:
         """Packets to transmit in this step of the do-forever loop."""
         if self.state is LinkState.CLEANING:
-            return [
-                DataLinkMessage(kind="clean", link_sender=self.local, seq=self.clean_nonce)
-            ]
+            probe = self._clean_probe
+            if probe is None or probe.seq != self.clean_nonce:
+                probe = DataLinkMessage(
+                    kind="clean", link_sender=self.local, seq=self.clean_nonce
+                )
+                self._clean_probe = probe
+            return [probe]
         return [self.sender.current_message()]
 
     # -------------------------------------------------------------- receiving
@@ -229,9 +254,11 @@ class LinkEndpoint:
 
         if message.kind == "data" and message.link_sender == self.remote:
             heartbeat = True
-            replies.append(
-                DataLinkMessage(kind="ack", link_sender=self.local, seq=message.seq)
-            )
+            ack = self._ack_cache
+            if ack is None or ack.seq != message.seq:
+                ack = DataLinkMessage(kind="ack", link_sender=self.local, seq=message.seq)
+                self._ack_cache = ack
+            replies.append(ack)
             if message.seq != self.last_delivered_seq:
                 self.last_delivered_seq = message.seq
                 if message.payload is not None:
@@ -255,3 +282,11 @@ class LinkEndpoint:
     def is_established(self) -> bool:
         """True once the snap-stabilizing cleaning phase has completed."""
         return self.state is LinkState.ESTABLISHED
+
+    def is_idle(self) -> bool:
+        """True when the sender role carries no application payload.
+
+        An idle established link only bounces the bare heartbeat token, whose
+        retransmission the owner may throttle (the token exchange makes no
+        progress guarantee the upper layers are waiting on while idle)."""
+        return self.sender.current_payload is None and not self.sender.outbox

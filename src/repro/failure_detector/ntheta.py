@@ -82,6 +82,12 @@ class NThetaFailureDetector:
         # The paper's nonCrashed heartbeat-count vector.
         self.counts: Dict[ProcessId, int] = {}
         self.heartbeats_received = 0
+        # ``trusted()`` is a pure function of ``counts`` and is queried many
+        # times between heartbeats (every convergence-predicate evaluation
+        # walks it); the result is cached until the vector next changes.
+        self._counts_version = 0
+        self._trusted_cache_version = -1
+        self._trusted_cache: FrozenSet[ProcessId] = frozenset({pid})
 
     # ------------------------------------------------------------ heartbeats
     def heartbeat(self, sender: ProcessId) -> None:
@@ -93,6 +99,7 @@ class NThetaFailureDetector:
         if sender == self.pid:
             return
         self.heartbeats_received += 1
+        self._counts_version += 1
         for other in self.counts:
             if other != sender:
                 self.counts[other] += 1
@@ -100,6 +107,7 @@ class NThetaFailureDetector:
 
     def forget(self, pid: ProcessId) -> None:
         """Drop a processor from the vector (used when links are torn down)."""
+        self._counts_version += 1
         self.counts.pop(pid, None)
 
     def known(self) -> FrozenSet[ProcessId]:
@@ -142,7 +150,19 @@ class NThetaFailureDetector:
         return min(active + 1, self.upper_bound_n)
 
     def trusted(self) -> FrozenSet[ProcessId]:
-        """The set of processors the owner currently trusts (including self)."""
+        """The set of processors the owner currently trusts (including self).
+
+        Cached between heartbeat-vector updates: the computation is pure in
+        ``counts``, so the cache can never observe a stale vector.
+        """
+        if self._trusted_cache_version == self._counts_version:
+            return self._trusted_cache
+        result = self._compute_trusted()
+        self._trusted_cache = result
+        self._trusted_cache_version = self._counts_version
+        return result
+
+    def _compute_trusted(self) -> FrozenSet[ProcessId]:
         ranked = self.ranked()
         limit = self.estimate_active()
         trusted = {self.pid}

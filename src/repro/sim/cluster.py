@@ -21,7 +21,7 @@ from repro.common.types import BOTTOM, Configuration, ProcessId, make_config
 from repro.core.prediction import PredictionPolicy
 from repro.core.scheme import ReconfigurationScheme
 from repro.core.stale import is_real_config
-from repro.datalink.heartbeat import HeartbeatService
+from repro.datalink.heartbeat import DEFAULT_IDLE_RESEND_INTERVAL, HeartbeatService
 from repro.datalink.token_exchange import DataLinkMessage
 from repro.failure_detector.ntheta import NThetaFailureDetector
 from repro.sim.network import ChannelConfig
@@ -58,6 +58,8 @@ class ClusterNode(Process):
         prediction_policy: Optional[PredictionPolicy] = None,
         admission_policy: Optional[Callable[[ProcessId], bool]] = None,
         require_link_cleaning: bool = True,
+        gossip_refresh_interval: Optional[int] = None,
+        heartbeat_resend_interval: int = DEFAULT_IDLE_RESEND_INTERVAL,
     ) -> None:
         super().__init__(pid=pid, step_interval=step_interval)
         self._initial_peers = [p for p in peers if p != pid]
@@ -67,6 +69,7 @@ class ClusterNode(Process):
             send=self._send_raw,
             channel_capacity=channel_capacity,
             require_cleaning=require_link_cleaning,
+            idle_resend_interval=heartbeat_resend_interval,
         )
         self.heartbeat.add_heartbeat_listener(self.failure_detector.heartbeat)
         self.scheme = ReconfigurationScheme(
@@ -76,6 +79,8 @@ class ClusterNode(Process):
             initial_config=initial_config,
             prediction_policy=prediction_policy,
             admission_policy=admission_policy,
+            send_many=self._send_raw_many,
+            gossip_refresh_interval=gossip_refresh_interval,
         )
         self.services: List[Any] = []
 
@@ -133,6 +138,10 @@ class ClusterNode(Process):
         if isinstance(payload, DataLinkMessage):
             self.heartbeat.on_packet(sender, payload)
             return
+        # Protocol gossip proves the sender's liveness just as well as a
+        # heartbeat token does, which is what lets idle links throttle their
+        # token retransmissions without starving the failure detector.
+        self.heartbeat.notify_traffic(sender)
         if self.scheme.on_message(sender, payload):
             return
         for service in self.services:
@@ -147,6 +156,11 @@ class ClusterNode(Process):
         if self.context is not None and not self.crashed:
             self.context.send(destination, payload)
 
+    def _send_raw_many(self, payloads: Any) -> None:
+        """Burst-send ``(destination, payload)`` pairs (broadcast fast path)."""
+        if self.context is not None and not self.crashed:
+            self.context.send_many(payloads)
+
 
 class Cluster:
     """A simulated system of :class:`ClusterNode` processors."""
@@ -160,6 +174,8 @@ class Cluster:
         prediction_policy: Optional[PredictionPolicy] = None,
         admission_policy: Optional[Callable[[ProcessId], bool]] = None,
         require_link_cleaning: bool = True,
+        gossip_refresh_interval: Optional[int] = None,
+        heartbeat_resend_interval: int = DEFAULT_IDLE_RESEND_INTERVAL,
     ) -> None:
         self.simulator = simulator
         self.upper_bound_n = upper_bound_n
@@ -168,6 +184,8 @@ class Cluster:
         self.prediction_policy = prediction_policy
         self.admission_policy = admission_policy
         self.require_link_cleaning = require_link_cleaning
+        self.gossip_refresh_interval = gossip_refresh_interval
+        self.heartbeat_resend_interval = heartbeat_resend_interval
         self.nodes: Dict[ProcessId, ClusterNode] = {}
 
     # ------------------------------------------------------------------
@@ -199,6 +217,8 @@ class Cluster:
             prediction_policy=prediction_policy or self.prediction_policy,
             admission_policy=self.admission_policy,
             require_link_cleaning=self.require_link_cleaning,
+            gossip_refresh_interval=self.gossip_refresh_interval,
+            heartbeat_resend_interval=self.heartbeat_resend_interval,
         )
         self.nodes[pid] = node
         self.simulator.add_process(node)
@@ -293,6 +313,8 @@ def build_cluster(
     prediction_policy: Optional[PredictionPolicy] = None,
     admission_policy: Optional[Callable[[ProcessId], bool]] = None,
     require_link_cleaning: bool = False,
+    gossip_refresh_interval: Optional[int] = None,
+    heartbeat_resend_interval: int = 3,
 ) -> Cluster:
     """Build a ready-to-run cluster of *n* nodes (identifiers ``0..n-1``).
 
@@ -321,6 +343,8 @@ def build_cluster(
         prediction_policy=prediction_policy,
         admission_policy=admission_policy,
         require_link_cleaning=require_link_cleaning,
+        gossip_refresh_interval=gossip_refresh_interval,
+        heartbeat_resend_interval=heartbeat_resend_interval,
     )
     pids = list(range(n))
     initial = make_config(pids) if coherent_start else BOTTOM

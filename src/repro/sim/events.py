@@ -4,21 +4,39 @@ Events are ordered by ``(time, sequence)``; the sequence number breaks ties
 deterministically in insertion order, which keeps runs reproducible even when
 many events share a timestamp (common when a broadcast schedules one delivery
 per destination).
+
+Hot-path design
+---------------
+The heap holds plain ``(time, sequence, event)`` tuples rather than rich
+comparable objects: tuple comparison short-circuits on the ``(time,
+sequence)`` prefix (the sequence number is unique, so the :class:`Event`
+record itself is never compared), which makes every sift in ``heappush`` /
+``heappop`` a C-level comparison with no Python dunder dispatch.  The
+:class:`Event` handle uses ``__slots__`` and carries an optional ``args``
+tuple so callers can schedule a shared bound method instead of allocating a
+closure per event (see ``Simulator._deliver``).
+
+Cancellation is O(1): the handle is flagged and skipped lazily when it
+reaches the head of the heap.  Both :meth:`Event.cancel` and
+:meth:`EventQueue.cancel` route through the same bookkeeping (the handle
+keeps a reference to its owning queue), so ``len(queue)`` is always the exact
+number of live events no matter which cancellation path or drain path
+(``peek_time`` vs ``pop``) touched the heap.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
 
+_INF = float("inf")
+_NEG_INF = float("-inf")
 
-@dataclass(order=True)
+
 class Event:
-    """A scheduled callback.
+    """A scheduled callback handle.
 
     Attributes
     ----------
@@ -27,31 +45,60 @@ class Event:
     sequence:
         Monotonically increasing tie-breaker assigned by the queue.
     callback:
-        Zero-argument callable executed when the event fires.
+        Callable executed when the event fires, invoked as ``callback(*args)``.
+    args:
+        Positional arguments for *callback* (empty for plain timers).  Passing
+        arguments here lets many events share one bound method instead of
+        paying a closure allocation per event.
     cancelled:
         Events are cancelled lazily: a cancelled event stays in the heap but
-        is skipped when popped.
+        is skipped when it reaches the head.
     label:
         Optional human-readable label used by traces and tests.
     """
 
-    time: float
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    label: str = field(default="", compare=False)
+    __slots__ = ("time", "sequence", "callback", "args", "cancelled", "label", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        sequence: int,
+        callback: Callable[..., None],
+        args: Tuple = (),
+        label: str = "",
+        queue: Optional["EventQueue"] = None,
+    ) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.label = label
+        self._queue = queue
 
     def cancel(self) -> None:
-        """Mark the event so it will be skipped when it reaches the head."""
-        self.cancelled = True
+        """Mark the event so it will be skipped when it reaches the head.
+
+        Routes through the owning queue (when attached) so the queue's live
+        count stays exact regardless of which cancellation entry point the
+        caller used.
+        """
+        if self._queue is not None:
+            self._queue.cancel(self)
+        else:
+            self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback with its stored arguments."""
+        self.callback(*self.args)
 
 
 class EventQueue:
-    """A priority queue of :class:`Event` objects keyed by simulated time."""
+    """A priority queue of :class:`Event` handles keyed by simulated time."""
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._next_seq = 0
         self._live_count = 0
 
     def __len__(self) -> int:
@@ -60,45 +107,98 @@ class EventQueue:
     def __bool__(self) -> bool:
         return self._live_count > 0
 
-    def schedule(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
-        """Insert a new event firing at *time* and return it.
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        label: str = "",
+        args: Tuple = (),
+    ) -> Event:
+        """Insert a new event firing at *time* and return its handle.
 
         Raises :class:`SimulationError` if *time* is not a finite number.
         """
-        if not (time == time and time not in (float("inf"), float("-inf"))):
+        if not (time == time and time != _INF and time != _NEG_INF):
             raise SimulationError(f"cannot schedule event at non-finite time {time!r}")
-        event = Event(time=time, sequence=next(self._counter), callback=callback, label=label)
-        heapq.heappush(self._heap, event)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = Event(time, seq, callback, args, label, self)
+        heapq.heappush(self._heap, (time, seq, event))
         self._live_count += 1
         return event
 
+    def schedule_many(
+        self, entries: Iterable[Tuple[float, Callable[..., None], Tuple, str]]
+    ) -> List[Event]:
+        """Bulk-insert events; each entry is ``(time, callback, args, label)``.
+
+        Insertion order assigns the tie-breaking sequence numbers exactly as a
+        sequence of :meth:`schedule` calls would, so the two APIs are
+        interchangeable without perturbing determinism.  When the queue is
+        empty the batch is heapified in O(k) instead of k pushes.  The batch
+        is validated before the queue is touched, so a non-finite time leaves
+        the queue unchanged.
+        """
+        validated = []
+        for entry in entries:
+            time = entry[0]
+            if not (time == time and time != _INF and time != _NEG_INF):
+                raise SimulationError(f"cannot schedule event at non-finite time {time!r}")
+            validated.append(entry)
+        heap = self._heap
+        created: List[Event] = []
+        seq = self._next_seq
+        bulk = not heap
+        for time, callback, args, label in validated:
+            event = Event(time, seq, callback, args, label, self)
+            if bulk:
+                heap.append((time, seq, event))
+            else:
+                heapq.heappush(heap, (time, seq, event))
+            seq += 1
+            created.append(event)
+        if bulk and heap:
+            heapq.heapify(heap)
+        self._next_seq = seq
+        self._live_count += len(created)
+        return created
+
     def cancel(self, event: Event) -> None:
-        """Cancel *event*; it will be skipped when popped."""
+        """Cancel *event* in O(1); it will be skipped lazily when popped.
+
+        Cancelling an event that has already been popped (or dropped by
+        :meth:`clear`) is a no-op — the live count only tracks events still
+        in the heap, so it stays exact whichever order pop/cancel land in
+        (e.g. a process crashing itself from inside its own firing timer).
+        """
         if not event.cancelled:
-            event.cancel()
-            self._live_count -= 1
+            event.cancelled = True
+            if event._queue is self:
+                self._live_count -= 1
 
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the next live event, or ``None``."""
-        self._drop_cancelled()
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)[2]._queue = None
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def pop(self) -> Optional[Event]:
         """Remove and return the next live event, or ``None`` if empty."""
-        self._drop_cancelled()
-        if not self._heap:
-            return None
-        event = heapq.heappop(self._heap)
-        self._live_count -= 1
-        return event
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
+            event._queue = None
+            if not event.cancelled:
+                self._live_count -= 1
+                return event
+        return None
 
     def clear(self) -> None:
         """Drop every pending event."""
+        for _, _, event in self._heap:
+            event._queue = None
         self._heap.clear()
         self._live_count = 0
-
-    def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)

@@ -14,13 +14,22 @@ A :class:`Channel` is a bounded FIFO of in-flight packets.  Delivery is driven
 by the simulator: when a packet is accepted, a delivery event is scheduled
 after a (seeded) random delay; reordering emerges from the variance of the
 delay, and duplication schedules an extra delivery of a copy.
+
+Hot-path design
+---------------
+The in-flight set is an insertion-ordered ``dict`` keyed by packet identity,
+so accepting and completing a delivery are both O(1) (the previous ``deque``
+paid an O(cap) scan in ``remove`` per delivered packet).  Identity keys are
+required because payloads may be unhashable; the simulator always hands back
+the exact object it scheduled.  Every per-channel counter update also feeds a
+network-wide :class:`NetworkCounters` aggregate, making ``statistics()`` and
+``total_in_flight()`` O(1) instead of an O(N^2) scan over channels.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.common.rng import make_rng
 from repro.common.types import ProcessId
@@ -79,6 +88,19 @@ class ChannelConfig:
             raise SimulationError("delay bounds must satisfy 0 <= min <= max")
 
 
+class NetworkCounters:
+    """Network-wide aggregate counters, maintained incrementally by channels."""
+
+    __slots__ = ("sent", "delivered", "dropped", "duplicated", "in_flight")
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.in_flight = 0
+
+
 class Channel:
     """A directed, bounded-capacity, unreliable channel.
 
@@ -87,18 +109,33 @@ class Channel:
     deliveries to the owning :class:`Network`.
     """
 
+    __slots__ = (
+        "source",
+        "destination",
+        "config",
+        "_rng",
+        "_in_flight",
+        "_totals",
+        "sent_count",
+        "delivered_count",
+        "dropped_count",
+        "duplicated_count",
+    )
+
     def __init__(
         self,
         source: ProcessId,
         destination: ProcessId,
         config: ChannelConfig,
         seed: int,
+        totals: Optional[NetworkCounters] = None,
     ) -> None:
         self.source = source
         self.destination = destination
         self.config = config
         self._rng = make_rng(seed, "channel", source, destination)
-        self._in_flight: Deque[Packet] = deque()
+        self._in_flight: Dict[int, Packet] = {}
+        self._totals = totals if totals is not None else NetworkCounters()
         self.sent_count = 0
         self.delivered_count = 0
         self.dropped_count = 0
@@ -107,33 +144,54 @@ class Channel:
     @property
     def in_flight(self) -> Tuple[Packet, ...]:
         """Snapshot of packets currently in flight (oldest first)."""
-        return tuple(self._in_flight)
+        return tuple(self._in_flight.values())
 
     def occupancy(self) -> int:
         """Number of packets currently occupying channel capacity."""
         return len(self._in_flight)
 
-    def try_accept(self, packet: Packet) -> List[Tuple[Packet, float]]:
+    def try_accept(self, packet: Packet, rng: Optional[Any] = None) -> List[Tuple[Packet, float]]:
         """Try to accept *packet* for transmission.
 
         Returns a list of ``(packet, delay)`` pairs to be scheduled for
         delivery — empty when the packet was dropped (lost or channel full),
-        length two when the packet was duplicated.
+        length two when the packet was duplicated.  *rng* overrides the
+        channel's own generator for every draw (used by the broadcast fast
+        path, which feeds one shared stream for a whole burst).
         """
+        totals = self._totals
         self.sent_count += 1
-        if len(self._in_flight) >= self.config.capacity:
+        totals.sent += 1
+        in_flight = self._in_flight
+        if len(in_flight) >= self.config.capacity:
             # Channel full: the new packet is omitted (paper, Section 2).
             self.dropped_count += 1
+            totals.dropped += 1
             return []
-        if self._rng.random() < self.config.loss_probability:
+        if rng is None:
+            rng = self._rng
+        loss = self.config.loss_probability
+        if loss and rng.random() < loss:
             self.dropped_count += 1
+            totals.dropped += 1
             return []
-        self._in_flight.append(packet)
-        deliveries = [(packet, self._draw_delay())]
-        if self._rng.random() < self.config.duplicate_probability:
+        in_flight[id(packet)] = packet
+        totals.in_flight += 1
+        deliveries = [(packet, self._draw_delay(rng))]
+        dup = self.config.duplicate_probability
+        if dup and rng.random() < dup:
             self.duplicated_count += 1
-            deliveries.append((packet, self._draw_delay()))
+            totals.duplicated += 1
+            deliveries.append((packet, self._draw_delay(rng)))
         return deliveries
+
+    def record_blocked(self) -> None:
+        """Count a send attempt that was dropped before entering the channel
+        (used by the network for partitioned pairs)."""
+        self.sent_count += 1
+        self.dropped_count += 1
+        self._totals.sent += 1
+        self._totals.dropped += 1
 
     def stuff(self, packet: Packet) -> bool:
         """Force *packet* into the channel (fault injection of stale packets).
@@ -143,7 +201,8 @@ class Channel:
         """
         if len(self._in_flight) >= self.config.capacity:
             return False
-        self._in_flight.append(packet)
+        self._in_flight[id(packet)] = packet
+        self._totals.in_flight += 1
         return True
 
     def complete_delivery(self, packet: Packet) -> bool:
@@ -153,11 +212,11 @@ class Channel:
         slot; the second delivery still hands the payload to the receiver but
         does not consume capacity (it never did).
         """
-        try:
-            self._in_flight.remove(packet)
-        except ValueError:
+        if self._in_flight.pop(id(packet), None) is None:
             return False
         self.delivered_count += 1
+        self._totals.delivered += 1
+        self._totals.in_flight -= 1
         return True
 
     def drop_in_flight(self) -> int:
@@ -165,13 +224,15 @@ class Channel:
         dropped = len(self._in_flight)
         self._in_flight.clear()
         self.dropped_count += dropped
+        self._totals.dropped += dropped
+        self._totals.in_flight -= dropped
         return dropped
 
-    def _draw_delay(self) -> float:
+    def _draw_delay(self, rng: Optional[Any] = None) -> float:
         lo, hi = self.config.min_delay, self.config.max_delay
         if hi <= lo:
             return lo
-        return self._rng.uniform(lo, hi)
+        return (rng or self._rng).uniform(lo, hi)
 
 
 class Network:
@@ -190,11 +251,32 @@ class Network:
         self._channels: Dict[Tuple[ProcessId, ProcessId], Channel] = {}
         self._overrides: Dict[Tuple[ProcessId, ProcessId], ChannelConfig] = {}
         self._schedule_delivery: Optional[Callable[[Channel, Packet, float], None]] = None
+        self._schedule_deliveries: Optional[
+            Callable[[List[Tuple[Channel, Packet, float]]], None]
+        ] = None
         self._partitions: set[frozenset[ProcessId]] = set()
+        self._totals = NetworkCounters()
+        # Dedicated stream for batched broadcasts: every delay of a
+        # ``send_many`` burst is drawn from this one RNG, which keeps the
+        # burst deterministic while touching a single generator instead of
+        # one per destination channel.
+        self._broadcast_rng = make_rng(seed, "broadcast")
 
-    def bind_scheduler(self, schedule_delivery: Callable[[Channel, Packet, float], None]) -> None:
-        """Install the delivery-scheduling callback (done by the simulator)."""
+    def bind_scheduler(
+        self,
+        schedule_delivery: Callable[[Channel, Packet, float], None],
+        schedule_deliveries: Optional[
+            Callable[[List[Tuple[Channel, Packet, float]]], None]
+        ] = None,
+    ) -> None:
+        """Install the delivery-scheduling callbacks (done by the simulator).
+
+        ``schedule_deliveries`` is the optional bulk variant used by
+        :meth:`send_many`; when absent, bursts fall back to the per-packet
+        callback.
+        """
         self._schedule_delivery = schedule_delivery
+        self._schedule_deliveries = schedule_deliveries
 
     def set_channel_config(
         self, source: ProcessId, destination: ProcessId, config: ChannelConfig
@@ -211,7 +293,7 @@ class Network:
         chan = self._channels.get(key)
         if chan is None:
             config = self._overrides.get(key, self.default_config)
-            chan = Channel(source, destination, config, seed=self._seed)
+            chan = Channel(source, destination, config, seed=self._seed, totals=self._totals)
             self._channels[key] = chan
         return chan
 
@@ -237,14 +319,45 @@ class Network:
         """Submit *packet* for transmission on its directed channel."""
         if self._schedule_delivery is None:
             raise SimulationError("network is not bound to a simulator")
-        if self.is_partitioned(packet.source, packet.destination):
-            chan = self.channel(packet.source, packet.destination)
-            chan.sent_count += 1
-            chan.dropped_count += 1
-            return
         chan = self.channel(packet.source, packet.destination)
+        if self._partitions and self.is_partitioned(packet.source, packet.destination):
+            chan.record_blocked()
+            return
         for pkt, delay in chan.try_accept(packet):
             self._schedule_delivery(chan, pkt, delay)
+
+    def send_many(self, source: ProcessId, payloads: Iterable[Tuple[ProcessId, Any]]) -> int:
+        """Submit one packet per ``(destination, payload)`` pair as a burst.
+
+        A broadcast fast path: all delivery delays of the burst are drawn from
+        the network's dedicated broadcast RNG stream and the resulting events
+        are scheduled with one bulk call.  Returns the number of packets
+        accepted into channels.
+        """
+        if self._schedule_delivery is None:
+            raise SimulationError("network is not bound to a simulator")
+        partitioned = self._partitions
+        rng = self._broadcast_rng
+        batch: List[Tuple[Channel, Packet, float]] = []
+        accepted = 0
+        for destination, payload in payloads:
+            packet = Packet(source=source, destination=destination, payload=payload)
+            chan = self.channel(source, destination)
+            if partitioned and self.is_partitioned(source, destination):
+                chan.record_blocked()
+                continue
+            deliveries = chan.try_accept(packet, rng=rng)
+            if deliveries:
+                accepted += 1
+                for pkt, delay in deliveries:
+                    batch.append((chan, pkt, delay))
+        if batch:
+            if self._schedule_deliveries is not None:
+                self._schedule_deliveries(batch)
+            else:
+                for chan, packet, delay in batch:
+                    self._schedule_delivery(chan, packet, delay)
+        return accepted
 
     def stuff_channel(self, source: ProcessId, destination: ProcessId, payload: Any) -> bool:
         """Inject a stale packet into a channel and schedule its delivery.
@@ -262,15 +375,19 @@ class Network:
         return True
 
     def total_in_flight(self) -> int:
-        """Total packets currently in flight across all channels."""
-        return sum(chan.occupancy() for chan in self._channels.values())
+        """Total packets currently in flight across all channels (O(1))."""
+        return self._totals.in_flight
 
     def statistics(self) -> Dict[str, int]:
-        """Aggregate send/deliver/drop/duplicate counters over all channels."""
-        stats = {"sent": 0, "delivered": 0, "dropped": 0, "duplicated": 0}
-        for chan in self._channels.values():
-            stats["sent"] += chan.sent_count
-            stats["delivered"] += chan.delivered_count
-            stats["dropped"] += chan.dropped_count
-            stats["duplicated"] += chan.duplicated_count
-        return stats
+        """Aggregate send/deliver/drop/duplicate counters over all channels.
+
+        Maintained incrementally on every channel operation, so this is O(1)
+        regardless of the number of channels.
+        """
+        totals = self._totals
+        return {
+            "sent": totals.sent,
+            "delivered": totals.delivered,
+            "dropped": totals.dropped,
+            "duplicated": totals.duplicated,
+        }

@@ -47,6 +47,10 @@ class ProcessContext:
         """Send *payload* to *destination* over the unreliable network."""
         self.simulator.send(self.pid, destination, payload)
 
+    def send_many(self, payloads: Any) -> int:
+        """Send a burst of ``(destination, payload)`` pairs (broadcast fast path)."""
+        return self.simulator.send_many(self.pid, payloads)
+
     def set_timer(self, delay: float, callback: Callable[[], None], label: str = "") -> Any:
         """Arm a one-shot timer firing after *delay* time units."""
         return self.simulator.set_timer(self.pid, delay, callback, label=label)

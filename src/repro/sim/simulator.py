@@ -44,7 +44,7 @@ class Simulator:
         self.now: float = 0.0
         self.events = EventQueue()
         self.network = network or Network(default_config=channel_config, seed=seed)
-        self.network.bind_scheduler(self._schedule_delivery)
+        self.network.bind_scheduler(self._schedule_delivery, self._schedule_deliveries)
         self.processes: Dict[ProcessId, Process] = {}
         self.executed_events = 0
         self.delivered_messages = 0
@@ -120,11 +120,28 @@ class Simulator:
         packet = Packet(source=source, destination=destination, payload=payload)
         self.network.send(packet)
 
+    def send_many(self, source: ProcessId, payloads: Iterable[Any]) -> int:
+        """Send a burst of ``(destination, payload)`` pairs from *source*.
+
+        The broadcast fast path: delivery events are scheduled in bulk and
+        delays are drawn from the network's dedicated broadcast RNG stream.
+        Returns the number of packets accepted into channels.
+        """
+        return self.network.send_many(source, payloads)
+
     def _schedule_delivery(self, channel: Channel, packet: Packet, delay: float) -> None:
+        # The delivery event carries (channel, packet) as event args and fires
+        # the shared bound method — no per-packet closure allocation.
         self.events.schedule(
-            self.now + delay,
-            lambda: self._deliver(channel, packet),
-            label=f"deliver:{packet.source}->{packet.destination}",
+            self.now + delay, self._deliver, label="deliver", args=(channel, packet)
+        )
+
+    def _schedule_deliveries(self, batch: Iterable[Any]) -> None:
+        now = self.now
+        deliver = self._deliver
+        self.events.schedule_many(
+            (now + delay, deliver, (channel, packet), "deliver")
+            for channel, packet, delay in batch
         )
 
     def _deliver(self, channel: Channel, packet: Packet) -> None:
@@ -153,12 +170,14 @@ class Simulator:
         if event.time < self.now:
             raise SimulationError("event queue returned an event from the past")
         self.now = event.time
-        for hook in self._pre_step_hooks:
-            hook(self)
-        event.callback()
+        if self._pre_step_hooks:
+            for hook in self._pre_step_hooks:
+                hook(self)
+        event.callback(*event.args)
         self.executed_events += 1
-        for hook in self._post_step_hooks:
-            hook(self)
+        if self._post_step_hooks:
+            for hook in self._post_step_hooks:
+                hook(self)
         return True
 
     def run(self, until: float) -> None:

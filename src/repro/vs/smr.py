@@ -15,13 +15,24 @@ ready-made machines are provided:
 
 from __future__ import annotations
 
-import copy
 from abc import ABC, abstractmethod
+from types import MappingProxyType
 from typing import Any, Dict, List, Optional, Tuple
 
 
 class StateMachine(ABC):
-    """Interface of a deterministic, copyable replicated state machine."""
+    """Interface of a deterministic, copyable replicated state machine.
+
+    Snapshot contract
+    -----------------
+    ``snapshot()`` returns an *immutable view* of the machine's state: the
+    holder must never mutate it, and the machine guarantees the view stays
+    frozen even as the machine itself keeps evolving (the built-in machines
+    use copy-on-write, so taking a snapshot is O(1) and the copy is only paid
+    if and when the machine is mutated again).  ``restore()`` owns the
+    defensive copy: it must leave the machine independent of the passed
+    snapshot, so callers hand snapshots straight in without deep-copying.
+    """
 
     @abstractmethod
     def apply(self, command: Any) -> Any:
@@ -29,11 +40,13 @@ class StateMachine(ABC):
 
     @abstractmethod
     def snapshot(self) -> Any:
-        """A deep, self-contained copy of the machine's state."""
+        """An immutable, self-contained view of the machine's state."""
 
     @abstractmethod
     def restore(self, snapshot: Any) -> None:
-        """Replace the machine's state with *snapshot* (as from ``snapshot()``)."""
+        """Replace the machine's state with *snapshot* (as from ``snapshot()``).
+
+        Must copy: the machine may not alias the snapshot afterwards."""
 
     def reset(self) -> None:
         """Return the machine to its initial (default) state."""
@@ -41,30 +54,55 @@ class StateMachine(ABC):
 
 
 class LogStateMachine(StateMachine):
-    """Append-only log of applied commands."""
+    """Append-only log of applied commands.
+
+    Snapshots are copy-on-write: ``snapshot()`` hands out the current list in
+    O(1) and the next ``apply`` re-materializes the log, so the handed-out
+    list is never mutated afterwards.
+    """
 
     def __init__(self) -> None:
         self.log: List[Any] = []
+        self._shared = False
 
     def apply(self, command: Any) -> Any:
+        if self._shared:
+            self.log = list(self.log)
+            self._shared = False
         self.log.append(command)
         return len(self.log)
 
     def snapshot(self) -> Any:
-        return list(self.log)
+        self._shared = True
+        return self.log
 
     def restore(self, snapshot: Any) -> None:
         self.log = list(snapshot or [])
+        self._shared = False
 
     def reset(self) -> None:
         self.log = []
+        self._shared = False
 
 
 class KeyValueStateMachine(StateMachine):
-    """A replicated dictionary driven by ``("put", key, value)`` / ``("del", key)``."""
+    """A replicated dictionary driven by ``("put", key, value)`` / ``("del", key)``.
+
+    ``snapshot()`` is O(1): it returns a read-only mapping proxy over the
+    current dictionary and flags the dictionary as shared; the next mutating
+    command rebinds ``self.data`` to a fresh copy (copy-on-write), so the
+    proxy held by the snapshot owner is frozen from then on.  Values are
+    treated as immutable, matching the command vocabulary.
+    """
 
     def __init__(self) -> None:
         self.data: Dict[Any, Any] = {}
+        self._shared = False
+
+    def _materialize(self) -> None:
+        if self._shared:
+            self.data = dict(self.data)
+            self._shared = False
 
     def apply(self, command: Any) -> Any:
         if not isinstance(command, tuple) or not command:
@@ -72,22 +110,27 @@ class KeyValueStateMachine(StateMachine):
         op = command[0]
         if op == "put" and len(command) == 3:
             _, key, value = command
+            self._materialize()
             self.data[key] = value
             return value
         if op == "del" and len(command) == 2:
+            self._materialize()
             return self.data.pop(command[1], None)
         if op == "get" and len(command) == 2:
             return self.data.get(command[1])
         return None
 
     def snapshot(self) -> Any:
-        return copy.deepcopy(self.data)
+        self._shared = True
+        return MappingProxyType(self.data)
 
     def restore(self, snapshot: Any) -> None:
-        self.data = copy.deepcopy(snapshot) if snapshot else {}
+        self.data = dict(snapshot) if snapshot else {}
+        self._shared = False
 
     def reset(self) -> None:
         self.data = {}
+        self._shared = False
 
 
 class RegisterStateMachine(StateMachine):

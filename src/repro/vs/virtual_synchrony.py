@@ -34,7 +34,6 @@ followed functionally; see DESIGN.md for the mapping):
 
 from __future__ import annotations
 
-import copy
 import enum
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
@@ -440,7 +439,7 @@ class VirtualSynchronyService:
                 best_history = history
         own_key = (len(self._delivered_history), self.rnd)
         if best_snapshot is not None and best_key > own_key:
-            self.machine.restore(copy.deepcopy(best_snapshot))
+            self.machine.restore(best_snapshot)
             self._delivered_history = list(best_history)
 
     # -- follower (lines 18-23) ------------------------------------------------
@@ -460,7 +459,7 @@ class VirtualSynchronyService:
                 self.status = VSStatus.INSTALL
                 if state.state_snapshot is not None:
                     snapshot, history = state.state_snapshot
-                    self.machine.restore(copy.deepcopy(snapshot))
+                    self.machine.restore(snapshot)
                     self._delivered_history = list(history)
                     self.rnd = state.rnd
             return
@@ -468,13 +467,44 @@ class VirtualSynchronyService:
         if state.view is None or self.pid not in state.view.members:
             return
         if self.view != state.view or self.status is not VSStatus.MULTICAST:
+            # A round counter restarts with every view, so a follower entering
+            # an installed view must adopt the coordinator's round wholesale —
+            # even *backwards*.  This covers two cases: the follower missed
+            # the PROPOSE/INSTALL exchange entirely (lost or reordered
+            # packets) and first sees the coordinator already multicasting,
+            # and the follower left INSTALL carrying the coordinator's stale
+            # pre-reset round (the coordinator only zeroes ``rnd`` on its own
+            # INSTALL→MULTICAST transition).  Without the resync such a
+            # follower's round can exceed the new view's round forever, so
+            # ``state.rnd > self.rnd`` never fires again and the coordinator's
+            # in-sync barrier wedges permanently.
+            resync = self.view != state.view or self.status is VSStatus.INSTALL
+            if resync:
+                if state.state_snapshot is None:
+                    # Adopting the round without the replica state would leave
+                    # this follower silently diverged (it would report the
+                    # coordinator's round while missing the batches behind
+                    # it).  A multicasting coordinator includes its snapshot
+                    # whenever it recognises itself, so simply wait for the
+                    # next state message that carries one.
+                    return
+                self.view = state.view
+                self.prop_view = state.prop_view
+                self.status = VSStatus.MULTICAST
+                snapshot, history = state.state_snapshot
+                self.machine.restore(snapshot)
+                self._replay_history(history)
+                self.rnd = state.rnd
+                self._consume_delivered(state.delivered)
+                self.suspend = bool(state.suspend) or not self.scheme.no_reco()
+                return
             self.view = state.view
             self.prop_view = state.prop_view
             self.status = VSStatus.MULTICAST
         if state.rnd > self.rnd:
             if state.state_snapshot is not None:
                 snapshot, history = state.state_snapshot
-                self.machine.restore(copy.deepcopy(snapshot))
+                self.machine.restore(snapshot)
                 self._replay_history(history)
             self.rnd = state.rnd
             self._consume_delivered(state.delivered)

@@ -265,3 +265,97 @@ class TestRecSACluster:
         assert cluster.agreed_configuration() == config
         assert sum(node.recsa.install_count for node in cluster.nodes.values()) == installs_before
         assert sum(node.recsa.reset_count for node in cluster.nodes.values()) == resets_before
+
+
+class TestChangeDetectedGossip:
+    """The line-29 broadcast fast path: skip peers that echoed the current
+    state, refresh unconditionally every K rounds (self-stabilization guard)."""
+
+    def test_steady_state_broadcasts_are_skipped(self):
+        harness = RecSAHarness([1, 2, 3], initial_config=make_config([1, 2, 3]))
+        harness.round(5)  # reach echo-confirmed steady state
+        sent_before = {p: harness[p].broadcasts_sent for p in harness.pids}
+        harness.round(3)  # K=5 default: three quiet rounds inside the window
+        skipped = sum(harness[p].broadcasts_skipped for p in harness.pids)
+        assert skipped > 0
+        # At least one node skipped every peer for at least one whole round.
+        assert any(
+            harness[p].broadcasts_sent - sent_before[p] < 3 * 2 for p in harness.pids
+        )
+
+    def test_periodic_refresh_always_resends(self):
+        harness = RecSAHarness([1, 2, 3], initial_config=make_config([1, 2, 3]))
+        refresh = harness[1].gossip_refresh_interval
+        harness.round(refresh * 4)
+        sent_in_window = {p: harness[p].broadcasts_sent for p in harness.pids}
+        harness.round(refresh)
+        # Within any full refresh window every node re-sends to every peer at
+        # least once, no matter how quiet the state is.
+        for p in harness.pids:
+            assert harness[p].broadcasts_sent - sent_in_window[p] >= 2
+
+    def test_state_change_triggers_immediate_rebroadcast(self):
+        harness = RecSAHarness([1, 2, 3], initial_config=make_config([1, 2, 3]))
+        harness.round(6)
+        sent_before = harness[1].broadcasts_sent
+        assert harness[1].estab([1, 2])
+        harness[1].step()  # estab changed prp: the next broadcast must flow
+        assert harness[1].broadcasts_sent >= sent_before + 2
+
+    def test_refresh_interval_one_disables_skipping(self):
+        bus_pids = [1, 2, 3]
+        from tests.conftest import LocalBus
+        from repro.core.recsa import RecSA
+
+        bus = LocalBus()
+        instances = {}
+        for pid in bus_pids:
+            inst = RecSA(
+                pid=pid,
+                fd_provider=lambda: frozenset(bus_pids),
+                send=bus.sender_for(pid),
+                initial_config=make_config(bus_pids),
+                gossip_refresh_interval=1,
+            )
+            instances[pid] = inst
+            bus.register(pid, inst.on_message)
+        for _ in range(8):
+            for pid in bus_pids:
+                instances[pid].step()
+            bus.deliver_all()
+        assert all(inst.broadcasts_skipped == 0 for inst in instances.values())
+        assert all(inst.broadcasts_sent == 8 * 2 for inst in instances.values())
+
+    def test_corrupted_peer_repaired_within_refresh_window(self):
+        """A peer whose received state is corrupted mid-quiet-period recovers
+        even though its neighbours were skipping broadcasts to it."""
+        harness = RecSAHarness([1, 2, 3], initial_config=make_config([1, 2, 3]))
+        harness.round(6)
+        assert harness.converged()
+        # Corrupt node 1's copy of node 2's state while the system is quiet.
+        harness[1].config[2] = BOTTOM
+        refresh = harness[1].gossip_refresh_interval
+        assert harness.run_until(
+            lambda: harness.converged()
+            and set(harness.configs().values()) == {make_config([1, 2, 3])},
+            max_rounds=refresh * 6,
+        )
+
+    def test_convergence_unaffected_by_gossip_skipping(self):
+        """Bootstrap from BOTTOM must converge to the same configuration with
+        and without change detection (the skip guard never hides progress)."""
+        configs = {}
+        for refresh in (1, 5):
+            cluster = quick_cluster(4, seed=42, gossip_refresh_interval=refresh)
+            assert cluster.run_until_converged(timeout=800)
+            configs[refresh] = cluster.agreed_configuration()
+        assert configs[1] == configs[5]
+
+    def test_skipping_reduces_cluster_traffic(self):
+        delivered = {}
+        for refresh in (1, 5):
+            cluster = quick_cluster(6, seed=43, gossip_refresh_interval=refresh)
+            assert cluster.run_until_converged(timeout=800)
+            cluster.run(until=cluster.simulator.now + 100)
+            delivered[refresh] = cluster.statistics()["delivered_messages"]
+        assert delivered[5] < delivered[1]

@@ -61,6 +61,90 @@ class TestEventQueue:
         queue.clear()
         assert not queue
 
+    def test_live_count_exact_across_cancel_paths(self):
+        """Regression: ``len(queue)`` stays exact whichever path cancels or
+        drains a cancelled event (queue.cancel vs event.cancel, peek vs pop)."""
+        queue = EventQueue()
+        a = queue.schedule(1.0, lambda: None)
+        b = queue.schedule(2.0, lambda: None)
+        c = queue.schedule(3.0, lambda: None)
+        assert len(queue) == 3
+        # Cancel through the handle (used to leak the live count).
+        a.cancel()
+        assert len(queue) == 2
+        # Cancelled head dropped via peek_time: count unchanged.
+        assert queue.peek_time() == 2.0
+        assert len(queue) == 2
+        # Cancel through the queue; double-cancel must not double-decrement.
+        queue.cancel(b)
+        b.cancel()
+        queue.cancel(b)
+        assert len(queue) == 1
+        # Cancelled head dropped inside pop: the live event comes out.
+        assert queue.pop() is c
+        assert len(queue) == 0
+        assert queue.pop() is None
+        assert len(queue) == 0
+
+    def test_cancel_after_pop_does_not_corrupt_count(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        assert queue.pop() is event
+        assert len(queue) == 1
+        # Cancelling the already-popped event (a process crashing itself from
+        # inside its own firing timer does this) must not decrement the count.
+        event.cancel()
+        assert len(queue) == 1
+        assert bool(queue)
+        queue.cancel(event)
+        assert len(queue) == 1
+
+    def test_cancel_after_clear_is_noop(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, lambda: None)
+        queue.clear()
+        event.cancel()
+        assert len(queue) == 0
+
+    def test_schedule_many_atomic_on_invalid_entry(self):
+        """A bad entry mid-batch must leave the queue untouched and usable."""
+        queue = EventQueue()
+        with pytest.raises(SimulationError):
+            queue.schedule_many(
+                [(1.0, lambda: None, (), ""), (float("nan"), lambda: None, (), "")]
+            )
+        assert len(queue) == 0
+        # The queue still works and the next sequence number is unused.
+        queue.schedule(1.0, lambda: None)
+        queue.schedule(1.0, lambda: None)
+        assert len(queue) == 2
+        assert queue.pop() is not None and queue.pop() is not None
+
+    def test_schedule_many_bulk(self):
+        queue = EventQueue()
+        fired = []
+        events = queue.schedule_many(
+            (float(t), fired.append, (t,), "") for t in (3, 1, 2)
+        )
+        assert len(events) == 3
+        assert len(queue) == 3
+        while queue:
+            queue.pop().fire()
+        assert fired == [1, 2, 3]
+
+    def test_schedule_many_rejects_non_finite(self):
+        queue = EventQueue()
+        with pytest.raises(SimulationError):
+            queue.schedule_many([(float("nan"), lambda: None, (), "")])
+
+    def test_event_args_passed_to_callback(self):
+        queue = EventQueue()
+        got = []
+        queue.schedule(1.0, lambda a, b: got.append((a, b)), args=(1, 2))
+        queue.pop().fire()
+        assert got == [(1, 2)]
+
 
 class TestChannel:
     def test_capacity_drops_new_packet(self):
@@ -191,6 +275,91 @@ class TestSimulator:
         sim.run(until=3.0)
         stats = sim.statistics()
         assert {"time", "executed_events", "processes", "net_sent"} <= set(stats)
+
+
+class TestNetworkFastPath:
+    def test_statistics_match_per_channel_counters(self):
+        """The O(1) aggregate must equal the sum over channels at all times."""
+        sim = Simulator(seed=3)
+        a, b, c = _Echo(1), _Echo(2), _Echo(3)
+        for proc in (a, b, c):
+            sim.add_process(proc)
+        for i in range(20):
+            sim.send(1, 2, f"m{i}")
+            sim.send(2, 3, f"n{i}")
+        sim.run(until=15.0)
+        aggregate = sim.network.statistics()
+        manual = {"sent": 0, "delivered": 0, "dropped": 0, "duplicated": 0}
+        for chan in sim.network.channels():
+            manual["sent"] += chan.sent_count
+            manual["delivered"] += chan.delivered_count
+            manual["dropped"] += chan.dropped_count
+            manual["duplicated"] += chan.duplicated_count
+        assert aggregate == manual
+
+    def test_total_in_flight_matches_occupancy_sum(self):
+        sim = Simulator(seed=3)
+        sim.add_process(_Echo(1))
+        sim.add_process(_Echo(2))
+        for i in range(5):
+            sim.send(1, 2, i)
+        assert sim.network.total_in_flight() == sum(
+            chan.occupancy() for chan in sim.network.channels()
+        )
+        sim.run(until=10.0)
+        assert sim.network.total_in_flight() == sum(
+            chan.occupancy() for chan in sim.network.channels()
+        )
+
+    def test_send_many_delivers_to_every_destination(self):
+        sim = Simulator(seed=4)
+        procs = {pid: _Echo(pid) for pid in range(4)}
+        for proc in procs.values():
+            sim.add_process(proc)
+        accepted = sim.send_many(0, [(pid, f"hello-{pid}") for pid in (1, 2, 3)])
+        assert accepted == 3
+        sim.run(until=10.0)
+        for pid in (1, 2, 3):
+            assert (0, f"hello-{pid}") in procs[pid].got
+
+    def test_send_many_respects_partition(self):
+        sim = Simulator(seed=4)
+        a, b = _Echo(1), _Echo(2)
+        sim.add_process(a)
+        sim.add_process(b)
+        sim.network.partition([1], [2])
+        assert sim.send_many(1, [(2, "blocked")]) == 0
+        sim.run(until=5.0)
+        assert b.got == []
+        assert sim.network.statistics()["dropped"] >= 1
+
+    def test_send_many_respects_capacity(self):
+        sim = Simulator(seed=4)
+        sim.network.default_config = ChannelConfig(capacity=2)
+        sim.add_process(_Echo(1))
+        sim.add_process(_Echo(2))
+        accepted = sim.send_many(1, [(2, i) for i in range(5)])
+        assert accepted == 2
+        chan = sim.network.channel(1, 2)
+        assert chan.dropped_count == 3
+
+    def test_duplicate_delivery_consumes_one_slot(self):
+        chan = Channel(1, 2, ChannelConfig(capacity=10, duplicate_probability=1.0), seed=0)
+        packet = Packet(1, 2, "x")
+        deliveries = chan.try_accept(packet)
+        assert len(deliveries) == 2
+        assert chan.occupancy() == 1
+        assert chan.complete_delivery(packet)
+        assert not chan.complete_delivery(packet)
+        assert chan.occupancy() == 0
+
+    def test_unhashable_payload_supported(self):
+        # The in-flight ledger is identity-keyed: payloads need not be
+        # hashable (VS snapshots carry lists).
+        chan = Channel(1, 2, ChannelConfig(capacity=4), seed=0)
+        packet = Packet(1, 2, ["mutable", {"nested": True}])
+        assert chan.try_accept(packet)
+        assert chan.complete_delivery(packet)
 
 
 class TestNetworkPartition:

@@ -1,19 +1,27 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-pytest
+.PHONY: test bench bench-quick bench-pytest scenarios scenarios-smoke
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
-# Full perf trajectory: writes BENCH_pr1.json at the repository root.
+# Full perf trajectory: writes BENCH_pr2.json at the repository root.
 bench:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --tag pr1
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --tag pr2
 
-# Smoke run (<60s) for CI: scalability + hotpath scenarios only.
+# Smoke run (<60s) for CI: scalability + hotpath + scenario-matrix scenarios.
 bench-quick:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --quick --tag pr1
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --quick --tag pr2
 
 # The pytest-benchmark experiment suite (E1-E12 + hotpath micro-benches).
 bench-pytest:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/bench_scalability.py benchmarks/bench_hotpath.py -q
+
+# The declarative scenario library: 4-seed sweep on 4 workers.
+scenarios:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.scenarios --seeds 0:4 --workers 4
+
+# CI gate: every registered scenario once, seed 0, nonzero exit on failure.
+scenarios-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.scenarios --smoke

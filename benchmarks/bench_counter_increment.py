@@ -10,18 +10,14 @@ from __future__ import annotations
 import pytest
 
 from repro.counters.counter import counter_less_than
-from repro.counters.service import CounterService
+from repro.sim.stacks import stack
 
 from conftest import bench_cluster, record
 
 
 def _increment_sequence(n: int, increments: int, seqn_bound: int, seed: int) -> dict:
-    cluster = bench_cluster(n, seed=seed)
-    services = {}
-    for pid, node in cluster.nodes.items():
-        services[pid] = node.register_service(
-            CounterService(pid, node.scheme, node._send_raw, seqn_bound=seqn_bound)
-        )
+    cluster = bench_cluster(n, seed=seed, stack=stack("counters", seqn_bound=seqn_bound))
+    services = cluster.services("counters")
     assert cluster.run_until_converged(timeout=4_000)
     cluster.run(until=cluster.simulator.now + 40)
     start = cluster.simulator.now

@@ -11,18 +11,13 @@ from __future__ import annotations
 import pytest
 
 from repro.labels.label import EpochLabel, LabelPair
-from repro.labels.labeling import LabelingService
 
 from conftest import bench_cluster, record
 
 
 def _label_convergence(n: int, corrupt: bool, seed: int) -> dict:
-    cluster = bench_cluster(n, seed=seed)
-    services = {}
-    for pid, node in cluster.nodes.items():
-        services[pid] = node.register_service(
-            LabelingService(pid, node.scheme, node._send_raw)
-        )
+    cluster = bench_cluster(n, seed=seed, stack="labels")
+    services = cluster.services("labels")
     assert cluster.run_until_converged(timeout=4_000)
     cluster.run(until=cluster.simulator.now + 60)
     if corrupt:

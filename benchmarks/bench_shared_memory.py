@@ -8,34 +8,16 @@ from __future__ import annotations
 
 import pytest
 
-from repro.counters.service import CounterService
-from repro.vs.shared_memory import SharedRegister
-from repro.vs.smr import RegisterStateMachine
-from repro.vs.virtual_synchrony import VirtualSynchronyService, VSStatus
+from repro.analysis.probes import view_is_installed
 
 from conftest import bench_cluster, record
 
 
 def _register_workload(n: int, writes: int, seed: int) -> dict:
-    cluster = bench_cluster(n, seed=seed)
-    registers = {}
-    services = {}
-    for pid, node in cluster.nodes.items():
-        counters = node.register_service(CounterService(pid, node.scheme, node._send_raw))
-        vs = VirtualSynchronyService(
-            pid, node.scheme, counters, node._send_raw, state_machine=RegisterStateMachine()
-        )
-        node.register_service(vs)
-        services[pid] = vs
-        registers[pid] = SharedRegister(pid, vs)
+    cluster = bench_cluster(n, seed=seed, stack="shared_register")
+    registers = cluster.services("register")
     assert cluster.run_until_converged(timeout=4_000)
-    assert cluster.run_until(
-        lambda: any(
-            vs.view is not None and vs.status is VSStatus.MULTICAST and vs.is_coordinator()
-            for vs in services.values()
-        ),
-        timeout=8_000,
-    )
+    assert cluster.run_until(lambda: view_is_installed(cluster), timeout=8_000)
     start = cluster.simulator.now
     for index in range(writes):
         registers[index % n].write(f"value-{index}")

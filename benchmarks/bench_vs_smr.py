@@ -9,28 +9,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.counters.service import CounterService
-from repro.vs.smr import LogStateMachine
-from repro.vs.virtual_synchrony import VirtualSynchronyService, VSStatus
+from repro.vs.virtual_synchrony import VSStatus
 
 from conftest import bench_cluster, record
 
 
-def _build_vs(cluster):
-    services = {}
-    for pid, node in cluster.nodes.items():
-        counters = node.register_service(CounterService(pid, node.scheme, node._send_raw))
-        vs = VirtualSynchronyService(
-            pid, node.scheme, counters, node._send_raw, state_machine=LogStateMachine()
-        )
-        node.register_service(vs)
-        services[pid] = vs
-    return services
-
-
 def _smr_run(n: int, commands: int, crash_coordinator: bool, seed: int) -> dict:
-    cluster = bench_cluster(n, seed=seed)
-    services = _build_vs(cluster)
+    cluster = bench_cluster(n, seed=seed, stack="vs_smr")
+    services = cluster.services("vs")
     assert cluster.run_until_converged(timeout=4_000)
     view_ok = cluster.run_until(
         lambda: any(

@@ -5,6 +5,11 @@ measures wall-clock plus the experiment metrics of one scenario and the
 whole trajectory is written to ``BENCH_<tag>.json`` at the repository root,
 so successive PRs accumulate comparable perf records.
 
+Every simulated workload is expressed through the declarative scenario
+engine (:mod:`repro.scenarios`) — a :class:`ScenarioSpec` per measurement
+instead of hand-wired cluster construction — and the composed scenario
+library is swept across seeds with the engine's multiprocessing matrix.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py            # full run
@@ -25,9 +30,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
-from repro.sim.cluster import build_cluster  # noqa: E402
-from repro.sim.events import EventQueue  # noqa: E402
-from repro.sim.network import ChannelConfig  # noqa: E402
+from repro.scenarios import ScenarioSpec, run_matrix, run_scenario  # noqa: E402
+
+from bench_hotpath import _event_throughput  # noqa: E402
 
 
 #: Measurements of the pre-fast-path tree (PR0 seed) on the same scenarios,
@@ -46,23 +51,21 @@ SEED_BASELINE = {
     },
 }
 
-
-def _bench_cluster(n: int, seed: int, capacity: int = 8, **kwargs):
-    config = ChannelConfig(
-        capacity=capacity, loss_probability=0.0, min_delay=0.2, max_delay=0.6
-    )
-    return build_cluster(n=n, seed=seed, channel_config=config, **kwargs)
+#: The composed scenarios swept by the matrix entry (the library's
+#: fault-model scenarios, not the trivial boot baselines).
+MATRIX_SCENARIOS = [
+    "churn_during_corruption",
+    "quorum_edge_crash_storm",
+    "flash_join_wave",
+    "partition_heal",
+    "register_under_churn",
+]
 
 
 def bench_event_throughput(n_events: int) -> dict:
-    """Raw event queue schedule+drain throughput."""
-    queue = EventQueue()
-    sink = []
+    """Raw event queue schedule+drain throughput (shared with bench_hotpath)."""
     t0 = time.perf_counter()
-    for i in range(n_events):
-        queue.schedule(float(i % 97), sink.append, args=(i,))
-    while queue:
-        queue.pop().fire()
+    _event_throughput(n_events)
     elapsed = time.perf_counter() - t0
     return {
         "events": n_events,
@@ -73,66 +76,92 @@ def bench_event_throughput(n_events: int) -> dict:
 
 def bench_bootstrap(n: int, seed: int, timeout: float = 6_000.0) -> dict:
     """Self-organizing bootstrap to convergence (the E11 scalability core)."""
+    spec = ScenarioSpec(
+        name=f"bootstrap_n{n}", n=n, config="fast_sim", bootstrap_timeout=timeout
+    )
     t0 = time.perf_counter()
-    cluster = _bench_cluster(n, seed=seed)
-    converged = cluster.run_until_converged(timeout=timeout)
+    result = run_scenario(spec, seed=seed)
     elapsed = time.perf_counter() - t0
-    stats = cluster.statistics()
-    recsa_sent = sum(node.recsa.broadcasts_sent for node in cluster.nodes.values())
-    recsa_skipped = sum(node.recsa.broadcasts_skipped for node in cluster.nodes.values())
-    recma_sent = sum(node.recma.broadcasts_sent for node in cluster.nodes.values())
-    recma_skipped = sum(node.recma.broadcasts_skipped for node in cluster.nodes.values())
+    stats = result["statistics"]
     return {
         "n": n,
         "seed": seed,
-        "converged": converged,
+        "converged": result["bootstrapped"],
         "wall_seconds": elapsed,
-        "time_to_converge": cluster.simulator.now,
+        "time_to_converge": stats["time"],
         "executed_events": stats["executed_events"],
         "messages_delivered": stats["delivered_messages"],
         "messages_sent": stats["net_sent"],
-        "recsa_broadcasts_sent": recsa_sent,
-        "recsa_broadcasts_skipped": recsa_skipped,
-        "recma_broadcasts_sent": recma_sent,
-        "recma_broadcasts_skipped": recma_skipped,
+        "recsa_broadcasts_sent": stats["recsa_broadcasts_sent"],
+        "recsa_broadcasts_skipped": stats["recsa_broadcasts_skipped"],
+        "recma_broadcasts_sent": stats["recma_broadcasts_sent"],
+        "recma_broadcasts_skipped": stats["recma_broadcasts_skipped"],
     }
 
 
 def bench_steady_state(n: int, seed: int, horizon: float = 200.0) -> dict:
     """Post-convergence steady-state traffic over a fixed sim-time horizon."""
-    cluster = _bench_cluster(n, seed=seed)
-    if not cluster.run_until_converged(timeout=6_000.0):
+    spec = ScenarioSpec(
+        name=f"steady_state_n{n}",
+        n=n,
+        config="fast_sim",
+        bootstrap_timeout=6_000.0,
+        measure_window=horizon,
+    )
+    result = run_scenario(spec, seed=seed)
+    if not result["bootstrapped"]:
         return {"n": n, "seed": seed, "converged": False}
-    stats_before = cluster.statistics()
-    start = cluster.simulator.now
-    t0 = time.perf_counter()
-    cluster.run(until=start + horizon)
-    elapsed = time.perf_counter() - t0
-    stats_after = cluster.statistics()
-    delivered = stats_after["delivered_messages"] - stats_before["delivered_messages"]
-    events = stats_after["executed_events"] - stats_before["executed_events"]
+    window = result["window"]
+    elapsed = window["wall_seconds"]
     return {
         "n": n,
         "seed": seed,
         "converged": True,
         "horizon": horizon,
         "wall_seconds": elapsed,
-        "events": events,
-        "messages_delivered": delivered,
-        "messages_per_simtime": delivered / horizon,
-        "events_per_second": events / elapsed if elapsed else None,
+        "events": window["executed_events"],
+        "messages_delivered": window["delivered_messages"],
+        "messages_per_simtime": window["delivered_messages"] / horizon,
+        "events_per_second": window["executed_events"] / elapsed if elapsed else None,
+    }
+
+
+def bench_scenario_matrix(seeds, workers: int) -> dict:
+    """Seed-sweep of the composed scenario library via the parallel runner."""
+    t0 = time.perf_counter()
+    sweep = run_matrix(MATRIX_SCENARIOS, seeds=seeds, workers=workers)
+    elapsed = time.perf_counter() - t0
+    results = sweep["results"]
+    return {
+        "scenarios": MATRIX_SCENARIOS,
+        "seeds": list(seeds),
+        "workers": sweep["meta"]["workers"],
+        "runs": len(results),
+        "all_ok": all(entry.get("ok") for entry in results),
+        "failed": [
+            f"{entry['scenario']}@{entry['seed']}"
+            for entry in results
+            if not entry.get("ok")
+        ],
+        "wall_seconds": elapsed,
+        "delivered_messages_total": sum(
+            entry.get("statistics", {}).get("delivered_messages", 0)
+            for entry in results
+        ),
     }
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="smoke run, <60s")
-    parser.add_argument("--tag", default="pr1", help="suffix of BENCH_<tag>.json")
+    parser.add_argument("--tag", default="pr2", help="suffix of BENCH_<tag>.json")
     parser.add_argument("--output", default=None, help="explicit output path")
+    parser.add_argument("--workers", type=int, default=4, help="matrix sweep workers")
     args = parser.parse_args(argv)
 
     sizes = [4, 8, 16] if not args.quick else [4, 16]
     event_counts = [200_000] if not args.quick else [100_000]
+    matrix_seeds = range(4) if not args.quick else range(2)
 
     results = {
         "meta": {
@@ -163,6 +192,11 @@ def main(argv=None) -> int:
             n, seed=89, horizon=100.0 if args.quick else 200.0
         )
 
+    print("[bench] scenario_matrix ...", flush=True)
+    results["benchmarks"]["scenario_matrix"] = bench_scenario_matrix(
+        seeds=matrix_seeds, workers=args.workers
+    )
+
     headline = results["benchmarks"].get("bootstrap_n16")
     baseline = SEED_BASELINE.get("bootstrap_n16")
     if headline and baseline and headline.get("wall_seconds"):
@@ -180,10 +214,10 @@ def main(argv=None) -> int:
     failures = [
         key
         for key, entry in results["benchmarks"].items()
-        if entry.get("converged") is False
+        if entry.get("converged") is False or entry.get("all_ok") is False
     ]
     if failures:
-        print(f"[bench] FAILED to converge: {failures}", file=sys.stderr)
+        print(f"[bench] FAILED: {failures}", file=sys.stderr)
         return 1
     return 0
 

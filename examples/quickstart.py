@@ -1,10 +1,13 @@
 #!/usr/bin/env python
 """Quickstart: self-organizing configuration, joining, and reconfiguration.
 
-The example builds a five-node cluster that boots from scratch (every node
-starts in a reset), lets it self-organize into a quorum configuration, adds a
-joiner, crashes a majority of the configuration and shows the scheme
-recovering by installing a new configuration over the survivors.
+The example builds a five-node cluster from a declarative
+:class:`~repro.sim.config.ClusterConfig` preset, lets it self-organize into a
+quorum configuration, adds a joiner, crashes a majority of the configuration
+and shows the scheme recovering by installing a new configuration over the
+survivors.  The final phase runs one of the composed scenarios from the
+declarative scenario library — the same engine behind
+``python -m repro.scenarios``.
 
 Run with::
 
@@ -13,11 +16,12 @@ Run with::
 
 from __future__ import annotations
 
-from repro import build_cluster
+from repro import build_cluster, fast_sim
+from repro.scenarios import run_scenario
 
 
 def main() -> None:
-    cluster = build_cluster(n=5, seed=42)
+    cluster = build_cluster(n=5, seed=42, config=fast_sim())
 
     print("== phase 1: self-organization from an arbitrary start ==")
     converged = cluster.run_until_converged(timeout=2_000)
@@ -50,6 +54,13 @@ def main() -> None:
     print("\n== run statistics ==")
     for key in ("time", "executed_events", "delivered_messages", "resets", "installs"):
         print(f"  {key}: {stats[key]}")
+
+    print("\n== phase 4: a composed scenario from the library ==")
+    result = run_scenario("churn_during_corruption", seed=1)
+    print(f"scenario: {result['scenario']} (stack={result['stack']})")
+    print(f"ok: {result['ok']}, probes: "
+          f"{ {name: entry['satisfied'] for name, entry in result['probes'].items()} }")
+    print("explore more with: python -m repro.scenarios --list")
 
 
 if __name__ == "__main__":

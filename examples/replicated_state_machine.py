@@ -2,10 +2,11 @@
 """Virtually synchronous state-machine replication with reconfiguration.
 
 A four-node cluster runs the full application stack of the paper's
-Section 4.3: bounded labels, counters, and the coordinator-based virtually
-synchronous SMR.  The example replicates a key-value store, adds a joiner and
-lets the coordinator perform a delicate reconfiguration that carries the
-replicated state over to the new configuration.
+Section 4.3 through the ``vs_smr`` stack profile: bounded labels, counters,
+and the coordinator-based virtually synchronous SMR replicating a key-value
+store.  The example adds a joiner and lets the coordinator perform a
+delicate reconfiguration (triggered through the node's ``control`` mailbox)
+that carries the replicated state over to the new configuration.
 
 Run with::
 
@@ -14,38 +15,23 @@ Run with::
 
 from __future__ import annotations
 
-from repro import build_cluster
-from repro.counters.service import CounterService
+from repro import build_cluster, fast_sim, stack
+from repro.analysis.probes import view_is_installed
 from repro.vs.smr import KeyValueStateMachine
-from repro.vs.virtual_synchrony import VirtualSynchronyService, VSStatus
 
 
 def main() -> None:
-    cluster = build_cluster(n=4, seed=7)
-    reconfigure_flags = {pid: False for pid in cluster.nodes}
-    services = {}
-    for pid, node in cluster.nodes.items():
-        counters = node.register_service(CounterService(pid, node.scheme, node._send_raw))
-        vs = VirtualSynchronyService(
-            pid,
-            node.scheme,
-            counters,
-            node._send_raw,
-            state_machine=KeyValueStateMachine(),
-            eval_config=lambda pid=pid: reconfigure_flags[pid],
-        )
-        node.register_service(vs)
-        services[pid] = vs
+    cluster = build_cluster(
+        n=4,
+        seed=7,
+        config=fast_sim(),
+        stack=stack("vs_smr", state_machine=KeyValueStateMachine),
+    )
+    services = cluster.services("vs")
 
     print("== establishing the configuration and the first view ==")
     cluster.run_until_converged(timeout=2_000)
-    cluster.run_until(
-        lambda: any(
-            vs.view is not None and vs.status is VSStatus.MULTICAST and vs.is_coordinator()
-            for vs in services.values()
-        ),
-        timeout=6_000,
-    )
+    cluster.run_until(lambda: view_is_installed(cluster), timeout=6_000)
     coordinator = next(pid for pid, vs in services.items() if vs.is_coordinator())
     print(f"coordinator: {coordinator}, view: "
           f"{sorted(services[coordinator].view.members)}")
@@ -63,13 +49,13 @@ def main() -> None:
     print("\n== joiner + coordinator-led delicate reconfiguration ==")
     joiner = cluster.add_joiner(10)
     cluster.run_until(lambda: joiner.scheme.is_participant(), timeout=5_000)
-    reconfigure_flags[coordinator] = True
+    cluster.nodes[coordinator].control["reconfigure"] = True
     cluster.run_until(
         lambda: cluster.agreed_configuration() is not None
         and 10 in cluster.agreed_configuration(),
         timeout=8_000,
     )
-    reconfigure_flags[coordinator] = False
+    cluster.nodes[coordinator].control["reconfigure"] = False
     cluster.run_until_converged(timeout=4_000)
     print(f"new configuration: {sorted(cluster.agreed_configuration())}")
 

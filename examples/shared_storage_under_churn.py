@@ -3,10 +3,13 @@
 
 This example mirrors the motivating scenario of the paper's introduction: a
 dynamic shared-storage service whose replica set changes over time.  Writers
-update a register through the virtually synchronous SMR; meanwhile processors
-crash, new ones join, and a transient fault scrambles part of the protocol
-state.  The register stays consistent and the service resumes after every
-disturbance.
+update a register through the virtually synchronous SMR; meanwhile a replica
+crashes and a transient fault scrambles part of the protocol state.  The
+register stays consistent and the service resumes after every disturbance.
+
+The whole stack comes from the ``shared_register`` profile, and the
+convergence conditions are the reusable probes from
+:mod:`repro.analysis.probes` — no hand-wired services or ad-hoc wait loops.
 
 Run with::
 
@@ -15,63 +18,35 @@ Run with::
 
 from __future__ import annotations
 
-from repro import build_cluster
-from repro.counters.service import CounterService
-from repro.vs.shared_memory import SharedRegister
-from repro.vs.smr import RegisterStateMachine
-from repro.vs.virtual_synchrony import VirtualSynchronyService, VSStatus
+from repro import build_cluster, fast_sim
+from repro.analysis import probes
+from repro.analysis.probes import wait_for
 from repro.workloads.corruption import scramble_cluster
 
 
-def wait_for_view(cluster, services, timeout=6_000):
-    """Wait for an installed view led by an alive coordinator over alive members."""
-    def _ready() -> bool:
-        for pid, vs in services.items():
-            if cluster.nodes[pid].crashed:
-                continue
-            if (
-                vs.view is not None
-                and vs.status is VSStatus.MULTICAST
-                and vs.is_coordinator()
-                and not any(cluster.nodes[m].crashed for m in vs.view.members)
-            ):
-                return True
-        return False
-
-    cluster.run_until(_ready, timeout=cluster.simulator.now + timeout)
-
-
 def main() -> None:
-    cluster = build_cluster(n=5, seed=13)
-    services, registers = {}, {}
-    for pid, node in cluster.nodes.items():
-        counters = node.register_service(CounterService(pid, node.scheme, node._send_raw))
-        vs = VirtualSynchronyService(
-            pid, node.scheme, counters, node._send_raw,
-            state_machine=RegisterStateMachine(),
-        )
-        node.register_service(vs)
-        services[pid] = vs
-        registers[pid] = SharedRegister(pid, vs)
+    cluster = build_cluster(n=5, seed=13, config=fast_sim(), stack="shared_register")
+    registers = cluster.services("register")
 
     cluster.run_until_converged(timeout=2_000)
-    wait_for_view(cluster, services)
+    wait_for(cluster, probes.view_installed(6_000))
     print("configuration:", sorted(cluster.agreed_configuration()))
 
     print("\n== writes from several writers ==")
     registers[0].write("v1-from-0")
     registers[2].write("v2-from-2")
     cluster.run_until(
-        lambda: all(reg.vs.pending_count() == 0 for reg in registers.values()),
+        lambda: all(len(reg.history()) == 2 for reg in registers.values()),
         timeout=cluster.simulator.now + 800,
     )
     print("register value at node 4:", registers[4].read())
     print("write history:", registers[4].history())
 
-    print("\n== crash of a replica ==")
+    print("\n== crash of a replica + a transient fault ==")
     cluster.crash(1)
+    scramble_cluster(cluster, seed=13, fraction=0.4)
     cluster.run_until_converged(timeout=10_000)
-    wait_for_view(cluster, services, timeout=12_000)
+    wait_for(cluster, probes.view_installed(12_000))
     alive = [pid for pid in cluster.nodes if not cluster.nodes[pid].crashed]
     writer = alive[-1]
     registers[writer].write("v3-after-recovery")
@@ -83,8 +58,9 @@ def main() -> None:
           {pid: registers[pid].read() for pid in alive})
     print("pending (not yet delivered) writes:",
           {pid: registers[pid].pending_writes() for pid in alive})
+    agreement = wait_for(cluster, probes.register_agreement(2_000))
     print("histories identical (register consistency preserved):",
-          len({tuple(registers[pid].history()) for pid in alive}) == 1)
+          agreement.satisfied)
 
 
 if __name__ == "__main__":

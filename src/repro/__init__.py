@@ -32,6 +32,8 @@ True
 
 from repro.common.types import ProcessId, Configuration, NOT_PARTICIPANT
 from repro.sim.simulator import Simulator
+from repro.sim.config import ClusterConfig, fast_sim, paper_faithful, preset
+from repro.sim.stacks import StackProfile, get_stack, stack
 from repro.sim.cluster import Cluster, ClusterNode, build_cluster
 
 __all__ = [
@@ -39,6 +41,13 @@ __all__ = [
     "Configuration",
     "NOT_PARTICIPANT",
     "Simulator",
+    "ClusterConfig",
+    "fast_sim",
+    "paper_faithful",
+    "preset",
+    "StackProfile",
+    "get_stack",
+    "stack",
     "Cluster",
     "ClusterNode",
     "build_cluster",

@@ -1,5 +1,13 @@
-"""Metrics collection and reporting helpers for the benchmark harness."""
+"""Metrics, probes and reporting helpers for scenarios and benchmarks."""
 
 from repro.analysis.metrics import ExperimentResult, ResultTable, summarize
+from repro.analysis.probes import Probe, ProbeResult, wait_for
 
-__all__ = ["ExperimentResult", "ResultTable", "summarize"]
+__all__ = [
+    "ExperimentResult",
+    "ResultTable",
+    "summarize",
+    "Probe",
+    "ProbeResult",
+    "wait_for",
+]

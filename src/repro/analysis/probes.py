@@ -1,0 +1,150 @@
+"""Reusable convergence / consistency probes over a running cluster.
+
+A :class:`Probe` is a named predicate over a :class:`~repro.sim.cluster.Cluster`
+plus a simulated-time budget; :func:`wait_for` drives the simulation until the
+predicate holds (or the budget elapses) and reports the outcome.  Probes are
+what scenario specs declare instead of every example and test re-implementing
+``wait_for_view`` / history-agreement loops with subtle drift.
+
+The checks only rely on the stack-profile service names (``"vs"``,
+``"register"``, ``"counters"``): a probe that needs a service a node does not
+run simply ignores that node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.cluster import Cluster
+
+ProbeCheck = Callable[["Cluster"], bool]
+
+DEFAULT_PROBE_TIMEOUT = 4_000.0
+
+
+@dataclass(frozen=True)
+class Probe:
+    """A named condition to drive a cluster toward (within *timeout*)."""
+
+    name: str
+    check: ProbeCheck
+    timeout: float = DEFAULT_PROBE_TIMEOUT
+
+    def __call__(self, cluster: "Cluster") -> bool:
+        return self.check(cluster)
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """The outcome of waiting for one probe."""
+
+    name: str
+    satisfied: bool
+    time: float
+
+
+def wait_for(cluster: "Cluster", probe: Probe) -> ProbeResult:
+    """Run *cluster* until *probe* holds (budgeted from the current instant)."""
+    satisfied = cluster.run_until(
+        lambda: probe.check(cluster), timeout=cluster.simulator.now + probe.timeout
+    )
+    return ProbeResult(name=probe.name, satisfied=satisfied, time=cluster.simulator.now)
+
+
+# ---------------------------------------------------------------------------
+# Check functions (usable directly or through the probe factories below)
+# ---------------------------------------------------------------------------
+def is_converged(cluster: "Cluster") -> bool:
+    """All alive participants agree on a configuration and report stability."""
+    return cluster.is_converged()
+
+
+def all_participating(cluster: "Cluster") -> bool:
+    """Every alive node (including late joiners) has become a participant."""
+    return cluster.all_nodes_participating()
+
+
+def view_is_installed(cluster: "Cluster") -> bool:
+    """An alive coordinator multicasts in a view of entirely alive members.
+
+    The promoted form of the ``wait_for_view`` helper the examples used to
+    each re-implement.
+    """
+    from repro.vs.virtual_synchrony import VSStatus
+
+    for node in cluster.alive_nodes():
+        vs = node.service_map.get("vs")
+        if vs is None or vs.view is None:
+            continue
+        if vs.status is not VSStatus.MULTICAST or not vs.is_coordinator():
+            continue
+        members_alive = all(
+            member in cluster.nodes and not cluster.nodes[member].crashed
+            for member in vs.view.members
+        )
+        if members_alive:
+            return True
+    return False
+
+
+def registers_agree(cluster: "Cluster") -> bool:
+    """Alive replicas expose identical totally ordered write histories.
+
+    Vacuously true before any write is delivered; combine with a workload
+    that performs writes to make it a consistency check.
+    """
+    histories = {
+        tuple(node.service_map["register"].history())
+        for node in cluster.alive_nodes()
+        if "register" in node.service_map
+    }
+    return len(histories) <= 1
+
+
+def no_pending_writes(cluster: "Cluster") -> bool:
+    """Every submitted write on an alive replica has been delivered."""
+    services = [
+        node.service_map["vs"]
+        for node in cluster.alive_nodes()
+        if "vs" in node.service_map
+    ]
+    return bool(services) and all(vs.pending_count() == 0 for vs in services)
+
+
+def smr_states_agree(cluster: "Cluster") -> bool:
+    """Alive replicas hold identical replicated-state snapshots."""
+    snapshots: List[Any] = []
+    for node in cluster.alive_nodes():
+        vs = node.service_map.get("vs")
+        if vs is not None:
+            snapshots.append(vs.machine.snapshot())
+    return len(snapshots) > 0 and all(s == snapshots[0] for s in snapshots[1:])
+
+
+# ---------------------------------------------------------------------------
+# Probe factories
+# ---------------------------------------------------------------------------
+def converged(timeout: float = DEFAULT_PROBE_TIMEOUT) -> Probe:
+    return Probe("converged", is_converged, timeout)
+
+
+def participating(timeout: float = DEFAULT_PROBE_TIMEOUT) -> Probe:
+    return Probe("all_participating", all_participating, timeout)
+
+
+def view_installed(timeout: float = DEFAULT_PROBE_TIMEOUT) -> Probe:
+    return Probe("view_installed", view_is_installed, timeout)
+
+
+def register_agreement(timeout: float = DEFAULT_PROBE_TIMEOUT) -> Probe:
+    return Probe("register_agreement", registers_agree, timeout)
+
+
+def writes_delivered(timeout: float = DEFAULT_PROBE_TIMEOUT) -> Probe:
+    return Probe("writes_delivered", no_pending_writes, timeout)
+
+
+def smr_agreement(timeout: float = DEFAULT_PROBE_TIMEOUT) -> Probe:
+    return Probe("smr_agreement", smr_states_agree, timeout)

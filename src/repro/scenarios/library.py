@@ -1,0 +1,169 @@
+"""The built-in scenario library.
+
+Every scenario here is a few declarative lines — topology, stack profile,
+composed workloads, probes — where the pre-scenario harness needed a
+hand-written script per experiment.  All of them are registered by name so
+the CLI (``python -m repro.scenarios``) and the multiprocessing seed sweep
+can resolve them inside worker processes without pickling closures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.analysis import probes
+from repro.scenarios.spec import ScenarioSpec
+from repro.sim.config import fast_sim
+from repro.scenarios.workloads import (
+    ChurnWorkload,
+    CrashWorkload,
+    FlashJoinWorkload,
+    PartitionWorkload,
+    QuorumEdgeCrashWorkload,
+    RegisterWriteWorkload,
+    ScrambleWorkload,
+    StaleMessageWorkload,
+)
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add *spec* to the named-scenario registry (unique name required)."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_scenario(ref: Union[str, ScenarioSpec]) -> ScenarioSpec:
+    """Resolve a scenario by name (specs pass through unchanged)."""
+    if isinstance(ref, ScenarioSpec):
+        return ref
+    try:
+        return _REGISTRY[ref]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {ref!r}; available: {available_scenarios()}"
+        ) from None
+
+
+def available_scenarios() -> List[str]:
+    """Sorted names of every registered scenario."""
+    return sorted(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# Baseline scenarios
+# ---------------------------------------------------------------------------
+register_scenario(
+    ScenarioSpec(
+        name="bootstrap",
+        description="Self-organizing bootstrap from a brute-force reset.",
+        n=5,
+        probes=(probes.converged(2_000), probes.participating(2_000)),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="coherent_start",
+        description="Classical-assumption boot: configuration pre-installed.",
+        n=5,
+        config="coherent_start",
+        probes=(probes.converged(2_000),),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# Composed scenarios
+# ---------------------------------------------------------------------------
+register_scenario(
+    ScenarioSpec(
+        name="churn_during_corruption",
+        description=(
+            "Random crashes and joins while a transient fault scrambles 60% "
+            "of the nodes mid-churn; the scheme must still converge with "
+            "every survivor participating."
+        ),
+        n=5,
+        stack="counters",
+        workloads=(
+            ChurnWorkload(start=10.0, duration=80.0, crash_rate=0.02, join_rate=0.03, first_new_pid=100),
+            ScrambleWorkload(at=35.0, fraction=0.6),
+        ),
+        horizon=110.0,
+        probes=(probes.converged(8_000), probes.participating(8_000)),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="quorum_edge_crash_storm",
+        description=(
+            "Simultaneous crash of the largest survivable minority of the "
+            "configuration plus a burst of stale recMA trigger packets."
+        ),
+        n=6,
+        workloads=(
+            QuorumEdgeCrashWorkload(at=20.0),
+            StaleMessageWorkload(at=22.0, target=5, count=64),
+        ),
+        horizon=40.0,
+        probes=(probes.converged(10_000), probes.participating(10_000)),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="flash_join_wave",
+        description="Six joiners arrive at the same instant on a 4-node system.",
+        n=4,
+        # The wave outgrows the derived N = max(2n, n+2); size the failure
+        # detector for the post-wave system explicitly.
+        config=fast_sim(upper_bound_n=20),
+        workloads=(FlashJoinWorkload(at=15.0, count=6, first_pid=200),),
+        horizon=30.0,
+        probes=(probes.participating(10_000), probes.converged(10_000)),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="partition_heal",
+        description=(
+            "The network splits into two halves (neither holds a majority "
+            "alone) and heals later; the scheme must re-converge after the "
+            "heal without a permanent split-brain."
+        ),
+        n=6,
+        workloads=(PartitionWorkload(at=20.0, heal_at=90.0),),
+        horizon=100.0,
+        probes=(probes.converged(10_000), probes.participating(10_000)),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="register_under_churn",
+        description=(
+            "MWMR register writes interleaved with a replica crash and a "
+            "late write; histories must agree across all alive replicas."
+        ),
+        n=4,
+        stack="shared_register",
+        workloads=(
+            RegisterWriteWorkload(at=30.0, writer=0, value="w1"),
+            RegisterWriteWorkload(at=45.0, writer=2, value="w2"),
+            CrashWorkload(schedule=((60.0, 1),)),
+            RegisterWriteWorkload(at=90.0, writer=3, value="w3"),
+        ),
+        horizon=110.0,
+        probes=(
+            probes.view_installed(10_000),
+            probes.writes_delivered(8_000),
+            probes.register_agreement(6_000),
+            probes.converged(8_000),
+        ),
+    )
+)

@@ -1,0 +1,229 @@
+"""Scenario execution: single runs and parallel seed sweeps.
+
+:func:`run_scenario` turns ``(spec, seed)`` into a plain, JSON-serializable
+result dictionary that is a *pure function of the seed* — two runs of the
+same scenario and seed produce identical dictionaries (the determinism
+guarantee the test-suite pins).  Wall-clock timing and worker identity are
+added only by the sweep envelope, never to the scenario result itself.
+
+:func:`run_matrix` executes a ``scenarios × seeds`` grid.  With
+``workers > 1`` the jobs are split round-robin into exactly that many chunks
+and each chunk is handed to its own ``multiprocessing.Process`` — every
+configured worker runs, and only ``(scenario name, seed)`` pairs cross the
+process boundary (workers re-resolve specs from the registry, so probes and
+workload callables never need to be pickled).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from queue import Empty
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.scenarios.spec import ScenarioSpec
+from repro.sim.cluster import Cluster, build_cluster
+from repro.sim.config import ClusterConfig, preset
+from repro.analysis.probes import wait_for
+
+
+@dataclass
+class ScenarioRun:
+    """A prepared scenario: cluster built, workloads installed, not yet run.
+
+    Benchmarks use this to interleave their own measurements with the
+    scenario engine's phases without hand-wiring any services.
+    """
+
+    spec: ScenarioSpec
+    seed: int
+    cluster: Cluster
+
+
+def prepare(spec_or_name: Union[str, ScenarioSpec], seed: int = 0) -> ScenarioRun:
+    """Build the cluster for a scenario and install its workloads."""
+    from repro.scenarios.library import get_scenario
+
+    spec = get_scenario(spec_or_name)
+    config = spec.config if isinstance(spec.config, ClusterConfig) else preset(spec.config)
+    cluster = build_cluster(n=spec.n, seed=seed, config=config, stack=spec.stack)
+    for workload in spec.workloads:
+        workload.install(cluster)
+    return ScenarioRun(spec=spec, seed=seed, cluster=cluster)
+
+
+def execute(run: ScenarioRun) -> Dict[str, Any]:
+    """Drive a prepared scenario through its phases; return the result dict."""
+    spec, cluster = run.spec, run.cluster
+    result: Dict[str, Any] = {
+        "scenario": spec.name,
+        "seed": run.seed,
+        "n": spec.n,
+        "stack": cluster.stack.name,
+    }
+    if spec.require_bootstrap:
+        result["bootstrapped"] = cluster.run_until_converged(timeout=spec.bootstrap_timeout)
+    else:
+        result["bootstrapped"] = None
+    if spec.horizon > 0:
+        cluster.run(until=cluster.simulator.now + spec.horizon)
+    probe_results: Dict[str, Dict[str, Any]] = {}
+    all_satisfied = True
+    for probe in spec.probes:
+        outcome = wait_for(cluster, probe)
+        all_satisfied = all_satisfied and outcome.satisfied
+        # A repeated probe name (e.g. converged() before and after a
+        # disturbance) gets a distinct key so no outcome is overwritten.
+        key, suffix = probe.name, 2
+        while key in probe_results:
+            key = f"{probe.name}#{suffix}"
+            suffix += 1
+        probe_results[key] = {
+            "satisfied": outcome.satisfied,
+            "time": outcome.time,
+        }
+    result["probes"] = probe_results
+    result["ok"] = result["bootstrapped"] is not False and all_satisfied
+    if spec.measure_window > 0:
+        before = cluster.statistics()
+        start = cluster.simulator.now
+        wall_start = time.perf_counter()
+        cluster.run(until=start + spec.measure_window)
+        window_wall = time.perf_counter() - wall_start
+        after = cluster.statistics()
+        result["window"] = {
+            "horizon": spec.measure_window,
+            "executed_events": after["executed_events"] - before["executed_events"],
+            "delivered_messages": after["delivered_messages"]
+            - before["delivered_messages"],
+            # Wall-clock is reported for benchmarks but is NOT part of the
+            # deterministic surface; determinism tests must exclude it.
+            "wall_seconds": window_wall,
+        }
+    result["statistics"] = cluster.statistics()
+    return result
+
+
+def run_scenario(spec_or_name: Union[str, ScenarioSpec], seed: int = 0) -> Dict[str, Any]:
+    """Prepare and execute one scenario run."""
+    return execute(prepare(spec_or_name, seed=seed))
+
+
+# ---------------------------------------------------------------------------
+# Parallel seed sweeps
+# ---------------------------------------------------------------------------
+def _run_job(job: Sequence[Any]) -> Dict[str, Any]:
+    name, seed = job
+    wall_start = time.perf_counter()
+    result = run_scenario(name, seed=seed)
+    return {
+        **result,
+        "wall_seconds": time.perf_counter() - wall_start,
+        "worker_pid": os.getpid(),
+    }
+
+
+def _worker(jobs: List[Sequence[Any]], queue: "multiprocessing.Queue") -> None:
+    for job in jobs:
+        try:
+            queue.put(_run_job(job))
+        except Exception as exc:  # surface worker failures instead of hanging
+            queue.put(
+                {
+                    "scenario": job[0],
+                    "seed": job[1],
+                    "ok": False,
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "worker_pid": os.getpid(),
+                }
+            )
+
+
+def run_matrix(
+    scenarios: Sequence[Union[str, ScenarioSpec]],
+    seeds: Sequence[int],
+    workers: int = 1,
+) -> Dict[str, Any]:
+    """Run every ``scenario × seed`` combination, optionally in parallel.
+
+    Returns ``{"meta": ..., "results": [...]}`` with results sorted by
+    ``(scenario, seed)`` regardless of completion order.  Scenario *specs*
+    (not just names) are accepted with ``workers == 1``; a parallel sweep
+    requires registered names so workers can resolve them locally.
+    """
+    from repro.scenarios.library import get_scenario
+
+    names = [ref if isinstance(ref, str) else ref.name for ref in scenarios]
+    jobs: List[Sequence[Any]] = [(name, seed) for name in names for seed in seeds]
+    effective_workers = max(1, min(workers, len(jobs)))
+    for ref in scenarios:
+        if isinstance(ref, str):
+            get_scenario(ref)  # fail fast on unknown names
+        elif effective_workers > 1:
+            # Workers resolve jobs by name from the registry; an unregistered
+            # spec object would fail remotely on every job, so fail fast here.
+            try:
+                registered = get_scenario(ref.name)
+            except KeyError:
+                registered = None
+            if registered is not ref:
+                raise ValueError(
+                    f"parallel sweeps require registered scenario names; "
+                    f"register_scenario({ref.name!r}) first or use workers=1"
+                )
+    if effective_workers == 1:
+        by_ref = {(ref if isinstance(ref, str) else ref.name): ref for ref in scenarios}
+        results = []
+        for name, seed in jobs:
+            wall_start = time.perf_counter()
+            result = run_scenario(by_ref[name], seed=seed)
+            results.append(
+                {
+                    **result,
+                    "wall_seconds": time.perf_counter() - wall_start,
+                    "worker_pid": os.getpid(),
+                }
+            )
+    else:
+        chunks = [jobs[index::effective_workers] for index in range(effective_workers)]
+        # Prefer fork so workers inherit runtime-registered scenarios; under
+        # spawn (Windows) workers re-import only the built-in library, so
+        # names registered at runtime would not resolve there.
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - platform without fork
+            context = multiprocessing.get_context()
+        queue = context.Queue()
+        processes = [
+            context.Process(target=_worker, args=(chunk, queue), daemon=True)
+            for chunk in chunks
+        ]
+        for process in processes:
+            process.start()
+        results = []
+        while len(results) < len(jobs):
+            try:
+                results.append(queue.get(timeout=1.0))
+            except Empty:
+                # Only an Exception inside a job is reported via the queue; a
+                # worker killed outright (OOM, SIGKILL) would otherwise leave
+                # this collection loop blocked forever.
+                if not any(process.is_alive() for process in processes) and queue.empty():
+                    raise RuntimeError(
+                        f"worker process died before finishing its jobs; "
+                        f"collected {len(results)}/{len(jobs)} results"
+                    )
+        for process in processes:
+            process.join()
+    results.sort(key=lambda entry: (entry["scenario"], entry["seed"]))
+    return {
+        "meta": {
+            "scenarios": names,
+            "seeds": list(seeds),
+            "workers": effective_workers,
+            "jobs": len(jobs),
+        },
+        "results": results,
+    }

@@ -1,0 +1,64 @@
+"""Declarative experiment specifications.
+
+A :class:`ScenarioSpec` names everything one experiment needs — topology
+size, cluster configuration (a preset name or a concrete
+:class:`~repro.sim.config.ClusterConfig`), the stack profile every node runs,
+a composable schedule of workloads (anything with ``install(cluster)``), and
+the probes that define success.  The runner (:mod:`repro.scenarios.runner`)
+turns a spec plus a seed into a deterministic statistics dictionary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Tuple, Union
+
+from repro.analysis.probes import Probe
+from repro.sim.config import ClusterConfig
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative experiment.
+
+    Attributes
+    ----------
+    config:
+        A preset name (``"fast_sim"``, ``"paper_faithful"``,
+        ``"coherent_start"``) or a :class:`ClusterConfig` instance.
+    stack:
+        Stack-profile name or :class:`~repro.sim.stacks.StackProfile`;
+        ``None`` uses whatever the cluster config declares.
+    workloads:
+        Objects satisfying the ``Workload`` protocol
+        (:mod:`repro.scenarios.workloads`); installed before the run starts,
+        so their events interleave with bootstrap and each other.
+    probes:
+        Waited for *in order* after bootstrap + horizon; each probe's
+        ``timeout`` is its own budget of simulated time.
+    bootstrap_timeout:
+        Simulated-time budget for the initial self-organization phase
+        (skipped when ``require_bootstrap`` is False).
+    horizon:
+        Extra simulated time to run after bootstrap — typically sized so the
+        installed workloads have fully played out before probing.
+    measure_window:
+        When positive, a post-probe steady-state window: statistics deltas
+        over this much simulated time are reported under ``"window"``.
+    """
+
+    name: str
+    description: str = ""
+    n: int = 5
+    config: Union[str, ClusterConfig] = "fast_sim"
+    stack: Any = None
+    workloads: Tuple[Any, ...] = ()
+    probes: Tuple[Probe, ...] = field(default_factory=tuple)
+    bootstrap_timeout: float = 4_000.0
+    horizon: float = 0.0
+    measure_window: float = 0.0
+    require_bootstrap: bool = True
+
+    def with_overrides(self, **overrides: Any) -> "ScenarioSpec":
+        """A copy of the spec with the given fields replaced."""
+        return replace(self, **overrides)

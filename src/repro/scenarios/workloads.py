@@ -1,0 +1,220 @@
+"""Composable workloads: everything installs through one protocol.
+
+The scenario layer's contract is a single method::
+
+    workload.install(cluster)   # before the run starts
+
+Each workload schedules its disturbance(s) on the cluster's simulator; a
+scenario composes several (churn *while* corrupting *while* partitioned) by
+listing them.  :class:`~repro.workloads.churn.ChurnTrace` and
+:class:`~repro.sim.faults.TransientFaultCampaign` already satisfy the
+protocol natively; the wrappers below cover the remaining disturbance types
+(state corruption, stale-packet stuffing, partitions, crash storms, join
+waves, register writes) with seeded, reproducible parameters.
+
+Workloads that draw randomness default their seed to the cluster's simulator
+seed, so a seed sweep varies the disturbances together with the rest of the
+run while two runs of the same seed stay identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional, Protocol, Tuple, runtime_checkable
+
+from repro.common.types import ProcessId
+from repro.workloads.churn import generate_churn_trace
+from repro.workloads.corruption import scramble_cluster, stuff_stale_recma_packets
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.cluster import Cluster
+
+
+@runtime_checkable
+class Workload(Protocol):
+    """Anything that can schedule its disturbances on a cluster."""
+
+    def install(self, cluster: "Cluster") -> None:  # pragma: no cover - protocol
+        ...
+
+
+def _seed_for(workload_seed: Optional[int], cluster: "Cluster") -> int:
+    return workload_seed if workload_seed is not None else cluster.simulator.seed
+
+
+@dataclass(frozen=True)
+class ChurnWorkload:
+    """Random crashes and joins generated at install time.
+
+    A thin declarative front for :func:`generate_churn_trace` — the initial
+    membership is read off the cluster, so the same workload value composes
+    with any topology size.
+    """
+
+    start: float = 0.0
+    duration: float = 100.0
+    crash_rate: float = 0.0
+    join_rate: float = 0.0
+    max_crashes: Optional[int] = None
+    first_new_pid: int = 1000
+    seed: Optional[int] = None
+
+    def install(self, cluster: "Cluster") -> None:
+        trace = generate_churn_trace(
+            initial_members=list(cluster.nodes.keys()),
+            duration=self.duration,
+            crash_rate=self.crash_rate,
+            join_rate=self.join_rate,
+            seed=_seed_for(self.seed, cluster),
+            max_crashes=self.max_crashes,
+            first_new_pid=self.first_new_pid,
+            start_time=self.start,
+        )
+        trace.install(cluster)
+
+
+@dataclass(frozen=True)
+class ScrambleWorkload:
+    """Transient fault at time *at*: corrupt recSA/recMA state of a fraction
+    of the alive nodes (the paper's arbitrary-starting-state model)."""
+
+    at: float
+    fraction: float = 1.0
+    seed: Optional[int] = None
+
+    def install(self, cluster: "Cluster") -> None:
+        def _fire() -> None:
+            scramble_cluster(
+                cluster, seed=_seed_for(self.seed, cluster), fraction=self.fraction
+            )
+
+        cluster.simulator.call_at(self.at, _fire, label="workload:scramble")
+
+
+@dataclass(frozen=True)
+class StaleMessageWorkload:
+    """Stuff channels toward *target* with stale recMA trigger packets."""
+
+    at: float
+    target: ProcessId = 0
+    count: int = 50
+    seed: Optional[int] = None
+
+    def install(self, cluster: "Cluster") -> None:
+        def _fire() -> None:
+            if self.target in cluster.nodes:
+                stuff_stale_recma_packets(
+                    cluster, self.target, self.count, seed=_seed_for(self.seed, cluster)
+                )
+
+        cluster.simulator.call_at(self.at, _fire, label="workload:stale-packets")
+
+
+@dataclass(frozen=True)
+class CrashWorkload:
+    """Crash specific pids at specific times (``((time, pid), ...)``)."""
+
+    schedule: Tuple[Tuple[float, ProcessId], ...]
+
+    def install(self, cluster: "Cluster") -> None:
+        for time, pid in self.schedule:
+            cluster.simulator.call_at(
+                time,
+                lambda pid=pid: cluster.try_crash(pid),
+                label=f"workload:crash:{pid}",
+            )
+
+
+@dataclass(frozen=True)
+class QuorumEdgeCrashWorkload:
+    """Simultaneously crash the largest survivable minority of the agreed
+    configuration — the crash storm right at the quorum edge.
+
+    The victim count is ``ceil(|config|/2) - 1`` (a majority must survive for
+    delicate reconfiguration); victims are the lowest member ids, so the
+    storm is deterministic given the agreed configuration.
+    """
+
+    at: float
+
+    def install(self, cluster: "Cluster") -> None:
+        cluster.simulator.call_at(self.at, lambda: self._fire(cluster), label="workload:quorum-edge")
+
+    @staticmethod
+    def _fire(cluster: "Cluster") -> None:
+        config = cluster.agreed_configuration()
+        if config is None:
+            members = sorted(node.pid for node in cluster.alive_nodes())
+        else:
+            members = sorted(config)
+        victims = members[: (len(members) - 1) // 2]
+        for pid in victims:
+            cluster.try_crash(pid)
+
+
+@dataclass(frozen=True)
+class FlashJoinWorkload:
+    """A wave of *count* joiners arriving at the same instant."""
+
+    at: float
+    count: int = 4
+    first_pid: int = 500
+
+    def install(self, cluster: "Cluster") -> None:
+        cluster.simulator.call_at(self.at, lambda: self._fire(cluster), label="workload:flash-join")
+
+    def _fire(self, cluster: "Cluster") -> None:
+        for pid in range(self.first_pid, self.first_pid + self.count):
+            if pid not in cluster.nodes:
+                cluster.add_joiner(pid)
+
+
+@dataclass(frozen=True)
+class PartitionWorkload:
+    """Split the alive nodes into two halves at *at*; heal at *heal_at*."""
+
+    at: float
+    heal_at: float
+
+    def install(self, cluster: "Cluster") -> None:
+        if self.heal_at <= self.at:
+            raise ValueError("heal_at must be after the partition time")
+        cluster.simulator.call_at(self.at, lambda: self._split(cluster), label="workload:partition")
+        cluster.simulator.call_at(
+            self.heal_at,
+            lambda: cluster.simulator.network.heal_partitions(),
+            label="workload:heal",
+        )
+
+    @staticmethod
+    def _split(cluster: "Cluster") -> None:
+        alive = sorted(node.pid for node in cluster.alive_nodes())
+        half = len(alive) // 2
+        if half and len(alive) - half:
+            cluster.simulator.network.partition(alive[:half], alive[half:])
+
+
+@dataclass(frozen=True)
+class RegisterWriteWorkload:
+    """Submit a shared-register write from *writer* at time *at*.
+
+    Requires the ``shared_register`` stack; a write submitted while the view
+    is down or a reconfiguration is in flight is queued by the VS layer and
+    delivered later — which is exactly the suspension behaviour scenarios
+    want to exercise.
+    """
+
+    at: float
+    writer: ProcessId
+    value: Any
+
+    def install(self, cluster: "Cluster") -> None:
+        def _fire() -> None:
+            node = cluster.nodes.get(self.writer)
+            if node is None or node.crashed:
+                return
+            register = node.service_map.get("register")
+            if register is not None:
+                register.write(self.value)
+
+        cluster.simulator.call_at(self.at, _fire, label=f"workload:write:{self.writer}")

@@ -20,6 +20,8 @@ from repro.sim.events import Event, EventQueue
 from repro.sim.network import Packet, Channel, ChannelConfig, Network
 from repro.sim.process import Process, ProcessContext
 from repro.sim.simulator import Simulator
+from repro.sim.config import ClusterConfig, fast_sim, paper_faithful, preset
+from repro.sim.stacks import StackProfile, available_stacks, get_stack, register_stack, stack
 from repro.sim.faults import FaultInjector, TransientFaultCampaign
 from repro.sim.monitors import InvariantMonitor, ConvergenceTracker
 from repro.sim.cluster import Cluster, ClusterNode, build_cluster
@@ -34,6 +36,15 @@ __all__ = [
     "Process",
     "ProcessContext",
     "Simulator",
+    "ClusterConfig",
+    "fast_sim",
+    "paper_faithful",
+    "preset",
+    "StackProfile",
+    "available_stacks",
+    "get_stack",
+    "register_stack",
+    "stack",
     "FaultInjector",
     "TransientFaultCampaign",
     "InvariantMonitor",

@@ -5,7 +5,13 @@ A :class:`ClusterNode` owns the complete stack of one processor:
 * the token-exchange data links and heartbeat service (:mod:`repro.datalink`),
 * the (N, Theta)-failure detector (:mod:`repro.failure_detector`),
 * the composed reconfiguration scheme (:mod:`repro.core.scheme`),
-* any registered application services (labels, counters, virtual synchrony).
+* the application services of its :class:`~repro.sim.stacks.StackProfile`
+  (labels, counters, virtual synchrony, shared register), which the node
+  instantiates itself — examples, tests and benchmarks pick a profile
+  instead of hand-wiring services.
+
+All tunables travel as one :class:`~repro.sim.config.ClusterConfig` value
+shared by the cluster and every node, including nodes added later by churn.
 
 :class:`Cluster` is the convenience facade used by examples, tests and the
 benchmark harness: it creates the simulator, the initial nodes, and exposes
@@ -15,26 +21,29 @@ helpers such as :meth:`Cluster.run_until_converged` and
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Protocol
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Protocol, Union
 
+from repro.common.errors import SimulationError
 from repro.common.types import BOTTOM, Configuration, ProcessId, make_config
 from repro.core.prediction import PredictionPolicy
 from repro.core.scheme import ReconfigurationScheme
 from repro.core.stale import is_real_config
-from repro.datalink.heartbeat import DEFAULT_IDLE_RESEND_INTERVAL, HeartbeatService
+from repro.datalink.heartbeat import HeartbeatService
 from repro.datalink.token_exchange import DataLinkMessage
 from repro.failure_detector.ntheta import NThetaFailureDetector
+from repro.sim.config import ClusterConfig
 from repro.sim.network import ChannelConfig
 from repro.sim.process import Process
 from repro.sim.simulator import Simulator
+from repro.sim.stacks import StackProfile, get_stack
 
 
 class NodeService(Protocol):
     """Interface of application services pluggable into a node.
 
-    A service may implement either hook; both are optional at runtime (the
-    node checks with ``getattr``), but declaring the protocol documents the
-    contract.
+    A service may implement either hook; both are optional (the node inspects
+    the service once, at registration, and dispatches through precomputed
+    hook lists — no per-event ``getattr``).
     """
 
     def on_timer(self) -> None:  # pragma: no cover - protocol declaration
@@ -51,25 +60,29 @@ class ClusterNode(Process):
         self,
         pid: ProcessId,
         peers: Iterable[ProcessId],
-        upper_bound_n: int,
+        config: ClusterConfig,
         initial_config: Any = None,
-        channel_capacity: int = 8,
-        step_interval: float = 1.0,
+        stack: Optional[StackProfile] = None,
         prediction_policy: Optional[PredictionPolicy] = None,
-        admission_policy: Optional[Callable[[ProcessId], bool]] = None,
-        require_link_cleaning: bool = True,
-        gossip_refresh_interval: Optional[int] = None,
-        heartbeat_resend_interval: int = DEFAULT_IDLE_RESEND_INTERVAL,
     ) -> None:
-        super().__init__(pid=pid, step_interval=step_interval)
+        peers = list(peers)
+        if config.channel is None or config.upper_bound_n is None:
+            config = config.resolve(n=len(peers) or 1)
+        super().__init__(pid=pid, step_interval=config.step_interval)
+        self.config = config
         self._initial_peers = [p for p in peers if p != pid]
-        self.failure_detector = NThetaFailureDetector(pid=pid, upper_bound_n=upper_bound_n)
+        #: Out-of-band knobs read by stack-profile policies (e.g. the default
+        #: ``vs_smr`` evalConfig reads ``control["reconfigure"]``).
+        self.control: Dict[str, Any] = {}
+        self.failure_detector = NThetaFailureDetector(
+            pid=pid, upper_bound_n=config.upper_bound_n
+        )
         self.heartbeat = HeartbeatService(
             pid=pid,
             send=self._send_raw,
-            channel_capacity=channel_capacity,
-            require_cleaning=require_link_cleaning,
-            idle_resend_interval=heartbeat_resend_interval,
+            channel_capacity=config.channel.capacity,
+            require_cleaning=config.require_link_cleaning,
+            idle_resend_interval=config.heartbeat_resend_interval,
         )
         self.heartbeat.add_heartbeat_listener(self.failure_detector.heartbeat)
         self.scheme = ReconfigurationScheme(
@@ -77,12 +90,18 @@ class ClusterNode(Process):
             fd_provider=self.trusted,
             send=self._send_raw,
             initial_config=initial_config,
-            prediction_policy=prediction_policy,
-            admission_policy=admission_policy,
+            prediction_policy=prediction_policy or config.prediction_policy,
+            admission_policy=config.admission_policy,
             send_many=self._send_raw_many,
-            gossip_refresh_interval=gossip_refresh_interval,
+            gossip_refresh_interval=config.gossip_refresh_interval,
         )
         self.services: List[Any] = []
+        self.service_map: Dict[str, Any] = {}
+        self._timer_hooks: List[Callable[[], None]] = []
+        self._message_hooks: List[Callable[[ProcessId, Any], bool]] = []
+        self.stack: StackProfile = stack if stack is not None else get_stack(config.stack)
+        for name, service in self.stack.instantiate(self).items():
+            self.register_service(service, name=name)
 
     # ------------------------------------------------------------------
     # Convenience accessors
@@ -110,10 +129,33 @@ class ClusterNode(Process):
         """The configuration this node currently reports, if any."""
         return self.scheme.configuration()
 
-    def register_service(self, service: Any) -> Any:
-        """Attach an application service (labels, counters, VS, ...)."""
+    def register_service(self, service: Any, name: Optional[str] = None) -> Any:
+        """Attach an application service (labels, counters, VS, ...).
+
+        Hook methods are looked up once here; dispatch afterwards walks plain
+        lists.  Objects without hooks (e.g. a :class:`SharedRegister` client)
+        still land in :attr:`service_map` under *name*.
+        """
         self.services.append(service)
+        if name is not None:
+            self.service_map[name] = service
+        timer_hook = getattr(service, "on_timer", None)
+        if callable(timer_hook):
+            self._timer_hooks.append(timer_hook)
+        message_hook = getattr(service, "on_message", None)
+        if callable(message_hook):
+            self._message_hooks.append(message_hook)
         return service
+
+    def service(self, name: str) -> Any:
+        """The stack service registered under *name* (e.g. ``"vs"``)."""
+        try:
+            return self.service_map[name]
+        except KeyError:
+            raise KeyError(
+                f"node {self.pid} (stack {self.stack.name!r}) has no service "
+                f"{name!r}; available: {sorted(self.service_map)}"
+            ) from None
 
     # ------------------------------------------------------------------
     # Process hooks
@@ -125,10 +167,8 @@ class ClusterNode(Process):
     def on_timer(self) -> None:
         self.heartbeat.on_timer()
         self.scheme.step()
-        for service in self.services:
-            hook = getattr(service, "on_timer", None)
-            if hook is not None:
-                hook()
+        for hook in self._timer_hooks:
+            hook()
 
     def on_receive(self, sender: ProcessId, payload: Any) -> None:
         # A packet from an unknown peer is the "connection signal": create the
@@ -144,17 +184,23 @@ class ClusterNode(Process):
         self.heartbeat.notify_traffic(sender)
         if self.scheme.on_message(sender, payload):
             return
-        for service in self.services:
-            hook = getattr(service, "on_message", None)
-            if hook is not None and hook(sender, payload):
+        for hook in self._message_hooks:
+            if hook(sender, payload):
                 return
 
     # ------------------------------------------------------------------
-    # Internals
+    # Sending
     # ------------------------------------------------------------------
-    def _send_raw(self, destination: ProcessId, payload: Any) -> None:
+    def send(self, destination: ProcessId, payload: Any) -> None:
+        """Send *payload* to *destination* (no-op when crashed/unbound).
+
+        This is the public send surface handed to stack services; the
+        underscore alias remains for the scheme/heartbeat wiring above.
+        """
         if self.context is not None and not self.crashed:
             self.context.send(destination, payload)
+
+    _send_raw = send
 
     def _send_raw_many(self, payloads: Any) -> None:
         """Burst-send ``(destination, payload)`` pairs (broadcast fast path)."""
@@ -165,28 +211,29 @@ class ClusterNode(Process):
 class Cluster:
     """A simulated system of :class:`ClusterNode` processors."""
 
-    def __init__(
-        self,
-        simulator: Simulator,
-        upper_bound_n: int,
-        channel_capacity: int = 8,
-        step_interval: float = 1.0,
-        prediction_policy: Optional[PredictionPolicy] = None,
-        admission_policy: Optional[Callable[[ProcessId], bool]] = None,
-        require_link_cleaning: bool = True,
-        gossip_refresh_interval: Optional[int] = None,
-        heartbeat_resend_interval: int = DEFAULT_IDLE_RESEND_INTERVAL,
-    ) -> None:
+    def __init__(self, simulator: Simulator, config: ClusterConfig) -> None:
+        if config.channel is None or config.upper_bound_n is None:
+            raise SimulationError(
+                "Cluster requires a resolved ClusterConfig; call "
+                "config.resolve(n) (or use build_cluster)"
+            )
         self.simulator = simulator
-        self.upper_bound_n = upper_bound_n
-        self.channel_capacity = channel_capacity
-        self.step_interval = step_interval
-        self.prediction_policy = prediction_policy
-        self.admission_policy = admission_policy
-        self.require_link_cleaning = require_link_cleaning
-        self.gossip_refresh_interval = gossip_refresh_interval
-        self.heartbeat_resend_interval = heartbeat_resend_interval
+        self.config = config
+        self.stack: StackProfile = get_stack(config.stack)
         self.nodes: Dict[ProcessId, ClusterNode] = {}
+
+    # Convenience views on the shared config (kept for existing callers).
+    @property
+    def upper_bound_n(self) -> int:
+        return self.config.upper_bound_n  # type: ignore[return-value]
+
+    @property
+    def channel_capacity(self) -> int:
+        return self.config.channel.capacity  # type: ignore[union-attr]
+
+    @property
+    def step_interval(self) -> float:
+        return self.config.step_interval
 
     # ------------------------------------------------------------------
     # Topology management
@@ -197,28 +244,25 @@ class Cluster:
         initial_config: Any = None,
         peers: Optional[Iterable[ProcessId]] = None,
         prediction_policy: Optional[PredictionPolicy] = None,
+        stack: Optional[StackProfile] = None,
     ) -> ClusterNode:
         """Create, register and start a node.
 
         ``initial_config`` follows the :class:`~repro.core.recsa.RecSA`
         convention: ``None`` boots a non-participant (a joiner), ``BOTTOM``
         boots into a brute-force reset (self-bootstrap), and a concrete set
-        boots with that configuration installed (a coherent start).
+        boots with that configuration installed (a coherent start).  The node
+        runs the cluster's stack profile unless *stack* overrides it.
         """
         if peers is None:
             peers = list(self.nodes.keys())
         node = ClusterNode(
             pid=pid,
             peers=peers,
-            upper_bound_n=self.upper_bound_n,
+            config=self.config,
             initial_config=initial_config,
-            channel_capacity=self.channel_capacity,
-            step_interval=self.step_interval,
-            prediction_policy=prediction_policy or self.prediction_policy,
-            admission_policy=self.admission_policy,
-            require_link_cleaning=self.require_link_cleaning,
-            gossip_refresh_interval=self.gossip_refresh_interval,
-            heartbeat_resend_interval=self.heartbeat_resend_interval,
+            stack=stack if stack is not None else self.stack,
+            prediction_policy=prediction_policy,
         )
         self.nodes[pid] = node
         self.simulator.add_process(node)
@@ -229,8 +273,20 @@ class Cluster:
         return self.add_node(pid, initial_config=None)
 
     def crash(self, pid: ProcessId) -> None:
-        """Stop-fail node *pid*."""
+        """Stop-fail node *pid* (must exist)."""
         self.simulator.crash_process(pid)
+
+    def try_crash(self, pid: ProcessId) -> bool:
+        """Crash *pid* if it exists and is alive; report whether it fired.
+
+        The guard every scheduled workload needs: a churn trace or crash
+        storm may target a pid that was never added or already crashed.
+        """
+        node = self.nodes.get(pid)
+        if node is None or node.crashed:
+            return False
+        self.crash(pid)
+        return True
 
     # ------------------------------------------------------------------
     # Collective queries
@@ -242,6 +298,14 @@ class Cluster:
     def participants(self) -> List[ClusterNode]:
         """Alive nodes that are participants."""
         return [node for node in self.alive_nodes() if node.scheme.is_participant()]
+
+    def services(self, name: str) -> Dict[ProcessId, Any]:
+        """The *name* stack service of every node that carries one."""
+        return {
+            pid: node.service_map[name]
+            for pid, node in self.nodes.items()
+            if name in node.service_map
+        }
 
     def agreed_configuration(self) -> Optional[Configuration]:
         """The single configuration every alive participant holds, if any.
@@ -299,55 +363,72 @@ class Cluster:
         stats["installs"] = sum(node.recsa.install_count for node in self.nodes.values())
         stats["recma_triggers"] = sum(node.recma.trigger_count for node in self.nodes.values())
         stats["participants"] = len(self.participants())
+        stats["recsa_broadcasts_sent"] = sum(
+            node.recsa.broadcasts_sent for node in self.nodes.values()
+        )
+        stats["recsa_broadcasts_skipped"] = sum(
+            node.recsa.broadcasts_skipped for node in self.nodes.values()
+        )
+        stats["recma_broadcasts_sent"] = sum(
+            node.recma.broadcasts_sent for node in self.nodes.values()
+        )
+        stats["recma_broadcasts_skipped"] = sum(
+            node.recma.broadcasts_skipped for node in self.nodes.values()
+        )
         return stats
 
 
 def build_cluster(
     n: int,
     seed: int = 0,
+    config: Optional[ClusterConfig] = None,
+    stack: Union[str, StackProfile, None] = None,
+    *,
     upper_bound_n: Optional[int] = None,
     channel_config: Optional[ChannelConfig] = None,
-    channel_capacity: int = 8,
-    step_interval: float = 1.0,
-    coherent_start: bool = False,
+    channel_capacity: Optional[int] = None,
+    step_interval: Optional[float] = None,
+    coherent_start: Optional[bool] = None,
     prediction_policy: Optional[PredictionPolicy] = None,
     admission_policy: Optional[Callable[[ProcessId], bool]] = None,
-    require_link_cleaning: bool = False,
+    require_link_cleaning: Optional[bool] = None,
     gossip_refresh_interval: Optional[int] = None,
-    heartbeat_resend_interval: int = 3,
+    heartbeat_resend_interval: Optional[int] = None,
 ) -> Cluster:
     """Build a ready-to-run cluster of *n* nodes (identifiers ``0..n-1``).
 
-    Parameters
-    ----------
-    coherent_start:
-        When True the nodes boot with the full configuration already
-        installed (the assumption classical reconfiguration schemes make);
-        when False (the default) they boot into a brute-force reset and
-        *self-organize* into a configuration — the paper's headline ability.
-    require_link_cleaning:
-        Run the snap-stabilizing cleaning handshake on every link before
-        heartbeats count.  Disabled by default to shorten simulations; the
-        data-link tests exercise it explicitly.
+    The one source of truth for tunables is *config* (a
+    :class:`~repro.sim.config.ClusterConfig`, e.g. from a preset such as
+    :func:`~repro.sim.config.fast_sim`); the keyword arguments are per-call
+    overrides of individual fields.  Passing both an explicit
+    ``channel_config`` and a disagreeing ``channel_capacity`` raises instead
+    of silently ignoring the capacity.
+
+    *stack* selects the :class:`~repro.sim.stacks.StackProfile` every node
+    instantiates (a registry name such as ``"counters"`` or a configured
+    profile object).
     """
     if n < 1:
         raise ValueError("a cluster needs at least one node")
-    if channel_config is None:
-        channel_config = ChannelConfig(capacity=channel_capacity)
-    simulator = Simulator(seed=seed, channel_config=channel_config)
-    cluster = Cluster(
-        simulator=simulator,
-        upper_bound_n=upper_bound_n or max(2 * n, n + 2),
-        channel_capacity=channel_config.capacity,
+    base = config if config is not None else ClusterConfig()
+    base = base.with_overrides(
+        upper_bound_n=upper_bound_n,
+        channel=channel_config,
+        channel_capacity=channel_capacity,
         step_interval=step_interval,
+        coherent_start=coherent_start,
         prediction_policy=prediction_policy,
         admission_policy=admission_policy,
         require_link_cleaning=require_link_cleaning,
         gossip_refresh_interval=gossip_refresh_interval,
         heartbeat_resend_interval=heartbeat_resend_interval,
+        stack=stack,
     )
+    resolved = base.resolve(n)
+    simulator = Simulator(seed=seed, channel_config=resolved.channel)
+    cluster = Cluster(simulator=simulator, config=resolved)
     pids = list(range(n))
-    initial = make_config(pids) if coherent_start else BOTTOM
+    initial = make_config(pids) if resolved.coherent_start else BOTTOM
     for pid in pids:
         cluster.add_node(pid, initial_config=initial, peers=pids)
     return cluster

@@ -156,8 +156,13 @@ class TransientFaultCampaign:
         """Append an action firing at simulated time *time*."""
         self.actions.append((time, action, label))
 
-    def install(self, simulator: Simulator) -> None:
-        """Register every action of the campaign with *simulator*."""
+    def install(self, target: Any) -> None:
+        """Register every action with *target* — a cluster or a simulator.
+
+        Accepting either lets a campaign be used wherever the scenario
+        layer's ``Workload.install(cluster)`` protocol is expected.
+        """
+        simulator: Simulator = getattr(target, "simulator", target)
         for time, action, label in self.actions:
             simulator.call_at(time, action, label=label or "fault-campaign")
 

@@ -31,20 +31,37 @@ class ChurnTrace:
     events: List[ChurnEvent]
 
     def install(self, cluster: Cluster) -> None:
-        """Register every event of the trace with the cluster's simulator."""
+        """Register every event of the trace with the cluster's simulator.
+
+        Only the first event per pid is scheduled (a trace that both crashes
+        and joins — or doubly crashes/joins — the same pid is deduplicated),
+        and the events guard themselves at fire time: a join of a pid that
+        already exists in ``cluster.nodes`` is a no-op (``add_joiner`` would
+        raise on the duplicate process id), as is a crash of an unknown or
+        already-crashed pid.
+        """
+        scheduled: set = set()
         for event in self.events:
+            if event.pid in scheduled:
+                continue
+            scheduled.add(event.pid)
             if event.kind == "crash":
                 cluster.simulator.call_at(
                     event.time,
-                    lambda pid=event.pid: cluster.crash(pid),
+                    lambda pid=event.pid: cluster.try_crash(pid),
                     label=f"churn:crash:{event.pid}",
                 )
             elif event.kind == "join":
                 cluster.simulator.call_at(
                     event.time,
-                    lambda pid=event.pid: cluster.add_joiner(pid),
+                    lambda pid=event.pid: self._fire_join(cluster, pid),
                     label=f"churn:join:{event.pid}",
                 )
+
+    @staticmethod
+    def _fire_join(cluster: Cluster, pid: ProcessId) -> None:
+        if pid not in cluster.nodes:
+            cluster.add_joiner(pid)
 
     def crashes(self) -> List[ChurnEvent]:
         """The crash events of the trace."""

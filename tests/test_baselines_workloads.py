@@ -133,23 +133,11 @@ class TestCorruptionWorkloads:
 class TestEndToEnd:
     def test_full_stack_lifecycle(self):
         """Bootstrap → serve → churn → transient fault → recover → serve."""
-        from repro.counters.service import CounterService
-        from repro.vs.smr import RegisterStateMachine
-        from repro.vs.shared_memory import SharedRegister
-        from repro.vs.virtual_synchrony import VirtualSynchronyService, VSStatus
+        from repro.vs.virtual_synchrony import VSStatus
 
-        cluster = quick_cluster(4, seed=84)
-        registers = {}
-        vss = {}
-        for pid, node in cluster.nodes.items():
-            counters = node.register_service(CounterService(pid, node.scheme, node._send_raw))
-            vs = VirtualSynchronyService(
-                pid, node.scheme, counters, node._send_raw,
-                state_machine=RegisterStateMachine(),
-            )
-            node.register_service(vs)
-            vss[pid] = vs
-            registers[pid] = SharedRegister(pid, vs)
+        cluster = quick_cluster(4, seed=84, stack="shared_register")
+        vss = cluster.services("vs")
+        registers = cluster.services("register")
 
         assert cluster.run_until_converged(timeout=800)
         assert cluster.run_until(

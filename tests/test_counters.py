@@ -5,8 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.counters.counter import Counter, CounterPair, counter_less_than, max_counter
-from repro.counters.service import CounterService, IncrementOutcome
 from repro.labels.label import EpochLabel
+from repro.sim.stacks import stack
 
 from tests.conftest import quick_cluster
 
@@ -57,14 +57,12 @@ class TestCounterOrdering:
 
 class _ClusterWithCounters:
     def __init__(self, n, seed, seqn_bound=2 ** 64):
-        self.cluster = quick_cluster(n, seed=seed)
-        self.services = {}
-        for pid, node in self.cluster.nodes.items():
-            svc = CounterService(
-                pid, node.scheme, node._send_raw, seqn_bound=seqn_bound
-            )
-            node.register_service(svc)
-            self.services[pid] = svc
+        self.cluster = quick_cluster(
+            n, seed=seed, stack=stack("counters", seqn_bound=seqn_bound)
+        )
+        self.services = {
+            pid: node.service("counters") for pid, node in self.cluster.nodes.items()
+        }
         assert self.cluster.run_until_converged(timeout=800)
         self.cluster.run(until=self.cluster.simulator.now + 40)
 
@@ -123,10 +121,9 @@ class TestCounterService:
 
     def test_non_member_participant_can_increment(self):
         env = _ClusterWithCounters(3, seed=66)
+        # The joiner instantiates the cluster's stack profile itself.
         joiner = env.cluster.add_joiner(42)
-        svc = CounterService(42, joiner.scheme, joiner._send_raw)
-        joiner.register_service(svc)
-        env.services[42] = svc
+        env.services[42] = joiner.service("counters")
         assert env.cluster.run_until(
             lambda: joiner.scheme.is_participant(), timeout=env.cluster.simulator.now + 2500
         )

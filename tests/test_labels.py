@@ -14,7 +14,6 @@ from repro.labels.label import (
     next_label,
 )
 from repro.labels.store import BoundedLabelQueue, LabelStore
-from repro.labels.labeling import LabelingService
 
 from tests.conftest import quick_cluster
 
@@ -160,12 +159,8 @@ class TestLabelStore:
 
 class TestLabelingServiceCluster:
     def _with_labels(self, n, seed):
-        cluster = quick_cluster(n, seed=seed)
-        services = {}
-        for pid, node in cluster.nodes.items():
-            services[pid] = node.register_service(
-                LabelingService(pid, node.scheme, node._send_raw)
-            )
+        cluster = quick_cluster(n, seed=seed, stack="labels")
+        services = cluster.services("labels")
         return cluster, services
 
     def test_members_converge_to_single_maximal_label(self):

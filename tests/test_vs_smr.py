@@ -4,10 +4,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.counters.service import CounterService
+from repro.sim.stacks import stack
 from repro.vs.smr import KeyValueStateMachine, LogStateMachine, RegisterStateMachine
 from repro.vs.view import View, newer_view
-from repro.vs.virtual_synchrony import VirtualSynchronyService, VSStatus
+from repro.vs.virtual_synchrony import VSStatus
 from repro.vs.shared_memory import SharedRegister
 from repro.counters.counter import Counter
 from repro.labels.label import EpochLabel
@@ -69,27 +69,16 @@ class TestView:
 class _VSCluster:
     """Cluster of nodes running counters + virtual synchrony."""
 
-    def __init__(self, n, seed, machine_factory=LogStateMachine, eval_config=None):
-        self.cluster = quick_cluster(n, seed=seed)
-        self.vs = {}
-        self.eval_flags = {}
-        for pid, node in self.cluster.nodes.items():
-            counters = node.register_service(
-                CounterService(pid, node.scheme, node._send_raw)
-            )
-            self.eval_flags[pid] = {"value": False}
-            policy = eval_config or (lambda pid=pid: self.eval_flags[pid]["value"])
-            vs = VirtualSynchronyService(
-                pid,
-                node.scheme,
-                counters,
-                node._send_raw,
-                state_machine=machine_factory(),
-                eval_config=policy,
-            )
-            node.register_service(vs)
-            self.vs[pid] = vs
+    def __init__(self, n, seed, machine_factory=LogStateMachine):
+        self.cluster = quick_cluster(
+            n, seed=seed, stack=stack("vs_smr", state_machine=machine_factory)
+        )
+        self.vs = {pid: node.service("vs") for pid, node in self.cluster.nodes.items()}
         assert self.cluster.run_until_converged(timeout=800)
+
+    def set_reconfigure(self, pid, value):
+        """Flip the coordinator's evalConfig() through the control mailbox."""
+        self.cluster.nodes[pid].control["reconfigure"] = value
 
     def _alive(self):
         return {
@@ -199,13 +188,13 @@ class TestVirtualSynchrony:
         )
         installs_before = sum(node.recsa.install_count for node in env.cluster.nodes.values())
         # The coordinator's evalConfig() now asks for a delicate reconfiguration.
-        env.eval_flags[coord]["value"] = True
+        env.set_reconfigure(coord, True)
         assert env.cluster.run_until(
             lambda: sum(node.recsa.install_count for node in env.cluster.nodes.values())
             > installs_before,
             timeout=env.cluster.simulator.now + 5000,
         )
-        env.eval_flags[coord]["value"] = False
+        env.set_reconfigure(coord, False)
         assert env.cluster.run_until_converged(timeout=3000)
         # The new configuration includes the joiner, the reconfiguration was
         # requested by the VS coordinator, and the replicated state survived.
@@ -222,9 +211,9 @@ class TestVirtualSynchrony:
         # Participants already equal the configuration: the policy fires but
         # there is nothing to reconfigure to, and the service must resume
         # (rather than staying suspended forever).
-        env.eval_flags[coord]["value"] = True
+        env.set_reconfigure(coord, True)
         env.cluster.run(until=env.cluster.simulator.now + 120)
-        env.eval_flags[coord]["value"] = False
+        env.set_reconfigure(coord, False)
         env.cluster.run(until=env.cluster.simulator.now + 120)
         env.vs[coord].submit("still-alive")
         assert env.cluster.run_until(

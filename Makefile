@@ -1,18 +1,18 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-pytest scenarios scenarios-smoke
+.PHONY: test bench bench-quick bench-pytest scenarios scenarios-smoke audit-smoke audit-shrink-demo
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
-# Full perf trajectory: writes BENCH_pr2.json at the repository root.
+# Full perf trajectory: writes BENCH_pr3.json at the repository root.
 bench:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --tag pr2
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --tag pr3
 
 # Smoke run (<60s) for CI: scalability + hotpath + scenario-matrix scenarios.
 bench-quick:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --quick --tag pr2
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --quick --tag pr3
 
 # The pytest-benchmark experiment suite (E1-E12 + hotpath micro-benches).
 bench-pytest:
@@ -25,3 +25,12 @@ scenarios:
 # CI gate: every registered scenario once, seed 0, nonzero exit on failure.
 scenarios-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.scenarios --smoke
+
+# Adversarial audit gate: every scheduler x 2 corruption seeds x 3 sim seeds
+# (30 runs), verdict JSON written for the CI artifact upload.
+audit-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.audit --smoke --workers 4 --output AUDIT_smoke.json
+
+# Demonstrate reproducer shrinking against a deliberately broken invariant.
+audit-shrink-demo:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.audit --demo-shrink --output AUDIT_shrink_demo.json

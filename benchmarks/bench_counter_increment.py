@@ -27,7 +27,7 @@ def _increment_sequence(n: int, increments: int, seqn_bound: int, seed: int) -> 
         pid = index % n
         results = []
         services[pid].increment(results.append)
-        cluster.run_until(lambda: bool(results), timeout=cluster.simulator.now + 200)
+        cluster.run_until(lambda: bool(results), timeout=200)
         outcome = results[0] if results else None
         if outcome is None or not outcome.success:
             continue

@@ -59,6 +59,8 @@ MATRIX_SCENARIOS = [
     "flash_join_wave",
     "partition_heal",
     "register_under_churn",
+    "arbitrary_state_recovery",
+    "arbitrary_state_reorder",
 ]
 
 
@@ -126,6 +128,37 @@ def bench_steady_state(n: int, seed: int, horizon: float = 200.0) -> dict:
     }
 
 
+def bench_audit_sweep(corruption_seeds, seeds, workers: int) -> dict:
+    """Adversarial audit: certify re-convergence from arbitrary states.
+
+    Sweeps every registered adversarial scheduler against seeded full-state
+    corruption (see ``docs/audit.md``); the entry records certification plus
+    the worst-case stabilization time across the sweep.
+    """
+    from repro.audit.harness import build_cases, certify
+    from repro.audit.schedulers import available_schedulers
+
+    t0 = time.perf_counter()
+    cases = build_cases(corruption_seeds=corruption_seeds)
+    report = certify(cases, seeds=seeds, workers=workers, shrink_failures=False)
+    elapsed = time.perf_counter() - t0
+    stabilizations = [
+        v["convergence"]["stabilization_time"]
+        for v in report["verdicts"]
+        if v.get("convergence") and v["convergence"].get("stabilization_time")
+    ]
+    return {
+        "schedulers": available_schedulers(),
+        "corruption_seeds": list(corruption_seeds),
+        "seeds": list(seeds),
+        "runs": report["meta"]["runs"],
+        "all_ok": report["certified"],
+        "failed": report["failed"],
+        "worst_stabilization_time": max(stabilizations) if stabilizations else None,
+        "wall_seconds": elapsed,
+    }
+
+
 def bench_scenario_matrix(seeds, workers: int) -> dict:
     """Seed-sweep of the composed scenario library via the parallel runner."""
     t0 = time.perf_counter()
@@ -154,7 +187,7 @@ def bench_scenario_matrix(seeds, workers: int) -> dict:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="smoke run, <60s")
-    parser.add_argument("--tag", default="pr2", help="suffix of BENCH_<tag>.json")
+    parser.add_argument("--tag", default="pr3", help="suffix of BENCH_<tag>.json")
     parser.add_argument("--output", default=None, help="explicit output path")
     parser.add_argument("--workers", type=int, default=4, help="matrix sweep workers")
     args = parser.parse_args(argv)
@@ -195,6 +228,14 @@ def main(argv=None) -> int:
     print("[bench] scenario_matrix ...", flush=True)
     results["benchmarks"]["scenario_matrix"] = bench_scenario_matrix(
         seeds=matrix_seeds, workers=args.workers
+    )
+
+    print("[bench] audit_sweep ...", flush=True)
+    audit_corruptions = range(2) if not args.quick else range(1)
+    results["benchmarks"]["audit_sweep"] = bench_audit_sweep(
+        corruption_seeds=audit_corruptions,
+        seeds=matrix_seeds,
+        workers=args.workers,
     )
 
     headline = results["benchmarks"].get("bootstrap_n16")

@@ -1,12 +1,13 @@
 """Metrics, probes and reporting helpers for scenarios and benchmarks."""
 
 from repro.analysis.metrics import ExperimentResult, ResultTable, summarize
-from repro.analysis.probes import Probe, ProbeResult, wait_for
+from repro.analysis.probes import Invariant, Probe, ProbeResult, wait_for
 
 __all__ = [
     "ExperimentResult",
     "ResultTable",
     "summarize",
+    "Invariant",
     "Probe",
     "ProbeResult",
     "wait_for",

@@ -46,11 +46,44 @@ class ProbeResult:
 
 
 def wait_for(cluster: "Cluster", probe: Probe) -> ProbeResult:
-    """Run *cluster* until *probe* holds (budgeted from the current instant)."""
-    satisfied = cluster.run_until(
-        lambda: probe.check(cluster), timeout=cluster.simulator.now + probe.timeout
-    )
+    """Run *cluster* until *probe* holds (budgeted from the current instant).
+
+    ``Cluster.run_until`` treats its timeout as a budget relative to ``now``,
+    so the probe's budget is passed through directly.
+    """
+    satisfied = cluster.run_until(lambda: probe.check(cluster), timeout=probe.timeout)
     return ProbeResult(name=probe.name, satisfied=satisfied, time=cluster.simulator.now)
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """A named safety predicate monitored after *every* executed event.
+
+    Where a :class:`Probe` is a condition to drive the system *toward*, an
+    invariant is a condition that must *hold throughout* — the scenario
+    runner wires these into an
+    :class:`~repro.sim.monitors.InvariantMonitor`, which records violation
+    intervals; a violated invariant fails the run.
+
+    ``arm_after`` delays enforcement until the given simulated time: the
+    predicate is treated as holding before that instant.  The audit engine
+    arms its invariants at corruption time so that a violation is
+    attributable to the injected arbitrary state, not to the bootstrap
+    (which legitimately passes through reset states).
+    """
+
+    name: str
+    check: ProbeCheck
+    arm_after: float = 0.0
+
+    def __call__(self, cluster: "Cluster") -> bool:
+        if self.arm_after > 0.0 and cluster.simulator.now < self.arm_after:
+            return True
+        return self.check(cluster)
+
+    def armed_at(self, time: float) -> "Invariant":
+        """A copy of this invariant armed at simulated *time*."""
+        return Invariant(name=self.name, check=self.check, arm_after=time)
 
 
 # ---------------------------------------------------------------------------
@@ -121,6 +154,46 @@ def smr_states_agree(cluster: "Cluster") -> bool:
         if vs is not None:
             snapshots.append(vs.machine.snapshot())
     return len(snapshots) > 0 and all(s == snapshots[0] for s in snapshots[1:])
+
+
+# ---------------------------------------------------------------------------
+# Invariant checks (used by the audit engine; see repro.audit)
+# ---------------------------------------------------------------------------
+def channels_bounded(cluster: "Cluster") -> bool:
+    """No channel ever holds more in-flight packets than its capacity.
+
+    The paper bounds adversarial channel content by ``cap`` per channel
+    (Section 2 / Lemma 3.18); the simulated channels enforce this, so the
+    invariant doubles as a self-check of the fault-injection plumbing.
+    """
+    return all(
+        chan.occupancy() <= chan.config.capacity
+        for chan in cluster.simulator.network.channels()
+    )
+
+
+def no_reset_in_progress(cluster: "Cluster") -> bool:
+    """No alive node's own config entry is ``⊥``.
+
+    **Deliberately too strong**: a brute-force reset legitimately drives
+    every config entry through ``⊥``, so any corruption that triggers a reset
+    violates this.  It exists as the demonstration target for the audit
+    engine's reproducer shrinking (``python -m repro.audit --demo-shrink``).
+    """
+    from repro.common.types import BOTTOM
+
+    return all(
+        node.recsa.config.get(node.pid) is not BOTTOM
+        for node in cluster.alive_nodes()
+    )
+
+
+def bounded_channels_invariant() -> Invariant:
+    return Invariant("channels_bounded", channels_bounded)
+
+
+def no_reset_invariant() -> Invariant:
+    return Invariant("no_reset_in_progress", no_reset_in_progress)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,162 @@
+"""CLI: certify self-stabilization from arbitrary states.
+
+Examples::
+
+    python -m repro.audit --list-schedulers
+    python -m repro.audit --smoke                      # CI gate: 30 runs
+    python -m repro.audit --schedulers delay_skew,slow_node \\
+        --corruptions 0:4 --seeds 0:4 --workers 4 --output audit.json
+    python -m repro.audit --demo-shrink                # broken invariant ->
+                                                       # minimal reproducer
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+from repro.analysis import probes
+from repro.analysis.metrics import ResultTable
+from repro.audit.harness import AuditCase, build_cases, certify, shrink_case
+from repro.audit.schedulers import available_schedulers, get_scheduler
+from repro.scenarios.__main__ import parse_seeds
+
+
+def _render(report: dict) -> str:
+    table = ResultTable(
+        title=(
+            f"audit sweep ({report['meta']['runs']} runs, "
+            f"{report['meta']['workers']} worker(s))"
+        ),
+        columns=["case", "seed", "certified", "converged", "stabilized_at"],
+    )
+    for verdict in report["verdicts"]:
+        convergence = verdict.get("convergence") or {}
+        table.add(
+            {"case": verdict["case"], "seed": verdict["seed"]},
+            {
+                "certified": verdict["certified"],
+                "converged": verdict["converged"],
+                "stabilized_at": convergence.get("stabilization_time"),
+            },
+        )
+    return table.render()
+
+
+def _demo_shrink(output: str | None) -> int:
+    """Certify against a deliberately-too-strong invariant and shrink.
+
+    ``no_reset_in_progress`` is violated by any corruption that triggers a
+    brute-force reset, so the demo is *expected* to fail certification —
+    success here means the shrinker reduced the violating corruption plan to
+    a minimal reproducer that still fails.
+    """
+    case = AuditCase(
+        scheduler="uniform",
+        corruption_seed=0,
+        invariants=(probes.no_reset_invariant(),),
+    )
+    print(f"[audit] demo case {case.name}: deliberately broken invariant "
+          f"'no_reset_in_progress' (any reset violates it)")
+    reproducer = shrink_case(case, seed=0)
+    print(json.dumps(reproducer, indent=2, default=str))
+    if output:
+        Path(output).write_text(json.dumps(reproducer, indent=2, default=str) + "\n")
+        print(f"wrote {output}")
+    ok = (
+        reproducer.get("still_fails")
+        and reproducer.get("minimal_size", 0) >= 1
+        and reproducer.get("minimal_size") < reproducer.get("atoms_total", 0)
+    )
+    if not ok:
+        print("demo shrink FAILED to produce a minimal reproducer", file=sys.stderr)
+        return 1
+    print(
+        f"[audit] shrank {reproducer['atoms_total']} corruption atoms to "
+        f"{reproducer['minimal_size']} in {reproducer['trials']} trials"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.audit", description=__doc__)
+    parser.add_argument(
+        "--schedulers",
+        default=None,
+        help="comma-separated scheduler names (default: every registered one)",
+    )
+    parser.add_argument(
+        "--corruptions", default="0", help='corruption-seed spec: "0,1", "0:4" or "7"'
+    )
+    parser.add_argument("--seeds", default="0", help='simulator-seed spec, same syntax')
+    parser.add_argument("--workers", type=int, default=1, help="worker processes")
+    parser.add_argument("--n", type=int, default=5, help="cluster size")
+    parser.add_argument("--stack", default="bare", help="stack profile name")
+    parser.add_argument(
+        "--budget", type=float, default=6_000.0, help="re-convergence budget (sim time)"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI gate: every scheduler x 2 corruption seeds x 3 sim seeds (30 runs)",
+    )
+    parser.add_argument(
+        "--demo-shrink",
+        action="store_true",
+        help="run the broken-invariant shrinking demonstration and exit",
+    )
+    parser.add_argument(
+        "--list-schedulers", action="store_true", help="list schedulers and exit"
+    )
+    parser.add_argument("--output", default=None, help="write the verdict JSON here")
+    args = parser.parse_args(argv)
+
+    if args.list_schedulers:
+        for name in available_schedulers():
+            print(f"{name:16s} {get_scheduler(name).description}")
+        return 0
+
+    if args.demo_shrink:
+        return _demo_shrink(args.output)
+
+    if args.smoke:
+        schedulers: List[str] = available_schedulers()
+        corruption_seeds = [0, 1]
+        seeds = [0, 1, 2]
+    else:
+        schedulers = (
+            args.schedulers.split(",") if args.schedulers else available_schedulers()
+        )
+        corruption_seeds = parse_seeds(args.corruptions)
+        seeds = parse_seeds(args.seeds)
+
+    cases = build_cases(
+        schedulers=schedulers,
+        corruption_seeds=corruption_seeds,
+        n=args.n,
+        stack=args.stack,
+        convergence_budget=args.budget,
+    )
+    report = certify(cases, seeds=seeds, workers=args.workers)
+    print(_render(report))
+
+    if args.output:
+        path = Path(args.output)
+        path.write_text(json.dumps(report, indent=2, sort_keys=True, default=str) + "\n")
+        print(f"wrote {path}")
+
+    if not report["certified"]:
+        print(f"NOT CERTIFIED: {report['failed']}", file=sys.stderr)
+        return 1
+    print(
+        f"[audit] certified {report['meta']['runs']} runs "
+        f"({len(cases)} corrupted-state x scheduler cases x {len(seeds)} seeds)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

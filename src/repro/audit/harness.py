@@ -1,0 +1,279 @@
+"""The certification harness: sweep, verdicts and reproducer shrinking.
+
+An :class:`AuditCase` names one ``(adversarial scheduler, corruption seed)``
+cell of the audit matrix; :func:`certify` sweeps ``cases x simulator seeds``
+through the scenario engine's parallel matrix (:func:`repro.scenarios.runner
+.run_matrix`, so the audit reuses the same worker plumbing and determinism
+contract as every other sweep) and asserts, per run, that
+
+* the cluster **re-converges within the case's simulated-time budget** after
+  the corruption (``converged`` / ``participating`` probes plus a
+  :class:`~repro.sim.monitors.ConvergenceTracker` summary), and
+* every declared :class:`~repro.analysis.probes.Invariant` held throughout
+  (violation intervals recorded by the
+  :class:`~repro.sim.monitors.InvariantMonitor`).
+
+A run that fails certification is handed to :func:`shrink_case`, which
+re-runs the deterministic corruption plan with ddmin-style subset bisection
+until no atom can be removed without the failure disappearing — the minimal
+reproducer every bug report wants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis import probes
+from repro.audit.arbitrary_state import DEFAULT_PROFILE, CorruptionProfile
+from repro.audit.schedulers import available_schedulers, get_scheduler
+from repro.scenarios.library import register_scenario
+from repro.scenarios.runner import run_matrix, run_scenario
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.workloads import ArbitraryStateWorkload
+
+
+@dataclass(frozen=True)
+class AuditCase:
+    """One cell of the audit matrix: a scheduler plus a corruption stream.
+
+    The simulator seed is *not* part of the case — :func:`certify` sweeps
+    each case across seeds, so one case certifies against many executions of
+    the same adversary.
+    """
+
+    scheduler: str
+    corruption_seed: int
+    n: int = 5
+    stack: str = "bare"
+    config: str = "fast_sim"
+    corrupt_at: float = 30.0
+    convergence_budget: float = 6_000.0
+    profile: CorruptionProfile = DEFAULT_PROFILE
+    invariants: Tuple[probes.Invariant, ...] = ()
+
+    @property
+    def name(self) -> str:
+        # The name encodes every registry-relevant parameter so two sweeps
+        # with different topologies/stacks in one process cannot silently
+        # alias each other's registered specs.
+        return (
+            f"audit:{self.scheduler}:c{self.corruption_seed}"
+            f":n{self.n}:{self.stack}"
+        )
+
+    def to_spec(
+        self,
+        include: Optional[Tuple[int, ...]] = None,
+        record_atoms: bool = False,
+    ) -> ScenarioSpec:
+        """The scenario spec realizing this case (optionally a plan subset)."""
+        get_scheduler(self.scheduler)  # fail fast on unknown names
+        # Invariants arm at corruption time: bootstrap legitimately passes
+        # through reset states, so earlier violations would not be
+        # attributable to the injected arbitrary state.
+        invariants = tuple(
+            inv if inv.arm_after > 0.0 else inv.armed_at(self.corrupt_at)
+            for inv in self.invariants
+        )
+        return ScenarioSpec(
+            name=self.name if include is None else f"{self.name}:shrink",
+            description=(
+                f"audit: arbitrary state (corruption seed "
+                f"{self.corruption_seed}) under the {self.scheduler} scheduler"
+            ),
+            n=self.n,
+            config=self.config,
+            stack=self.stack,
+            scheduler=self.scheduler,
+            workloads=(
+                ArbitraryStateWorkload(
+                    at=self.corrupt_at,
+                    seed=self.corruption_seed,
+                    profile=self.profile,
+                    include=include,
+                    record_atoms=record_atoms,
+                ),
+            ),
+            horizon=self.corrupt_at + 5.0,
+            probes=(
+                probes.converged(self.convergence_budget),
+                probes.participating(self.convergence_budget),
+            ),
+            invariants=invariants,
+            track_convergence=True,
+        )
+
+
+def build_cases(
+    schedulers: Optional[Sequence[str]] = None,
+    corruption_seeds: Sequence[int] = (0,),
+    **overrides: Any,
+) -> List[AuditCase]:
+    """The cross product ``schedulers x corruption_seeds`` as audit cases."""
+    names = list(schedulers) if schedulers is not None else available_schedulers()
+    return [
+        AuditCase(scheduler=name, corruption_seed=seed, **overrides)
+        for name in names
+        for seed in corruption_seeds
+    ]
+
+
+def run_case(
+    case: AuditCase,
+    seed: int,
+    include: Optional[Tuple[int, ...]] = None,
+    record_atoms: bool = False,
+) -> Dict[str, Any]:
+    """Execute one audit run (spec passed directly; no registration needed)."""
+    return run_scenario(case.to_spec(include=include, record_atoms=record_atoms), seed=seed)
+
+
+def _verdict(entry: Dict[str, Any], corrupt_at: Optional[float] = None) -> Dict[str, Any]:
+    probes_out = entry.get("probes", {})
+    convergence = entry.get("convergence")
+    corrupted_converged = None
+    if corrupt_at is not None and convergence is not None:
+        # Whether the corruption actually hit an already-converged system —
+        # under a slow adversary (or a large n) bootstrap can overrun
+        # ``corrupt_at``, in which case the run certifies convergence *from*
+        # the corrupted bootstrap state rather than re-convergence after it.
+        first = convergence.get("first_true_time")
+        corrupted_converged = first is not None and first <= corrupt_at
+    return {
+        "case": entry["scenario"],
+        "seed": entry["seed"],
+        "certified": bool(entry.get("ok")),
+        "converged": probes_out.get("converged", {}).get("satisfied"),
+        "all_participating": probes_out.get("all_participating", {}).get("satisfied"),
+        "corrupted_converged_state": corrupted_converged,
+        "convergence": convergence,
+        "invariants": entry.get("invariants"),
+        "corruption": entry.get("workload_reports"),
+        "error": entry.get("error"),
+    }
+
+
+def certify(
+    cases: Sequence[AuditCase],
+    seeds: Sequence[int],
+    workers: int = 1,
+    shrink_failures: bool = True,
+    max_shrink_trials: int = 64,
+) -> Dict[str, Any]:
+    """Sweep ``cases x seeds``; return the JSON-serializable audit report.
+
+    The cases are registered as named scenarios (re-registration allowed) so
+    the parallel matrix workers can resolve them, exactly like the built-in
+    scenario library.
+    """
+    by_name: Dict[str, AuditCase] = {}
+    for case in cases:
+        register_scenario(case.to_spec(), replace=True)
+        by_name[case.name] = case
+    sweep = run_matrix([case.name for case in cases], seeds=seeds, workers=workers)
+    verdicts = [
+        _verdict(entry, corrupt_at=by_name[entry["scenario"]].corrupt_at)
+        for entry in sweep["results"]
+    ]
+    failures = [v for v in verdicts if not v["certified"]]
+    report: Dict[str, Any] = {
+        "meta": {
+            "cases": sorted(by_name),
+            "seeds": list(seeds),
+            "workers": sweep["meta"]["workers"],
+            "runs": len(verdicts),
+            # Runs where bootstrap overran corrupt_at: those certify
+            # convergence from a corrupted bootstrap state, not
+            # re-convergence of a converged system.
+            "corrupted_mid_bootstrap": sum(
+                1 for v in verdicts if v["corrupted_converged_state"] is False
+            ),
+        },
+        "certified": not failures,
+        "failed": [f"{v['case']}@{v['seed']}" for v in failures],
+        "verdicts": verdicts,
+    }
+    if shrink_failures and failures:
+        report["reproducers"] = [
+            shrink_case(
+                by_name[v["case"]], v["seed"], max_trials=max_shrink_trials
+            )
+            for v in failures
+        ]
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Shrinking
+# ---------------------------------------------------------------------------
+def _fails(result: Dict[str, Any]) -> bool:
+    return not result.get("ok")
+
+
+def _plan_size(result: Dict[str, Any]) -> int:
+    for entry in result.get("workload_reports", ()):
+        if entry.get("workload") == "arbitrary_state":
+            return int(entry.get("atoms_total", 0))
+    return 0
+
+
+def shrink_case(
+    case: AuditCase, seed: int, max_trials: int = 64
+) -> Dict[str, Any]:
+    """Shrink *case*'s corruption plan to a minimal failing subset (ddmin).
+
+    The plan is a pure function of ``(case, seed)``, so subsets are stable
+    across re-runs; the shrinker repeatedly bisects the surviving index set,
+    keeping any complement that still fails, and refines granularity until
+    either every single-atom removal breaks the failure (1-minimality) or
+    the trial budget is spent.
+    """
+    full = run_case(case, seed)
+    total = _plan_size(full)
+    base = {"case": case.name, "seed": seed, "atoms_total": total}
+    if not _fails(full):
+        return {**base, "note": "run does not fail; nothing to shrink", "trials": 1}
+    indices: List[int] = list(range(total))
+    trials = 1
+    granularity = 2
+    while len(indices) > 1 and trials < max_trials:
+        chunk = math.ceil(len(indices) / granularity)
+        chunks = [indices[i : i + chunk] for i in range(0, len(indices), chunk)]
+        reduced = False
+        for drop in range(len(chunks)):
+            candidate = [
+                index
+                for which, part in enumerate(chunks)
+                if which != drop
+                for index in part
+            ]
+            if not candidate:
+                continue
+            result = run_case(case, seed, include=tuple(candidate))
+            trials += 1
+            if _fails(result):
+                indices = candidate
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+            if trials >= max_trials:
+                break
+        if not reduced:
+            if granularity >= len(indices):
+                break
+            granularity = min(len(indices), granularity * 2)
+    final = run_case(case, seed, include=tuple(indices), record_atoms=True)
+    atoms: List[str] = []
+    for entry in final.get("workload_reports", ()):
+        if entry.get("workload") == "arbitrary_state":
+            atoms = list(entry.get("atoms", ()))
+    return {
+        **base,
+        "minimal_indices": list(indices),
+        "minimal_size": len(indices),
+        "atoms": atoms,
+        "still_fails": _fails(final),
+        "trials": trials + 1,
+    }

@@ -1,0 +1,193 @@
+"""Pluggable adversarial schedulers: named message-timing adversaries.
+
+The paper's asynchronous model lets the environment schedule message
+deliveries arbitrarily (within fair communication).  The seed harness only
+ever exercised one benign uniform-delay scheduler; these profiles shape the
+network into the adversarial timings that surface convergence bugs in
+practice — wired through per-pair :class:`~repro.sim.network.ChannelConfig`
+overrides on the :class:`~repro.sim.network.Network`, so a scenario names a
+scheduler the same way it names a stack profile
+(``ScenarioSpec(scheduler="reorder_heavy")``).
+
+Built-in schedulers:
+
+``uniform``
+    The identity baseline — whatever the cluster config declares.
+``delay_skew``
+    Every directed link gets its own delay-scale factor (drawn seeded,
+    log-uniform in [0.5, 8)): heterogeneous latencies, so gossip rounds
+    interleave across nodes instead of proceeding in lockstep.
+``reorder_heavy``
+    Delay upper bound stretched 8x plus 20% duplication: maximal reordering
+    within fair communication.
+``burst_delivery``
+    Delays quantized to multiples of four base round-trips
+    (:attr:`ChannelConfig.delay_quantum`): long silences, then everything
+    arrives at once — the barrier-alignment worst case.
+``slow_node``
+    One seeded victim node's links (both directions) run 10x slower than the
+    rest: a straggler right at the failure detector's suspicion threshold.
+
+Schedulers are installed once, right after the cluster is built; channels to
+processors that join later fall back to the default config (the adversary
+shapes the initial topology, which is where the corrupted state lives).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Tuple
+
+from repro.common.rng import make_rng
+from repro.common.types import ProcessId
+from repro.sim.network import ChannelConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.cluster import Cluster
+
+Installer = Callable[["Cluster", random.Random], None]
+
+
+@dataclass(frozen=True)
+class AdversarialScheduler:
+    """A named, seeded message-timing adversary."""
+
+    name: str
+    description: str
+    installer: Installer
+
+    def install(self, cluster: "Cluster") -> None:
+        """Shape *cluster*'s channels (seeded from the simulator seed)."""
+        rng = make_rng(cluster.simulator.seed, "scheduler", self.name)
+        self.installer(cluster, rng)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+_REGISTRY: Dict[str, AdversarialScheduler] = {}
+
+
+def register_scheduler(scheduler: AdversarialScheduler) -> AdversarialScheduler:
+    """Add *scheduler* to the registry (unique name required)."""
+    if scheduler.name in _REGISTRY:
+        raise ValueError(f"scheduler {scheduler.name!r} is already registered")
+    _REGISTRY[scheduler.name] = scheduler
+    return scheduler
+
+
+def get_scheduler(name: str) -> AdversarialScheduler:
+    """Resolve a scheduler by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; available: {available_schedulers()}"
+        ) from None
+
+
+def available_schedulers() -> List[str]:
+    """Sorted names of every registered scheduler."""
+    return sorted(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# Installers
+# ---------------------------------------------------------------------------
+def _pairs(cluster: "Cluster") -> Iterable[Tuple[ProcessId, ProcessId]]:
+    pids = sorted(cluster.nodes)
+    for source in pids:
+        for destination in pids:
+            if source != destination:
+                yield source, destination
+
+
+def _base_config(cluster: "Cluster") -> ChannelConfig:
+    base = cluster.config.channel
+    return base if base is not None else ChannelConfig()
+
+
+def _install_uniform(cluster: "Cluster", rng: random.Random) -> None:
+    """The identity scheduler: keep the cluster config's channel shape."""
+
+
+def _install_delay_skew(cluster: "Cluster", rng: random.Random) -> None:
+    base = _base_config(cluster)
+    network = cluster.simulator.network
+    for source, destination in _pairs(cluster):
+        factor = math.exp(rng.uniform(math.log(0.5), math.log(8.0)))
+        network.set_channel_config(
+            source,
+            destination,
+            replace(
+                base,
+                min_delay=base.min_delay * factor,
+                max_delay=base.max_delay * factor,
+            ),
+        )
+
+
+def _install_reorder_heavy(cluster: "Cluster", rng: random.Random) -> None:
+    base = _base_config(cluster)
+    network = cluster.simulator.network
+    config = replace(
+        base, max_delay=base.max_delay * 8.0, duplicate_probability=0.2
+    )
+    for source, destination in _pairs(cluster):
+        network.set_channel_config(source, destination, config)
+
+
+def _install_burst_delivery(cluster: "Cluster", rng: random.Random) -> None:
+    base = _base_config(cluster)
+    network = cluster.simulator.network
+    quantum = base.max_delay * 4.0
+    config = replace(base, max_delay=base.max_delay * 4.0, delay_quantum=quantum)
+    for source, destination in _pairs(cluster):
+        network.set_channel_config(source, destination, config)
+
+
+def _install_slow_node(cluster: "Cluster", rng: random.Random) -> None:
+    base = _base_config(cluster)
+    network = cluster.simulator.network
+    victim = rng.choice(sorted(cluster.nodes))
+    slow = replace(base, min_delay=base.min_delay * 10.0, max_delay=base.max_delay * 10.0)
+    for source, destination in _pairs(cluster):
+        if victim in (source, destination):
+            network.set_channel_config(source, destination, slow)
+
+
+UNIFORM = register_scheduler(
+    AdversarialScheduler(
+        "uniform", "identity baseline: the cluster config's channels", _install_uniform
+    )
+)
+DELAY_SKEW = register_scheduler(
+    AdversarialScheduler(
+        "delay_skew",
+        "per-link log-uniform delay-scale factors (heterogeneous latencies)",
+        _install_delay_skew,
+    )
+)
+REORDER_HEAVY = register_scheduler(
+    AdversarialScheduler(
+        "reorder_heavy",
+        "8x delay variance + 20% duplication (maximal reordering)",
+        _install_reorder_heavy,
+    )
+)
+BURST_DELIVERY = register_scheduler(
+    AdversarialScheduler(
+        "burst_delivery",
+        "delays quantized to burst boundaries (silence, then everything at once)",
+        _install_burst_delivery,
+    )
+)
+SLOW_NODE = register_scheduler(
+    AdversarialScheduler(
+        "slow_node",
+        "one seeded victim's links run 10x slower (straggler at the FD threshold)",
+        _install_slow_node,
+    )
+)

@@ -20,6 +20,7 @@ from the command line::
 
 from repro.scenarios.spec import ScenarioSpec
 from repro.scenarios.workloads import (
+    ArbitraryStateWorkload,
     ChurnWorkload,
     CrashWorkload,
     FlashJoinWorkload,
@@ -46,6 +47,7 @@ from repro.scenarios.runner import (
 __all__ = [
     "ScenarioSpec",
     "Workload",
+    "ArbitraryStateWorkload",
     "ChurnWorkload",
     "CrashWorkload",
     "FlashJoinWorkload",

@@ -15,6 +15,7 @@ from repro.analysis import probes
 from repro.scenarios.spec import ScenarioSpec
 from repro.sim.config import fast_sim
 from repro.scenarios.workloads import (
+    ArbitraryStateWorkload,
     ChurnWorkload,
     CrashWorkload,
     FlashJoinWorkload,
@@ -28,9 +29,13 @@ from repro.scenarios.workloads import (
 _REGISTRY: Dict[str, ScenarioSpec] = {}
 
 
-def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
-    """Add *spec* to the named-scenario registry (unique name required)."""
-    if spec.name in _REGISTRY:
+def register_scenario(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+    """Add *spec* to the named-scenario registry (unique name required).
+
+    *replace* overwrites an existing registration — used by generated
+    scenario families (the audit harness re-registers its cases per sweep).
+    """
+    if spec.name in _REGISTRY and not replace:
         raise ValueError(f"scenario {spec.name!r} is already registered")
     _REGISTRY[spec.name] = spec
     return spec
@@ -139,6 +144,43 @@ register_scenario(
         n=6,
         workloads=(PartitionWorkload(at=20.0, heal_at=90.0),),
         horizon=100.0,
+        probes=(probes.converged(10_000), probes.participating(10_000)),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# Audit scenarios (the adversarial self-stabilization engine, repro.audit)
+# ---------------------------------------------------------------------------
+register_scenario(
+    ScenarioSpec(
+        name="arbitrary_state_recovery",
+        description=(
+            "Full transient-fault model: every protocol-state field of every "
+            "node corrupted type-correctly + channels stuffed with stale "
+            "packets; the scheme must re-converge from the arbitrary state."
+        ),
+        n=5,
+        workloads=(ArbitraryStateWorkload(at=30.0),),
+        horizon=35.0,
+        track_convergence=True,
+        probes=(probes.converged(6_000), probes.participating(6_000)),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="arbitrary_state_reorder",
+        description=(
+            "Arbitrary-state corruption under the reorder-heavy adversarial "
+            "scheduler (8x delay variance + duplication), on the counters "
+            "stack."
+        ),
+        n=5,
+        stack="counters",
+        scheduler="reorder_heavy",
+        workloads=(ArbitraryStateWorkload(at=40.0),),
+        horizon=45.0,
+        track_convergence=True,
         probes=(probes.converged(10_000), probes.participating(10_000)),
     )
 )

@@ -26,6 +26,7 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 from repro.scenarios.spec import ScenarioSpec
 from repro.sim.cluster import Cluster, build_cluster
 from repro.sim.config import ClusterConfig, preset
+from repro.sim.monitors import ConvergenceTracker, InvariantMonitor
 from repro.analysis.probes import wait_for
 
 
@@ -34,24 +35,52 @@ class ScenarioRun:
     """A prepared scenario: cluster built, workloads installed, not yet run.
 
     Benchmarks use this to interleave their own measurements with the
-    scenario engine's phases without hand-wiring any services.
+    scenario engine's phases without hand-wiring any services.  ``monitor``
+    and ``tracker`` are populated when the spec declares invariants /
+    convergence tracking (the audit engine's certification hooks).
     """
 
     spec: ScenarioSpec
     seed: int
     cluster: Cluster
+    monitor: Optional[InvariantMonitor] = None
+    tracker: Optional[ConvergenceTracker] = None
 
 
 def prepare(spec_or_name: Union[str, ScenarioSpec], seed: int = 0) -> ScenarioRun:
-    """Build the cluster for a scenario and install its workloads."""
+    """Build the cluster for a scenario and install its workloads.
+
+    Order matters: the adversarial scheduler (if the spec names one) shapes
+    the channels before any workload schedules its disturbances, and the
+    monitors attach before the first event executes.
+    """
     from repro.scenarios.library import get_scenario
 
     spec = get_scenario(spec_or_name)
     config = spec.config if isinstance(spec.config, ClusterConfig) else preset(spec.config)
     cluster = build_cluster(n=spec.n, seed=seed, config=config, stack=spec.stack)
+    if spec.scheduler is not None:
+        from repro.audit.schedulers import get_scheduler
+
+        get_scheduler(spec.scheduler).install(cluster)
+    monitor: Optional[InvariantMonitor] = None
+    if spec.invariants:
+        monitor = InvariantMonitor(cluster.simulator)
+        for invariant in spec.invariants:
+            monitor.add_invariant(
+                invariant.name,
+                lambda invariant=invariant: invariant(cluster),
+            )
+    tracker: Optional[ConvergenceTracker] = None
+    if spec.track_convergence:
+        tracker = ConvergenceTracker(
+            cluster.simulator, cluster.is_converged, name="cluster_converged"
+        )
     for workload in spec.workloads:
         workload.install(cluster)
-    return ScenarioRun(spec=spec, seed=seed, cluster=cluster)
+    return ScenarioRun(
+        spec=spec, seed=seed, cluster=cluster, monitor=monitor, tracker=tracker
+    )
 
 
 def execute(run: ScenarioRun) -> Dict[str, Any]:
@@ -86,6 +115,13 @@ def execute(run: ScenarioRun) -> Dict[str, Any]:
         }
     result["probes"] = probe_results
     result["ok"] = result["bootstrapped"] is not False and all_satisfied
+    if run.tracker is not None:
+        result["convergence"] = run.tracker.summary()
+    if run.monitor is not None:
+        result["invariants"] = run.monitor.summary()
+        result["ok"] = result["ok"] and run.monitor.ok()
+    if cluster.workload_reports:
+        result["workload_reports"] = list(cluster.workload_reports)
     if spec.measure_window > 0:
         before = cluster.statistics()
         start = cluster.simulator.now
@@ -123,6 +159,26 @@ def _run_job(job: Sequence[Any]) -> Dict[str, Any]:
         "wall_seconds": time.perf_counter() - wall_start,
         "worker_pid": os.getpid(),
     }
+
+
+def _unfinished_jobs(
+    jobs: Sequence[Sequence[Any]], results: Sequence[Dict[str, Any]]
+) -> List[Sequence[Any]]:
+    """The ``(scenario, seed)`` jobs with no collected result yet.
+
+    Used to name the lost jobs when a worker dies without reporting.
+    """
+    done = {(entry.get("scenario"), entry.get("seed")) for entry in results}
+    return [job for job in jobs if (job[0], job[1]) not in done]
+
+
+def _reap_workers(processes: List[Any], timeout: float = 5.0) -> None:
+    """Join every worker, terminating any that outlives *timeout* seconds."""
+    for process in processes:
+        process.join(timeout=timeout)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=timeout)
 
 
 def _worker(jobs: List[Sequence[Any]], queue: "multiprocessing.Queue") -> None:
@@ -206,17 +262,29 @@ def run_matrix(
         while len(results) < len(jobs):
             try:
                 results.append(queue.get(timeout=1.0))
+                continue
             except Empty:
-                # Only an Exception inside a job is reported via the queue; a
-                # worker killed outright (OOM, SIGKILL) would otherwise leave
-                # this collection loop blocked forever.
-                if not any(process.is_alive() for process in processes) and queue.empty():
-                    raise RuntimeError(
-                        f"worker process died before finishing its jobs; "
-                        f"collected {len(results)}/{len(jobs)} results"
-                    )
-        for process in processes:
-            process.join()
+                pass
+            # Only an Exception inside a job is reported via the queue; a
+            # worker killed outright (OOM, SIGKILL) would otherwise leave
+            # this collection loop blocked forever.
+            if any(process.is_alive() for process in processes):
+                continue
+            # Every worker has exited.  Drain whatever is still buffered in
+            # the queue (``queue.empty()`` alone is racy against the feeder
+            # threads) before deciding results really are missing.
+            try:
+                while len(results) < len(jobs):
+                    results.append(queue.get(timeout=0.25))
+            except Empty:
+                missing = _unfinished_jobs(jobs, results)
+                _reap_workers(processes)
+                raise RuntimeError(
+                    f"worker process died before finishing its jobs; "
+                    f"collected {len(results)}/{len(jobs)} results; "
+                    f"missing (scenario, seed) pairs: {missing}"
+                )
+        _reap_workers(processes)
     results.sort(key=lambda entry: (entry["scenario"], entry["seed"]))
     return {
         "meta": {

@@ -11,9 +11,9 @@ turns a spec plus a seed into a deterministic statistics dictionary.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Tuple, Union
+from typing import Any, Optional, Tuple, Union
 
-from repro.analysis.probes import Probe
+from repro.analysis.probes import Invariant, Probe
 from repro.sim.config import ClusterConfig
 
 
@@ -36,6 +36,19 @@ class ScenarioSpec:
     probes:
         Waited for *in order* after bootstrap + horizon; each probe's
         ``timeout`` is its own budget of simulated time.
+    scheduler:
+        Name of an adversarial scheduler (:mod:`repro.audit.schedulers`)
+        installed right after the cluster is built — per-link delay skew,
+        heavy reordering, burst delivery, a slow node.  ``None`` keeps the
+        config's uniform channel behaviour.
+    invariants:
+        :class:`~repro.analysis.probes.Invariant` predicates monitored after
+        every executed event; any recorded violation interval fails the run
+        (reported under ``"invariants"``).
+    track_convergence:
+        When True, a :class:`~repro.sim.monitors.ConvergenceTracker` watches
+        ``cluster.is_converged`` for the whole run and its summary is
+        reported under ``"convergence"`` (stabilization time, transitions).
     bootstrap_timeout:
         Simulated-time budget for the initial self-organization phase
         (skipped when ``require_bootstrap`` is False).
@@ -54,6 +67,9 @@ class ScenarioSpec:
     stack: Any = None
     workloads: Tuple[Any, ...] = ()
     probes: Tuple[Probe, ...] = field(default_factory=tuple)
+    scheduler: Optional[str] = None
+    invariants: Tuple[Invariant, ...] = ()
+    track_convergence: bool = False
     bootstrap_timeout: float = 4_000.0
     horizon: float = 0.0
     measure_window: float = 0.0

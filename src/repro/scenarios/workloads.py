@@ -22,6 +22,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Optional, Protocol, Tuple, runtime_checkable
 
+from repro.audit.arbitrary_state import (
+    DEFAULT_PROFILE,
+    CorruptionProfile,
+    apply_plan,
+    generate_plan,
+    plan_summary,
+)
 from repro.common.types import ProcessId
 from repro.workloads.churn import generate_churn_trace
 from repro.workloads.corruption import scramble_cluster, stuff_stale_recma_packets
@@ -89,6 +96,53 @@ class ScrambleWorkload:
             )
 
         cluster.simulator.call_at(self.at, _fire, label="workload:scramble")
+
+
+@dataclass(frozen=True)
+class ArbitraryStateWorkload:
+    """The paper's *full* transient-fault model as one workload.
+
+    At time *at*, generate a seeded corruption plan over every protocol-state
+    field of the cluster (recSA, recMA, failure detector, stack services)
+    plus bounded channel stuffing — see
+    :mod:`repro.audit.arbitrary_state` — and apply it.
+
+    ``include`` restricts application to the given indices of the (always
+    fully generated, deterministic) plan; the audit harness uses this to
+    shrink a violating run to a minimal reproducer.  ``record_atoms`` adds
+    the applied atoms' descriptions to the workload report (reproducer
+    output; off by default to keep sweep results small).
+    """
+
+    at: float
+    seed: Optional[int] = None
+    profile: CorruptionProfile = DEFAULT_PROFILE
+    include: Optional[Tuple[int, ...]] = None
+    record_atoms: bool = False
+
+    def install(self, cluster: "Cluster") -> None:
+        def _fire() -> None:
+            plan = generate_plan(
+                cluster, seed=_seed_for(self.seed, cluster), profile=self.profile
+            )
+            if self.include is None:
+                selected = plan
+            else:
+                selected = [plan[i] for i in self.include if 0 <= i < len(plan)]
+            report = apply_plan(cluster, selected)
+            entry = {
+                "workload": "arbitrary_state",
+                "time": self.at,
+                "atoms_total": len(plan),
+                "atoms_selected": len(selected),
+                "by_kind": plan_summary(selected),
+                **report,
+            }
+            if self.record_atoms:
+                entry["atoms"] = [atom.describe() for atom in selected]
+            cluster.workload_reports.append(entry)
+
+        cluster.simulator.call_at(self.at, _fire, label="workload:arbitrary-state")
 
 
 @dataclass(frozen=True)

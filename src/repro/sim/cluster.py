@@ -221,6 +221,10 @@ class Cluster:
         self.config = config
         self.stack: StackProfile = get_stack(config.stack)
         self.nodes: Dict[ProcessId, ClusterNode] = {}
+        #: Deterministic, JSON-serializable reports appended by installed
+        #: workloads (e.g. what a corruption workload actually injected); the
+        #: scenario runner copies them into the result dictionary.
+        self.workload_reports: List[Dict[str, Any]] = []
 
     # Convenience views on the shared config (kept for existing callers).
     @property
@@ -346,12 +350,23 @@ class Cluster:
         self.simulator.run(until=until)
 
     def run_until_converged(self, timeout: float = 2_000.0) -> bool:
-        """Run until every alive participant agrees on a stable configuration."""
-        return self.simulator.run_until(self.is_converged, timeout=timeout)
+        """Run until every alive participant agrees on a stable configuration.
+
+        *timeout* is a **budget of simulated time from the current instant**,
+        so a re-convergence check issued late in a long run (``now > 2000``)
+        gets the same budget as one issued at time zero.
+        """
+        return self.run_until(self.is_converged, timeout=timeout)
 
     def run_until(self, predicate: Callable[[], bool], timeout: float = 2_000.0) -> bool:
-        """Run until *predicate()* holds (or the timeout elapses)."""
-        return self.simulator.run_until(predicate, timeout=timeout)
+        """Run until *predicate()* holds (or the *timeout* budget elapses).
+
+        Unlike :meth:`Simulator.run_until`, whose ``timeout`` is an absolute
+        clock deadline, the cluster-level *timeout* is relative to ``now``.
+        """
+        return self.simulator.run_until(
+            predicate, timeout=self.simulator.now + timeout
+        )
 
     # ------------------------------------------------------------------
     # Statistics

@@ -19,8 +19,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.common.errors import SimulationError
 from repro.common.rng import make_rng
 from repro.common.types import (
     BOTTOM,
@@ -43,6 +44,63 @@ class FaultRecord:
     kind: str
     target: Any
     details: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CorruptionAtom:
+    """One independently applicable unit of the paper's transient-fault model.
+
+    The arbitrary-state generator (:mod:`repro.audit.arbitrary_state`)
+    produces *plans* — ordered lists of atoms — instead of mutating state
+    directly, so that a violating run can be **shrunk** to a minimal
+    reproducer by re-running subsets of the plan.  An atom is plain data
+    (target pid, an attribute path, a key, a value), which keeps reproducers
+    printable and plans comparable across runs.
+
+    Kinds
+    -----
+    ``attr``
+        ``setattr`` on the object reached by walking *path* from the node;
+        *key* is the attribute name.
+    ``entry``
+        Overwrite one entry of the mapping reached by *path*; *key* is the
+        mapping key.
+    ``channel``
+        Stuff a stale packet into the channel ``pid → key`` (*value* is the
+        payload); bounded by the channel capacity like every injection.
+
+    A *path* component of the form ``"service:<name>"`` descends into the
+    node's ``service_map`` (and the atom is skipped when the node does not
+    run that service); every other component is a plain attribute lookup.
+    """
+
+    kind: str
+    pid: ProcessId
+    path: Tuple[str, ...] = ()
+    key: Any = None
+    value: Any = None
+
+    def describe(self) -> str:
+        """Compact human-readable form (used in shrunk reproducers)."""
+        if self.kind == "channel":
+            return f"channel {self.pid}->{self.key}: stuff {self.value!r}"
+        location = ".".join(self.path)
+        if self.kind == "entry":
+            return f"node {self.pid}: {location}[{self.key!r}] = {self.value!r}"
+        return f"node {self.pid}: {location}.{self.key} = {self.value!r}"
+
+
+def _resolve_path(node: Any, path: Tuple[str, ...]) -> Any:
+    """Walk *path* from *node*; ``None`` when any component is missing."""
+    target = node
+    for component in path:
+        if component.startswith("service:"):
+            target = node.service_map.get(component[len("service:"):])
+        else:
+            target = getattr(target, component, None)
+        if target is None:
+            return None
+    return target
 
 
 class FaultInjector:
@@ -114,6 +172,45 @@ class FaultInjector:
         else:
             members = self.random_configuration(universe)
         return Proposal(phase=phase, members=members)
+
+    # ---------------------------------------------------------- atom plans
+    def apply_atom(self, cluster: Any, atom: CorruptionAtom) -> bool:
+        """Apply one :class:`CorruptionAtom` against *cluster*.
+
+        Returns ``True`` when the corruption landed (the node exists and is
+        alive, the path resolves, the channel had room).  Every applied atom
+        is recorded like any other injection, so post-mortem analysis sees
+        generated and hand-picked faults uniformly.
+        """
+        if atom.kind == "channel":
+            return self.stuff_channel(atom.pid, atom.key, atom.value)
+        node = cluster.nodes.get(atom.pid)
+        if node is None or node.crashed or not node.started:
+            return False
+        target = _resolve_path(node, atom.path)
+        if target is None:
+            return False
+        if atom.kind == "attr":
+            self.corrupt_attribute(target, atom.key, atom.value)
+            return True
+        if atom.kind == "entry":
+            if not isinstance(target, dict):
+                return False
+            self.corrupt_mapping_entry(target, atom.key, atom.value)
+            return True
+        raise SimulationError(f"unknown corruption-atom kind {atom.kind!r}")
+
+    def apply_plan(
+        self, cluster: Any, atoms: Iterable[CorruptionAtom]
+    ) -> Dict[str, int]:
+        """Apply every atom in order; report how many landed vs were skipped."""
+        applied = skipped = 0
+        for atom in atoms:
+            if self.apply_atom(cluster, atom):
+                applied += 1
+            else:
+                skipped += 1
+        return {"applied": applied, "skipped": skipped}
 
     # ------------------------------------------------------------- channels
     def stuff_channel(self, source: ProcessId, destination: ProcessId, payload: Any) -> bool:

@@ -24,12 +24,42 @@ from repro.sim.simulator import Simulator
 
 @dataclass
 class Violation:
-    """A recorded invariant violation."""
+    """A recorded invariant-violation *interval*.
+
+    One record covers a maximal run of consecutive executed events during
+    which the predicate stayed false: ``time``/``event_index`` mark the first
+    violating step, ``last_time``/``last_event_index`` the most recent one,
+    and ``count`` how many executed events the interval spans.  Recording
+    false→true transitions instead of one record per step keeps the monitor's
+    memory proportional to the number of flips, not O(executed_events) on a
+    long chaotic run where a predicate is false for millions of steps.
+    """
 
     time: float
     event_index: int
     name: str
     details: str = ""
+    last_time: float = 0.0
+    last_event_index: int = 0
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.last_time < self.time:
+            self.last_time = self.time
+        if self.last_event_index < self.event_index:
+            self.last_event_index = self.event_index
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable view (used by scenario results / audit verdicts)."""
+        return {
+            "name": self.name,
+            "first_time": self.time,
+            "first_event": self.event_index,
+            "last_time": self.last_time,
+            "last_event": self.last_event_index,
+            "count": self.count,
+            "details": self.details,
+        }
 
 
 class InvariantMonitor:
@@ -40,6 +70,7 @@ class InvariantMonitor:
         self.strict = strict
         self.predicates: Dict[str, Callable[[], bool]] = {}
         self.violations: List[Violation] = []
+        self._open: Dict[str, Violation] = {}
         simulator.add_post_step_hook(self._check)
 
     def add_invariant(self, name: str, predicate: Callable[[], bool]) -> None:
@@ -47,7 +78,7 @@ class InvariantMonitor:
         self.predicates[name] = predicate
 
     def violated(self, name: Optional[str] = None) -> List[Violation]:
-        """Return recorded violations, optionally filtered by invariant name."""
+        """Return recorded violation intervals, optionally filtered by name."""
         if name is None:
             return list(self.violations)
         return [v for v in self.violations if v.name == name]
@@ -56,7 +87,15 @@ class InvariantMonitor:
         """True when no violation has been recorded."""
         return not self.violations
 
+    def summary(self) -> Dict[str, Any]:
+        """JSON-serializable summary of every recorded interval."""
+        return {
+            "ok": self.ok(),
+            "intervals": [violation.as_dict() for violation in self.violations],
+        }
+
     def _check(self, simulator: Simulator) -> None:
+        open_intervals = self._open
         for name, predicate in self.predicates.items():
             try:
                 holds = predicate()
@@ -65,16 +104,27 @@ class InvariantMonitor:
                 detail = f"predicate raised {exc!r}"
             else:
                 detail = ""
-            if not holds:
-                violation = Violation(
+            if holds:
+                # Close the interval (if any): the next false step opens a new
+                # one, so flapping predicates record one interval per flap.
+                open_intervals.pop(name, None)
+                continue
+            interval = open_intervals.get(name)
+            if interval is None:
+                interval = Violation(
                     time=simulator.now,
                     event_index=simulator.executed_events,
                     name=name,
                     details=detail,
                 )
-                self.violations.append(violation)
-                if self.strict:
-                    raise InvariantViolation(f"{name} violated at t={simulator.now}: {detail}")
+                open_intervals[name] = interval
+                self.violations.append(interval)
+            else:
+                interval.last_time = simulator.now
+                interval.last_event_index = simulator.executed_events
+                interval.count += 1
+            if self.strict:
+                raise InvariantViolation(f"{name} violated at t={simulator.now}: {detail}")
 
 
 class ConvergenceTracker:

@@ -69,6 +69,13 @@ class ChannelConfig:
         Probability that an accepted packet is delivered twice.
     min_delay / max_delay:
         Uniform delivery-delay bounds; a wide interval produces reordering.
+    delay_quantum:
+        When positive, the **arrival instant** of every delivery on this
+        channel is rounded up to the next multiple of this quantum (applied
+        by the simulator when it schedules the delivery event), so packets
+        sent at different times land together in synchronized bursts at
+        quantum boundaries — the burst-delivery adversarial scheduler.
+        Zero (the default) keeps continuous arrivals.
     """
 
     capacity: int = 8
@@ -76,6 +83,7 @@ class ChannelConfig:
     duplicate_probability: float = 0.0
     min_delay: float = 0.5
     max_delay: float = 1.5
+    delay_quantum: float = 0.0
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
@@ -86,6 +94,8 @@ class ChannelConfig:
             raise SimulationError("duplicate probability must be in [0, 1]")
         if self.min_delay < 0 or self.max_delay < self.min_delay:
             raise SimulationError("delay bounds must satisfy 0 <= min <= max")
+        if self.delay_quantum < 0:
+            raise SimulationError("delay quantum must be non-negative")
 
 
 class NetworkCounters:

@@ -17,6 +17,7 @@ convergence experiments).
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
@@ -129,18 +130,32 @@ class Simulator:
         """
         return self.network.send_many(source, payloads)
 
+    @staticmethod
+    def _arrival(now: float, delay: float, quantum: float) -> float:
+        """The delivery instant: ``now + delay``, rounded **up** to the next
+        multiple of the channel's ``delay_quantum`` when one is set — packets
+        sent at different times then land together in synchronized bursts."""
+        time = now + delay
+        if quantum > 0.0:
+            time = math.ceil(time / quantum) * quantum
+        return time
+
     def _schedule_delivery(self, channel: Channel, packet: Packet, delay: float) -> None:
         # The delivery event carries (channel, packet) as event args and fires
         # the shared bound method — no per-packet closure allocation.
         self.events.schedule(
-            self.now + delay, self._deliver, label="deliver", args=(channel, packet)
+            self._arrival(self.now, delay, channel.config.delay_quantum),
+            self._deliver,
+            label="deliver",
+            args=(channel, packet),
         )
 
     def _schedule_deliveries(self, batch: Iterable[Any]) -> None:
         now = self.now
         deliver = self._deliver
+        arrival = self._arrival
         self.events.schedule_many(
-            (now + delay, deliver, (channel, packet), "deliver")
+            (arrival(now, delay, channel.config.delay_quantum), deliver, (channel, packet), "deliver")
             for channel, packet, delay in batch
         )
 
@@ -205,6 +220,12 @@ class Simulator:
         check_interval: int = 1,
     ) -> bool:
         """Run until *predicate()* holds or the clock exceeds *timeout*.
+
+        *timeout* is an **absolute simulated-clock deadline**, not a budget:
+        a call issued when ``now`` is already past *timeout* returns
+        immediately.  Callers that want a budget relative to the current
+        instant should pass ``simulator.now + budget`` (which is what
+        :meth:`repro.sim.cluster.Cluster.run_until` does).
 
         The predicate is evaluated every *check_interval* executed events.
         Returns ``True`` when the predicate became true, ``False`` on timeout

@@ -154,7 +154,7 @@ class TestEndToEnd:
                 for pid in cluster.nodes
                 if not cluster.nodes[pid].crashed
             ),
-            timeout=cluster.simulator.now + 400,
+            timeout=400,
         )
         # Minority crash plus a transient recSA corruption.
         cluster.crash(3)
@@ -169,11 +169,11 @@ class TestEndToEnd:
                 and vss[pid].is_coordinator()
                 for pid in alive
             ),
-            timeout=cluster.simulator.now + 6000,
+            timeout=6000,
         )
         writer = alive[0]
         registers[writer].write("epoch-2")
         assert cluster.run_until(
             lambda: all(registers[pid].read() == "epoch-2" for pid in alive),
-            timeout=cluster.simulator.now + 600,
+            timeout=600,
         )

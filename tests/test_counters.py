@@ -69,7 +69,7 @@ class _ClusterWithCounters:
     def increment(self, pid, timeout=120.0):
         results = []
         self.services[pid].increment(results.append)
-        self.cluster.run_until(lambda: bool(results), timeout=self.cluster.simulator.now + timeout)
+        self.cluster.run_until(lambda: bool(results), timeout=timeout)
         return results[0] if results else None
 
 
@@ -95,7 +95,7 @@ class TestCounterService:
         results = []
         env.services[0].increment(results.append)
         env.services[2].increment(results.append)
-        env.cluster.run_until(lambda: len(results) == 2, timeout=env.cluster.simulator.now + 150)
+        env.cluster.run_until(lambda: len(results) == 2, timeout=150)
         assert all(outcome.success for outcome in results)
         a, b = (outcome.counter for outcome in results)
         assert counter_less_than(a, b) or counter_less_than(b, a)
@@ -125,7 +125,7 @@ class TestCounterService:
         joiner = env.cluster.add_joiner(42)
         env.services[42] = joiner.service("counters")
         assert env.cluster.run_until(
-            lambda: joiner.scheme.is_participant(), timeout=env.cluster.simulator.now + 2500
+            lambda: joiner.scheme.is_participant(), timeout=2500
         )
         env.cluster.run(until=env.cluster.simulator.now + 30)
         outcome = env.increment(42)

@@ -38,6 +38,8 @@ COMPOSED = [
     "flash_join_wave",
     "partition_heal",
     "register_under_churn",
+    "arbitrary_state_recovery",
+    "arbitrary_state_reorder",
 ]
 
 

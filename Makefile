@@ -1,18 +1,18 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-pytest scenarios scenarios-smoke audit-smoke audit-shrink-demo
+.PHONY: test bench bench-quick bench-pytest scenarios scenarios-smoke audit-smoke audit-gate audit-baseline audit-profile-grid audit-shrink-demo
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
-# Full perf trajectory: writes BENCH_pr3.json at the repository root.
+# Full perf trajectory: writes BENCH_pr4.json at the repository root.
 bench:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --tag pr3
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --tag pr4
 
 # Smoke run (<60s) for CI: scalability + hotpath + scenario-matrix scenarios.
 bench-quick:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --quick --tag pr3
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --quick --tag pr4
 
 # The pytest-benchmark experiment suite (E1-E12 + hotpath micro-benches).
 bench-pytest:
@@ -26,10 +26,25 @@ scenarios:
 scenarios-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.scenarios --smoke
 
-# Adversarial audit gate: every scheduler x 2 corruption seeds x 3 sim seeds
-# (30 runs), verdict JSON written for the CI artifact upload.
+# Adversarial audit matrix: static schedulers x 2 corruption seeds + the
+# dynamic adversaries + SMR-stack cases with smr_agreement armed, 3 sim
+# seeds each (48 runs); verdict JSON written for the CI artifact upload.
 audit-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.audit --smoke --workers 4 --output AUDIT_smoke.json
+
+# Convergence-bound regression gate: fail when the smoke matrix's worst-case
+# stabilization time regresses >25% vs the checked-in baseline.
+audit-gate: audit-smoke
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.audit.gate AUDIT_smoke.json --baseline benchmarks/audit_baseline.json
+
+# Re-pin the baseline after a deliberate convergence-bound change.
+audit-baseline: audit-smoke
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.audit.gate AUDIT_smoke.json --baseline benchmarks/audit_baseline.json --refresh
+
+# Stabilization-time distributions across corruption intensity (light/
+# default/heavy CorruptionProfile grid).
+audit-profile-grid:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.audit --profile-grid --workers 4 --seeds 0:2 --output AUDIT_profile_grid.json
 
 # Demonstrate reproducer shrinking against a deliberately broken invariant.
 audit-shrink-demo:

@@ -63,6 +63,14 @@ MATRIX_SCENARIOS = [
     "arbitrary_state_reorder",
 ]
 
+#: The time-varying environment-program scenarios swept by the
+#: environment-sweep entry (dynamic adversaries over repro.sim.environment).
+ENVIRONMENT_SCENARIOS = [
+    "coordinator_hunt",
+    "partition_leak_recovery",
+    "crash_recovery_pulse",
+]
+
 
 def bench_event_throughput(n_events: int) -> dict:
     """Raw event queue schedule+drain throughput (shared with bench_hotpath)."""
@@ -159,6 +167,56 @@ def bench_audit_sweep(corruption_seeds, seeds, workers: int) -> dict:
     }
 
 
+def bench_environment_sweep(seeds, workers: int, quick: bool) -> dict:
+    """Time-varying adversaries: dynamic audit cases + the intensity grid.
+
+    Two measurements in one entry: (a) the three dynamic environment
+    programs (crash-recovery blackouts, leaky one-way partition, adaptive
+    coordinator targeting) certified against full-state corruption, with the
+    worst-case stabilization-time distribution; (b) the environment-driven
+    scenario library swept across seeds; and (c) on full runs, the
+    CorruptionProfile intensity grid's worst case per profile.
+    """
+    from repro.audit.harness import build_cases, certify, sweep_profile_grid
+    from repro.audit.schedulers import dynamic_schedulers
+
+    t0 = time.perf_counter()
+    cases = build_cases(schedulers=dynamic_schedulers(), corruption_seeds=[0])
+    report = certify(cases, seeds=seeds, workers=workers, shrink_failures=False)
+    sweep = run_matrix(ENVIRONMENT_SCENARIOS, seeds=seeds, workers=workers)
+    entry = {
+        "dynamic_schedulers": dynamic_schedulers(),
+        "scenarios": ENVIRONMENT_SCENARIOS,
+        "seeds": list(seeds),
+        "runs": report["meta"]["runs"] + len(sweep["results"]),
+        "all_ok": report["certified"]
+        and all(item.get("ok") for item in sweep["results"]),
+        "failed": report["failed"]
+        + [
+            f"{item['scenario']}@{item['seed']}"
+            for item in sweep["results"]
+            if not item.get("ok")
+        ],
+        "stabilization": report["stabilization"],
+        "environment_transitions": sum(
+            item.get("environment", {}).get("transitions", 0)
+            for item in sweep["results"]
+        ),
+    }
+    if not quick:
+        grid = sweep_profile_grid(
+            schedulers=["uniform", "delay_skew"], seeds=seeds, workers=workers
+        )
+        entry["profile_grid_worst"] = {
+            profile: dist.get("worst") for profile, dist in grid["grid"].items()
+        }
+        entry["runs"] += grid["meta"]["runs"]
+        entry["all_ok"] = entry["all_ok"] and grid["certified"]
+        entry["failed"] += grid["failed"]
+    entry["wall_seconds"] = time.perf_counter() - t0
+    return entry
+
+
 def bench_scenario_matrix(seeds, workers: int) -> dict:
     """Seed-sweep of the composed scenario library via the parallel runner."""
     t0 = time.perf_counter()
@@ -187,7 +245,7 @@ def bench_scenario_matrix(seeds, workers: int) -> dict:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="smoke run, <60s")
-    parser.add_argument("--tag", default="pr3", help="suffix of BENCH_<tag>.json")
+    parser.add_argument("--tag", default="pr4", help="suffix of BENCH_<tag>.json")
     parser.add_argument("--output", default=None, help="explicit output path")
     parser.add_argument("--workers", type=int, default=4, help="matrix sweep workers")
     args = parser.parse_args(argv)
@@ -236,6 +294,11 @@ def main(argv=None) -> int:
         corruption_seeds=audit_corruptions,
         seeds=matrix_seeds,
         workers=args.workers,
+    )
+
+    print("[bench] environment_sweep ...", flush=True)
+    results["benchmarks"]["environment_sweep"] = bench_environment_sweep(
+        seeds=matrix_seeds, workers=args.workers, quick=args.quick
     )
 
     headline = results["benchmarks"].get("bootstrap_n16")

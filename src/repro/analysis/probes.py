@@ -156,6 +156,36 @@ def smr_states_agree(cluster: "Cluster") -> bool:
     return len(snapshots) > 0 and all(s == snapshots[0] for s in snapshots[1:])
 
 
+def smr_histories_agree(cluster: "Cluster") -> bool:
+    """Same-view replicas expose prefix-ordered delivery histories.
+
+    The safety core of virtual synchrony, stated so it holds *throughout* a
+    run (unlike snapshot equality, which followers legitimately violate while
+    they lag the coordinator by a round): group alive replicas by installed
+    view; within one view every history must be a prefix of every longer one,
+    because members only ever extend or adopt the coordinator's chain.
+    Divergence at any index — two same-view replicas that applied *different*
+    commands in the same position — is an agreement violation.  Replicas in
+    different views are not compared (a stale member of a superseded view may
+    hold a since-forked suffix; the view-install synchronization is what
+    repairs it).
+    """
+    groups: Dict[Any, List[Any]] = {}
+    for node in cluster.alive_nodes():
+        vs = node.service_map.get("vs")
+        if vs is None or vs.view is None:
+            continue
+        groups.setdefault(vs.view, []).append(vs.delivery_history())
+    for histories in groups.values():
+        if len(histories) < 2:
+            continue
+        histories.sort(key=len)
+        for shorter, longer in zip(histories, histories[1:]):
+            if longer[: len(shorter)] != shorter:
+                return False
+    return True
+
+
 # ---------------------------------------------------------------------------
 # Invariant checks (used by the audit engine; see repro.audit)
 # ---------------------------------------------------------------------------
@@ -194,6 +224,36 @@ def bounded_channels_invariant() -> Invariant:
 
 def no_reset_invariant() -> Invariant:
     return Invariant("no_reset_in_progress", no_reset_in_progress)
+
+
+def smr_agreement_invariant() -> Invariant:
+    """``smr_agreement`` armed as a safety property, not just a probe.
+
+    Monitored after every executed event by the audit engine on the
+    ``vs_smr`` / ``shared_register`` stacks: same-view replicas must never
+    diverge on the content of their delivery histories, even while an
+    arbitrary-state corruption is being repaired.
+    """
+    return Invariant("smr_agreement", smr_histories_agree)
+
+
+#: Named invariant factories — what corpus entries and CLI flags resolve
+#: against (an :class:`Invariant` itself is not JSON-serializable).
+INVARIANT_FACTORIES: Dict[str, Callable[[], Invariant]] = {
+    "channels_bounded": bounded_channels_invariant,
+    "no_reset_in_progress": no_reset_invariant,
+    "smr_agreement": smr_agreement_invariant,
+}
+
+
+def invariant_by_name(name: str) -> Invariant:
+    """Build the named invariant (corpus replay, CLI selection)."""
+    try:
+        return INVARIANT_FACTORIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown invariant {name!r}; available: {sorted(INVARIANT_FACTORIES)}"
+        ) from None
 
 
 # ---------------------------------------------------------------------------

@@ -3,9 +3,13 @@
 Examples::
 
     python -m repro.audit --list-schedulers
-    python -m repro.audit --smoke                      # CI gate: 30 runs
+    python -m repro.audit --smoke                      # CI gate: 48 runs
     python -m repro.audit --schedulers delay_skew,slow_node \\
         --corruptions 0:4 --seeds 0:4 --workers 4 --output audit.json
+    python -m repro.audit --stacks vs_smr,shared_register --seeds 0:2
+    python -m repro.audit --profile-grid --workers 4   # stabilization-time
+                                                       # distribution vs
+                                                       # corruption intensity
     python -m repro.audit --demo-shrink                # broken invariant ->
                                                        # minimal reproducer
 """
@@ -20,9 +24,54 @@ from typing import List
 
 from repro.analysis import probes
 from repro.analysis.metrics import ResultTable
-from repro.audit.harness import AuditCase, build_cases, certify, shrink_case
-from repro.audit.schedulers import available_schedulers, get_scheduler
+from repro.audit.arbitrary_state import PROFILES
+from repro.audit.harness import (
+    AuditCase,
+    build_cases,
+    certify,
+    shrink_case,
+    sweep_profile_grid,
+)
+from repro.audit.schedulers import (
+    available_schedulers,
+    dynamic_schedulers,
+    get_scheduler,
+    static_schedulers,
+)
 from repro.scenarios.__main__ import parse_seeds
+
+
+def smoke_cases(n: int = 5, convergence_budget: float = 6_000.0) -> List[AuditCase]:
+    """The CI smoke matrix (certified per sim seed by ``--smoke``).
+
+    Static schedulers keep their historical 2-corruption coverage on the
+    bare stack; every dynamic adversary runs once; the SMR-replicating
+    stacks run with the ``smr_agreement`` invariant armed (under both the
+    benign baseline and the adaptive coordinator-targeting adversary for
+    ``vs_smr``).  ``--n`` and ``--budget`` pass through; the stack mix is
+    fixed by design (``--stacks`` applies to explicit sweeps only).
+    """
+    overrides = {"n": n, "convergence_budget": convergence_budget}
+    return (
+        build_cases(
+            schedulers=static_schedulers(), corruption_seeds=[0, 1], **overrides
+        )
+        + build_cases(
+            schedulers=dynamic_schedulers(), corruption_seeds=[0], **overrides
+        )
+        + build_cases(
+            schedulers=["uniform", "target_coordinator"],
+            corruption_seeds=[0],
+            stacks=["vs_smr"],
+            **overrides,
+        )
+        + build_cases(
+            schedulers=["uniform"],
+            corruption_seeds=[0],
+            stacks=["shared_register"],
+            **overrides,
+        )
+    )
 
 
 def _render(report: dict) -> str:
@@ -94,14 +143,32 @@ def main(argv=None) -> int:
     parser.add_argument("--seeds", default="0", help='simulator-seed spec, same syntax')
     parser.add_argument("--workers", type=int, default=1, help="worker processes")
     parser.add_argument("--n", type=int, default=5, help="cluster size")
-    parser.add_argument("--stack", default="bare", help="stack profile name")
+    parser.add_argument(
+        "--stacks",
+        default="bare",
+        help="comma-separated stack profiles (SMR stacks arm smr_agreement)",
+    )
     parser.add_argument(
         "--budget", type=float, default=6_000.0, help="re-convergence budget (sim time)"
     )
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="CI gate: every scheduler x 2 corruption seeds x 3 sim seeds (30 runs)",
+        help="CI gate: static x2 + dynamic adversaries + SMR-stack invariant "
+        "cases, 3 sim seeds each (48 runs)",
+    )
+    parser.add_argument(
+        "--profile-grid",
+        action="store_true",
+        help="sweep corruption intensities (light/default/heavy) and report "
+        "stabilization-time distributions per profile (schedulers default to "
+        "uniform,delay_skew here to bound the grid; widen with --schedulers)",
+    )
+    parser.add_argument(
+        "--profiles",
+        default=None,
+        help=f"comma-separated profile names for --profile-grid "
+        f"(default: {','.join(sorted(PROFILES))})",
     )
     parser.add_argument(
         "--demo-shrink",
@@ -122,24 +189,46 @@ def main(argv=None) -> int:
     if args.demo_shrink:
         return _demo_shrink(args.output)
 
+    if args.profile_grid:
+        schedulers = (
+            args.schedulers.split(",") if args.schedulers else ["uniform", "delay_skew"]
+        )
+        report = sweep_profile_grid(
+            schedulers=schedulers,
+            seeds=parse_seeds(args.seeds),
+            profiles=args.profiles.split(",") if args.profiles else None,
+            stacks=args.stacks.split(","),
+            corruption_seeds=parse_seeds(args.corruptions),
+            workers=args.workers,
+            n=args.n,
+            convergence_budget=args.budget,
+        )
+        print(json.dumps(report["grid"], indent=2, sort_keys=True))
+        if args.output:
+            path = Path(args.output)
+            path.write_text(json.dumps(report, indent=2, sort_keys=True, default=str) + "\n")
+            print(f"wrote {path}")
+        if not report["certified"]:
+            print(f"NOT CERTIFIED: {report['failed']}", file=sys.stderr)
+            return 1
+        return 0
+
     if args.smoke:
-        schedulers: List[str] = available_schedulers()
-        corruption_seeds = [0, 1]
+        cases = smoke_cases(n=args.n, convergence_budget=args.budget)
         seeds = [0, 1, 2]
     else:
         schedulers = (
             args.schedulers.split(",") if args.schedulers else available_schedulers()
         )
-        corruption_seeds = parse_seeds(args.corruptions)
+        cases = build_cases(
+            schedulers=schedulers,
+            corruption_seeds=parse_seeds(args.corruptions),
+            n=args.n,
+            stacks=args.stacks.split(","),
+            convergence_budget=args.budget,
+        )
         seeds = parse_seeds(args.seeds)
 
-    cases = build_cases(
-        schedulers=schedulers,
-        corruption_seeds=corruption_seeds,
-        n=args.n,
-        stack=args.stack,
-        convergence_budget=args.budget,
-    )
     report = certify(cases, seeds=seeds, workers=args.workers)
     print(_render(report))
 

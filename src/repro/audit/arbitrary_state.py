@@ -87,6 +87,32 @@ class CorruptionProfile:
 
 DEFAULT_PROFILE = CorruptionProfile()
 
+#: Named corruption intensities — the axis the audit harness sweeps when it
+#: measures worst-case stabilization-time *distributions* against corruption
+#: intensity (ROADMAP: "CorruptionProfile grid").  Kept coarse on purpose:
+#: the grid multiplies with schedulers, stacks and seeds.
+PROFILES: Dict[str, CorruptionProfile] = {
+    "light": CorruptionProfile(
+        node_fraction=0.4, field_probability=0.25, channel_fraction=0.1, channel_fill=0.25
+    ),
+    "default": DEFAULT_PROFILE,
+    "heavy": CorruptionProfile(
+        node_fraction=1.0, field_probability=0.9, channel_fraction=0.6, channel_fill=1.0
+    ),
+}
+
+
+def get_profile(ref: Any) -> CorruptionProfile:
+    """Resolve a profile by name (profiles pass through unchanged)."""
+    if isinstance(ref, CorruptionProfile):
+        return ref
+    try:
+        return PROFILES[ref]
+    except KeyError:
+        raise KeyError(
+            f"unknown corruption profile {ref!r}; available: {sorted(PROFILES)}"
+        ) from None
+
 
 # ---------------------------------------------------------------------------
 # Random type-correct values

@@ -1,0 +1,150 @@
+"""Convergence-bound regression gate over audit-sweep verdicts.
+
+The audit smoke matrix (``python -m repro.audit --smoke``) is deterministic:
+the same code produces the same worst-case stabilization time, so that time
+is a *convergence bound* the repository can pin.  This gate compares the
+``stabilization`` section of a sweep report against a checked-in baseline
+JSON and fails CI when the worst case regresses beyond the tolerance —
+a protocol change that silently makes recovery 25% slower now breaks the
+build instead of drifting unnoticed.
+
+Usage::
+
+    python -m repro.audit.gate AUDIT_smoke.json                 # compare
+    python -m repro.audit.gate AUDIT_smoke.json --refresh       # re-pin
+    python -m repro.audit.gate AUDIT_smoke.json \\
+        --baseline benchmarks/audit_baseline.json --tolerance 0.25
+
+The baseline is refreshed (``make audit-baseline``) whenever a deliberate
+change moves the bound; the refresh rewrites the JSON from the same report
+format the gate reads, so baseline and verdict can never drift structurally.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List
+
+DEFAULT_BASELINE = Path("benchmarks/audit_baseline.json")
+DEFAULT_TOLERANCE = 0.25
+
+
+def extract_bounds(report: Dict[str, Any]) -> Dict[str, Any]:
+    """The gate-relevant slice of a sweep report (also the baseline schema)."""
+    stabilization = report.get("stabilization") or {}
+    return {
+        "worst": stabilization.get("worst"),
+        "runs": stabilization.get("runs", 0),
+        "unconverged": stabilization.get("unconverged", []),
+        "by_case": stabilization.get("by_case", {}),
+    }
+
+
+def compare(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Dict[str, Any]:
+    """Compare current bounds against the baseline; collect failures.
+
+    The hard gate is the overall worst case; per-case regressions beyond the
+    tolerance are reported as warnings (they attribute a worst-case move to a
+    specific adversary but only fail the gate when they *are* the worst).
+    """
+    failures: List[str] = []
+    warnings: List[str] = []
+    if current.get("worst") is None:
+        failures.append("current sweep has no stabilization times at all")
+    if current.get("unconverged"):
+        failures.append(f"unconverged runs: {current['unconverged']}")
+    baseline_worst = baseline.get("worst")
+    if baseline_worst is None:
+        failures.append("baseline has no worst-case bound; re-pin with --refresh")
+    elif current.get("worst") is not None:
+        limit = baseline_worst * (1.0 + tolerance)
+        if current["worst"] > limit:
+            failures.append(
+                f"worst-case stabilization regressed: {current['worst']:.2f} > "
+                f"{limit:.2f} (baseline {baseline_worst:.2f} + {tolerance:.0%})"
+            )
+    baseline_cases = baseline.get("by_case", {})
+    for case, time in sorted(current.get("by_case", {}).items()):
+        pinned = baseline_cases.get(case)
+        if pinned and time > pinned * (1.0 + tolerance):
+            warnings.append(
+                f"{case}: {time:.2f} vs baseline {pinned:.2f} (+{time / pinned - 1:.0%})"
+            )
+    return {
+        "ok": not failures,
+        "failures": failures,
+        "warnings": warnings,
+        "current_worst": current.get("worst"),
+        "baseline_worst": baseline_worst,
+        "tolerance": tolerance,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.audit.gate", description=__doc__
+    )
+    parser.add_argument("report", help="sweep report JSON (from python -m repro.audit)")
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help=f"checked-in baseline JSON (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed relative regression of the worst case (default: 0.25)",
+    )
+    parser.add_argument(
+        "--refresh",
+        action="store_true",
+        help="rewrite the baseline from the report instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    report = json.loads(Path(args.report).read_text())
+    if not report.get("certified", False):
+        print(f"[gate] sweep not certified: {report.get('failed')}", file=sys.stderr)
+        return 1
+    current = extract_bounds(report)
+
+    baseline_path = Path(args.baseline)
+    if args.refresh:
+        baseline_path.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+        print(
+            f"[gate] pinned baseline {baseline_path} "
+            f"(worst={current['worst']:.2f} over {current['runs']} runs)"
+        )
+        return 0
+
+    if not baseline_path.exists():
+        print(
+            f"[gate] no baseline at {baseline_path}; run with --refresh to pin one",
+            file=sys.stderr,
+        )
+        return 1
+    baseline = json.loads(baseline_path.read_text())
+    outcome = compare(current, baseline, tolerance=args.tolerance)
+    for warning in outcome["warnings"]:
+        print(f"[gate] warning: {warning}")
+    if not outcome["ok"]:
+        for failure in outcome["failures"]:
+            print(f"[gate] FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"[gate] ok: worst-case stabilization {outcome['current_worst']:.2f} "
+        f"within {args.tolerance:.0%} of baseline {outcome['baseline_worst']:.2f}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,17 +21,52 @@ reproducer every bug report wants.
 
 from __future__ import annotations
 
+import hashlib
 import math
+import statistics
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import probes
-from repro.audit.arbitrary_state import DEFAULT_PROFILE, CorruptionProfile
+from repro.audit.arbitrary_state import (
+    DEFAULT_PROFILE,
+    PROFILES,
+    CorruptionProfile,
+    get_profile,
+)
 from repro.audit.schedulers import available_schedulers, get_scheduler
 from repro.scenarios.library import register_scenario
 from repro.scenarios.runner import run_matrix, run_scenario
 from repro.scenarios.spec import ScenarioSpec
-from repro.scenarios.workloads import ArbitraryStateWorkload
+from repro.scenarios.workloads import ArbitraryStateWorkload, SMRCommandWorkload
+
+#: Stacks whose nodes run a ``"vs"`` service, i.e. can multicast commands.
+SMR_STACKS = ("vs_smr", "shared_register")
+
+
+def _digest(value: Any) -> str:
+    """Short stable content digest (``repr`` is deterministic for the frozen
+    dataclasses and plain tuples this is applied to)."""
+    return hashlib.sha1(repr(value).encode("utf-8")).hexdigest()[:8]
+
+
+def _dynamic_audit_params(scheduler: str, corrupt_at: float) -> Dict[str, Any]:
+    """Audit-tuned defaults for the dynamic environment programs.
+
+    An audit run re-converges within a few simulated seconds of the
+    corruption, so a dynamic adversary with generic scenario timings (first
+    transition at t=40) would never fire before the probes are satisfied.
+    Anchoring the program at ``corrupt_at`` makes it adversarial *during*
+    recovery, which is the whole point of the audit.
+    """
+    t = corrupt_at
+    if scheduler == "crash_recovery":
+        return {"start": t + 2.0, "period": 25.0, "outage": 10.0, "epochs": 3}
+    if scheduler == "partition_leak":
+        return {"at": t + 2.0, "flip_at": t + 40.0, "heal_at": t + 80.0}
+    if scheduler == "target_coordinator":
+        return {"start": t + 2.0, "period": 20.0, "epochs": 4}
+    return {}
 
 
 @dataclass(frozen=True)
@@ -40,7 +75,8 @@ class AuditCase:
 
     The simulator seed is *not* part of the case — :func:`certify` sweeps
     each case across seeds, so one case certifies against many executions of
-    the same adversary.
+    the same adversary.  ``profile`` may be a :class:`CorruptionProfile` or a
+    registered intensity name (``"light"`` / ``"default"`` / ``"heavy"``).
     """
 
     scheduler: str
@@ -50,18 +86,46 @@ class AuditCase:
     config: str = "fast_sim"
     corrupt_at: float = 30.0
     convergence_budget: float = 6_000.0
-    profile: CorruptionProfile = DEFAULT_PROFILE
+    profile: Any = DEFAULT_PROFILE
     invariants: Tuple[probes.Invariant, ...] = ()
+    scheduler_params: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def profile_name(self) -> str:
+        """The registered name of the case's profile (digest-tagged if none)."""
+        if isinstance(self.profile, str):
+            return self.profile
+        for name, profile in PROFILES.items():
+            if profile == self.profile:
+                return name
+        # Unregistered profiles get a stable content digest so two different
+        # ad-hoc profiles never share a case name.
+        return f"custom-{_digest(self.profile)}"
 
     @property
     def name(self) -> str:
         # The name encodes every registry-relevant parameter so two sweeps
-        # with different topologies/stacks in one process cannot silently
-        # alias each other's registered specs.
-        return (
+        # with different topologies/stacks/intensities/program parameters in
+        # one process cannot silently alias each other's registered specs.
+        base = (
             f"audit:{self.scheduler}:c{self.corruption_seed}"
             f":n{self.n}:{self.stack}"
         )
+        profile = self.profile_name
+        if profile != "default":
+            base = f"{base}:{profile}"
+        if self.config != "fast_sim":
+            config = self.config if isinstance(self.config, str) else _digest(self.config)
+            base = f"{base}:{config}"
+        if self.corrupt_at != 30.0:
+            base = f"{base}:t{self.corrupt_at:g}"
+        if self.convergence_budget != 6_000.0:
+            base = f"{base}:b{self.convergence_budget:g}"
+        if self.scheduler_params:
+            base = f"{base}:p{_digest(tuple(sorted(self.scheduler_params)))}"
+        if self.invariants:
+            base = f"{base}:i-" + "+".join(sorted(i.name for i in self.invariants))
+        return base
 
     def to_spec(
         self,
@@ -69,7 +133,10 @@ class AuditCase:
         record_atoms: bool = False,
     ) -> ScenarioSpec:
         """The scenario spec realizing this case (optionally a plan subset)."""
-        get_scheduler(self.scheduler)  # fail fast on unknown names
+        scheduler = get_scheduler(self.scheduler)  # fail fast on unknown names
+        params = dict(self.scheduler_params)
+        if scheduler.dynamic:
+            params = {**_dynamic_audit_params(self.scheduler, self.corrupt_at), **params}
         # Invariants arm at corruption time: bootstrap legitimately passes
         # through reset states, so earlier violations would not be
         # attributable to the injected arbitrary state.
@@ -77,6 +144,31 @@ class AuditCase:
             inv if inv.arm_after > 0.0 else inv.armed_at(self.corrupt_at)
             for inv in self.invariants
         )
+        workloads: Tuple[Any, ...] = (
+            ArbitraryStateWorkload(
+                at=self.corrupt_at,
+                seed=self.corruption_seed,
+                profile=get_profile(self.profile),
+                include=include,
+                record_atoms=record_atoms,
+            ),
+        )
+        if self.stack in SMR_STACKS:
+            # Multicast traffic around the corruption, so the armed
+            # smr_agreement invariant compares real delivery histories
+            # instead of holding vacuously over empty ones: one command
+            # delivered before the corruption fires and two submitted into
+            # the recovering system.
+            workloads += tuple(
+                SMRCommandWorkload(
+                    at=self.corrupt_at + offset,
+                    submitter=submitter % self.n,
+                    command=("audit", index),
+                )
+                for index, (offset, submitter) in enumerate(
+                    ((-12.0, 0), (8.0, 1), (20.0, 2))
+                )
+            )
         return ScenarioSpec(
             name=self.name if include is None else f"{self.name}:shrink",
             description=(
@@ -87,15 +179,8 @@ class AuditCase:
             config=self.config,
             stack=self.stack,
             scheduler=self.scheduler,
-            workloads=(
-                ArbitraryStateWorkload(
-                    at=self.corrupt_at,
-                    seed=self.corruption_seed,
-                    profile=self.profile,
-                    include=include,
-                    record_atoms=record_atoms,
-                ),
-            ),
+            scheduler_params=tuple(sorted(params.items())),
+            workloads=workloads,
             horizon=self.corrupt_at + 5.0,
             probes=(
                 probes.converged(self.convergence_budget),
@@ -106,18 +191,49 @@ class AuditCase:
         )
 
 
+#: Invariants armed on stacks that replicate state: SMR safety is certified,
+#: not just probed (ROADMAP: "smr_agreement as an armed invariant").
+STACK_INVARIANTS: Dict[str, Tuple[probes.Invariant, ...]] = {
+    "vs_smr": (probes.smr_agreement_invariant(),),
+    "shared_register": (probes.smr_agreement_invariant(),),
+}
+
+
 def build_cases(
     schedulers: Optional[Sequence[str]] = None,
     corruption_seeds: Sequence[int] = (0,),
+    stacks: Optional[Sequence[str]] = None,
+    profiles: Optional[Sequence[Any]] = None,
     **overrides: Any,
 ) -> List[AuditCase]:
-    """The cross product ``schedulers x corruption_seeds`` as audit cases."""
+    """The cross product ``schedulers × corruption_seeds [× stacks × profiles]``.
+
+    Stacks with registered :data:`STACK_INVARIANTS` get those invariants
+    armed automatically (explicit ``invariants`` overrides win).
+    """
     names = list(schedulers) if schedulers is not None else available_schedulers()
-    return [
-        AuditCase(scheduler=name, corruption_seed=seed, **overrides)
-        for name in names
-        for seed in corruption_seeds
+    stack_list = list(stacks) if stacks is not None else [overrides.pop("stack", "bare")]
+    profile_list = list(profiles) if profiles is not None else [
+        overrides.pop("profile", DEFAULT_PROFILE)
     ]
+    cases = []
+    for stack in stack_list:
+        stack_overrides = dict(overrides)
+        if "invariants" not in stack_overrides:
+            stack_overrides["invariants"] = STACK_INVARIANTS.get(stack, ())
+        for profile in profile_list:
+            for name in names:
+                for seed in corruption_seeds:
+                    cases.append(
+                        AuditCase(
+                            scheduler=name,
+                            corruption_seed=seed,
+                            stack=stack,
+                            profile=profile,
+                            **stack_overrides,
+                        )
+                    )
+    return cases
 
 
 def run_case(
@@ -195,6 +311,7 @@ def certify(
         "failed": [f"{v['case']}@{v['seed']}" for v in failures],
         "verdicts": verdicts,
     }
+    report["stabilization"] = stabilization_distribution(verdicts)
     if shrink_failures and failures:
         report["reproducers"] = [
             shrink_case(
@@ -203,6 +320,92 @@ def certify(
             for v in failures
         ]
     return report
+
+
+# ---------------------------------------------------------------------------
+# Stabilization-time distributions
+# ---------------------------------------------------------------------------
+def stabilization_distribution(verdicts: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Distribution of stabilization times across a sweep's verdicts.
+
+    ``worst`` is the headline the convergence-bound regression gate compares
+    against its checked-in baseline; ``by_case`` records each case's own
+    worst so a regression is attributable to one adversary.
+    """
+    times: List[float] = []
+    by_case: Dict[str, float] = {}
+    unconverged: List[str] = []
+    for verdict in verdicts:
+        convergence = verdict.get("convergence") or {}
+        time = convergence.get("stabilization_time")
+        if time is None:
+            unconverged.append(f"{verdict['case']}@{verdict['seed']}")
+            continue
+        times.append(time)
+        case = verdict["case"]
+        by_case[case] = max(by_case.get(case, 0.0), time)
+    if not times:
+        return {"runs": 0, "unconverged": unconverged}
+    return {
+        "runs": len(times),
+        "unconverged": unconverged,
+        "min": min(times),
+        "median": statistics.median(times),
+        "mean": statistics.fmean(times),
+        "worst": max(times),
+        "by_case": dict(sorted(by_case.items())),
+    }
+
+
+def sweep_profile_grid(
+    schedulers: Sequence[str],
+    seeds: Sequence[int],
+    profiles: Optional[Sequence[str]] = None,
+    stacks: Sequence[str] = ("bare",),
+    corruption_seeds: Sequence[int] = (0,),
+    workers: int = 1,
+    **case_overrides: Any,
+) -> Dict[str, Any]:
+    """Worst-case stabilization-time distributions across corruption intensity.
+
+    Sweeps ``profiles × stacks × schedulers × corruption_seeds × seeds`` and
+    groups the resulting stabilization times *per profile*, so the report
+    answers the ROADMAP question directly: how does worst-case recovery time
+    scale with the intensity of the injected arbitrary state?
+    """
+    profile_names = list(profiles) if profiles is not None else sorted(PROFILES)
+    grid: Dict[str, Any] = {}
+    all_certified = True
+    failed: List[str] = []
+    for profile in profile_names:
+        cases = build_cases(
+            schedulers=schedulers,
+            corruption_seeds=corruption_seeds,
+            stacks=stacks,
+            profiles=[profile],
+            **case_overrides,
+        )
+        report = certify(cases, seeds=seeds, workers=workers, shrink_failures=False)
+        all_certified = all_certified and report["certified"]
+        failed.extend(report["failed"])
+        grid[profile] = report["stabilization"]
+    return {
+        "meta": {
+            "profiles": profile_names,
+            "stacks": list(stacks),
+            "schedulers": list(schedulers),
+            "corruption_seeds": list(corruption_seeds),
+            "seeds": list(seeds),
+            "runs": len(profile_names)
+            * len(stacks)
+            * len(schedulers)
+            * len(corruption_seeds)
+            * len(seeds),
+        },
+        "certified": all_certified,
+        "failed": failed,
+        "grid": grid,
+    }
 
 
 # ---------------------------------------------------------------------------

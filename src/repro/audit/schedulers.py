@@ -1,15 +1,18 @@
-"""Pluggable adversarial schedulers: named message-timing adversaries.
+"""Pluggable adversarial schedulers: named environment programs.
 
 The paper's asynchronous model lets the environment schedule message
-deliveries arbitrarily (within fair communication).  The seed harness only
-ever exercised one benign uniform-delay scheduler; these profiles shape the
-network into the adversarial timings that surface convergence bugs in
-practice — wired through per-pair :class:`~repro.sim.network.ChannelConfig`
-overrides on the :class:`~repro.sim.network.Network`, so a scenario names a
-scheduler the same way it names a stack profile
-(``ScenarioSpec(scheduler="reorder_heavy")``).
+deliveries arbitrarily (within fair communication) and lets the channel
+adversary vary conditions *over time*.  Each scheduler here is an
+**environment program** over the
+:class:`~repro.sim.environment.NetworkEnvironment`: its installer shapes the
+initial link state, registers *link policies* so processors joining mid-run
+inherit the active shaping, and — for the dynamic adversaries — schedules
+environment transitions (partitions, overlays, heals) as ordinary simulator
+events.  A scenario names a scheduler the same way it names a stack profile
+(``ScenarioSpec(scheduler="reorder_heavy")``), optionally with parameters
+(``scheduler_params=(("epochs", 5),)``).
 
-Built-in schedulers:
+Static programs (shape installed up front, late joiners inherit it):
 
 ``uniform``
     The identity baseline — whatever the cluster config declares.
@@ -28,9 +31,26 @@ Built-in schedulers:
     One seeded victim node's links (both directions) run 10x slower than the
     rest: a straggler right at the failure detector's suspicion threshold.
 
-Schedulers are installed once, right after the cluster is built; channels to
-processors that join later fall back to the default config (the adversary
-shapes the initial topology, which is where the corrupted state lives).
+Dynamic programs (time-varying, scheduled through environment events):
+
+``crash_recovery``
+    A crash-recovery *timing* adversary: each epoch one seeded victim's links
+    are blocked in both directions for just long enough to cross the failure
+    detector's suspicion threshold, then healed — the node appears to crash
+    and recover repeatedly, which is where stale suspicion and stale
+    configuration views collide.
+``partition_leak``
+    An asymmetric partition-with-leaks schedule: one half of the system loses
+    its path *toward* the other half (one-way block) except for a small leak
+    probability, then the direction flips, then the partition heals.  Fair
+    communication is preserved by the leak, so the scheme must eventually
+    recover even while the partition stands.
+``target_coordinator``
+    The adaptive adversary: every epoch it *re-reads* the current
+    coordinator — the VS-layer coordinator when the stack runs one, else the
+    highest-pid member of the agreed configuration (the processor recMA's
+    delicate reconfiguration converges around) — and degrades that node's
+    links by a slow-down overlay, chasing the leadership wherever it moves.
 """
 
 from __future__ import annotations
@@ -38,7 +58,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.common.rng import make_rng
 from repro.common.types import ProcessId
@@ -47,21 +67,38 @@ from repro.sim.network import ChannelConfig
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.cluster import Cluster
 
-Installer = Callable[["Cluster", random.Random], None]
+Installer = Callable[..., None]
 
 
 @dataclass(frozen=True)
 class AdversarialScheduler:
-    """A named, seeded message-timing adversary."""
+    """A named, seeded environment program (message-timing adversary)."""
 
     name: str
     description: str
     installer: Installer
+    #: Dynamic programs keep mutating the environment mid-run (scheduled
+    #: transitions); static ones only shape the link state at install time.
+    dynamic: bool = False
 
-    def install(self, cluster: "Cluster") -> None:
-        """Shape *cluster*'s channels (seeded from the simulator seed)."""
+    def install(self, cluster: "Cluster", **params: Any) -> None:
+        """Install the program on *cluster* (seeded from the simulator seed).
+
+        ``params`` are program-specific knobs (epoch counts, leak
+        probabilities, ...) — unknown keys raise, so a typo in a scenario's
+        ``scheduler_params`` fails fast instead of silently running the
+        defaults.
+        """
         rng = make_rng(cluster.simulator.seed, "scheduler", self.name)
-        self.installer(cluster, rng)
+        try:
+            self.installer(cluster, rng, **params)
+        except TypeError as exc:
+            if params:
+                raise TypeError(
+                    f"scheduler {self.name!r} rejected parameters "
+                    f"{sorted(params)}: {exc}"
+                ) from exc
+            raise
 
 
 # ---------------------------------------------------------------------------
@@ -93,8 +130,18 @@ def available_schedulers() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def static_schedulers() -> List[str]:
+    """Sorted names of the install-once (non-dynamic) programs."""
+    return sorted(name for name, s in _REGISTRY.items() if not s.dynamic)
+
+
+def dynamic_schedulers() -> List[str]:
+    """Sorted names of the time-varying (dynamic) programs."""
+    return sorted(name for name, s in _REGISTRY.items() if s.dynamic)
+
+
 # ---------------------------------------------------------------------------
-# Installers
+# Shared helpers
 # ---------------------------------------------------------------------------
 def _pairs(cluster: "Cluster") -> Iterable[Tuple[ProcessId, ProcessId]]:
     pids = sorted(cluster.nodes)
@@ -109,6 +156,35 @@ def _base_config(cluster: "Cluster") -> ChannelConfig:
     return base if base is not None else ChannelConfig()
 
 
+def current_coordinator(cluster: "Cluster") -> Optional[ProcessId]:
+    """The processor currently coordinating the system, best effort.
+
+    Prefers the VS layer's recognized coordinator (the leader of the
+    installed view) when the stack runs one; otherwise falls back to the
+    highest-pid alive member of the agreed configuration — the deterministic
+    proxy for where recMA-triggered delicate reconfiguration converges — and
+    finally to the highest alive pid.  ``None`` on an empty system.
+    """
+    for node in cluster.alive_nodes():
+        vs = node.service_map.get("vs")
+        if vs is not None and vs.is_coordinator():
+            return node.pid
+    config = cluster.agreed_configuration()
+    if config:
+        candidates = [
+            pid
+            for pid in config
+            if pid in cluster.nodes and not cluster.nodes[pid].crashed
+        ]
+        if candidates:
+            return max(candidates)
+    alive = [node.pid for node in cluster.alive_nodes()]
+    return max(alive) if alive else None
+
+
+# ---------------------------------------------------------------------------
+# Static installers (install-once; late joiners covered by link policies)
+# ---------------------------------------------------------------------------
 def _install_uniform(cluster: "Cluster", rng: random.Random) -> None:
     """The identity scheduler: keep the cluster config's channel shape."""
 
@@ -127,6 +203,21 @@ def _install_delay_skew(cluster: "Cluster", rng: random.Random) -> None:
                 max_delay=base.max_delay * factor,
             ),
         )
+    # Pairs that appear later (joiners) draw their factor from a pair-keyed
+    # stream, so shaping extends to them without perturbing the install-time
+    # draws above.
+    seed = cluster.simulator.seed
+
+    def _late_pair(source: ProcessId, destination: ProcessId) -> ChannelConfig:
+        pair_rng = make_rng(seed, "scheduler", "delay_skew", "late", source, destination)
+        factor = math.exp(pair_rng.uniform(math.log(0.5), math.log(8.0)))
+        return replace(
+            base,
+            min_delay=base.min_delay * factor,
+            max_delay=base.max_delay * factor,
+        )
+
+    cluster.environment.add_link_policy("delay_skew", _late_pair)
 
 
 def _install_reorder_heavy(cluster: "Cluster", rng: random.Random) -> None:
@@ -137,6 +228,7 @@ def _install_reorder_heavy(cluster: "Cluster", rng: random.Random) -> None:
     )
     for source, destination in _pairs(cluster):
         network.set_channel_config(source, destination, config)
+    cluster.environment.add_link_policy("reorder_heavy", lambda s, d: config)
 
 
 def _install_burst_delivery(cluster: "Cluster", rng: random.Random) -> None:
@@ -146,6 +238,7 @@ def _install_burst_delivery(cluster: "Cluster", rng: random.Random) -> None:
     config = replace(base, max_delay=base.max_delay * 4.0, delay_quantum=quantum)
     for source, destination in _pairs(cluster):
         network.set_channel_config(source, destination, config)
+    cluster.environment.add_link_policy("burst_delivery", lambda s, d: config)
 
 
 def _install_slow_node(cluster: "Cluster", rng: random.Random) -> None:
@@ -156,8 +249,169 @@ def _install_slow_node(cluster: "Cluster", rng: random.Random) -> None:
     for source, destination in _pairs(cluster):
         if victim in (source, destination):
             network.set_channel_config(source, destination, slow)
+    cluster.environment.add_link_policy(
+        "slow_node", lambda s, d: slow if victim in (s, d) else None
+    )
 
 
+# ---------------------------------------------------------------------------
+# Dynamic installers (time-varying environment programs)
+# ---------------------------------------------------------------------------
+def _install_crash_recovery(
+    cluster: "Cluster",
+    rng: random.Random,
+    *,
+    start: float = 40.0,
+    period: float = 45.0,
+    outage: float = 14.0,
+    epochs: int = 3,
+) -> None:
+    """Blackout one victim's links per epoch, then restore them.
+
+    The victim sequence is drawn at install time (seeded), the blackout is a
+    both-directions leak-free partition over whatever processors exist at
+    epoch time (so a joiner can be cut off too), and the heal fires *outage*
+    later — a link-level crash-recovery cycle timed against the failure
+    detector rather than an actual process crash.
+    """
+    environment = cluster.environment
+    simulator = cluster.simulator
+    pids = sorted(cluster.nodes)
+    victims = [pids[rng.randrange(len(pids))] for _ in range(epochs)]
+
+    def _begin(epoch: int) -> None:
+        victim = victims[epoch]
+        node = cluster.nodes.get(victim)
+        if node is None or node.crashed:
+            return
+        name = environment.isolate(
+            victim, sorted(cluster.nodes), name=f"crash_recovery:{epoch}"
+        )
+        environment.call_at(
+            simulator.now + outage,
+            lambda: environment.heal(name),
+            label="env:crash-recovery:heal",
+        )
+
+    for epoch in range(epochs):
+        simulator.call_at(
+            start + epoch * period,
+            lambda epoch=epoch: _begin(epoch),
+            label="env:crash-recovery",
+        )
+
+
+def _install_partition_leak(
+    cluster: "Cluster",
+    rng: random.Random,
+    *,
+    at: float = 45.0,
+    flip_at: float = 100.0,
+    heal_at: float = 160.0,
+    leak: float = 0.08,
+) -> None:
+    """One-way partition with a leak; the blocked direction flips mid-run.
+
+    From *at* the lower half of the alive pids cannot reach the upper half
+    (except with probability *leak* per packet) while the reverse direction
+    stays open; at *flip_at* the asymmetry reverses; at *heal_at* everything
+    heals.  The leak keeps fair communication intact, so the run still has to
+    converge *during* the partition, not merely after the heal.
+    """
+    if not at < flip_at < heal_at:
+        raise ValueError(
+            f"partition_leak requires at < flip_at < heal_at "
+            f"(got {at}, {flip_at}, {heal_at})"
+        )
+    environment = cluster.environment
+    simulator = cluster.simulator
+
+    def _halves() -> Optional[Tuple[List[ProcessId], List[ProcessId]]]:
+        alive = sorted(node.pid for node in cluster.alive_nodes())
+        half = len(alive) // 2
+        if not half:
+            return None
+        return alive[:half], alive[half:]
+
+    def _forward() -> None:
+        groups = _halves()
+        if groups is not None:
+            environment.partition(
+                groups[0], groups[1],
+                name="partition_leak:forward", leak=leak, symmetric=False,
+            )
+
+    def _flip() -> None:
+        environment.heal("partition_leak:forward")
+        groups = _halves()
+        if groups is not None:
+            environment.partition(
+                groups[1], groups[0],
+                name="partition_leak:reverse", leak=leak, symmetric=False,
+            )
+
+    simulator.call_at(at, _forward, label="env:partition-leak")
+    simulator.call_at(flip_at, _flip, label="env:partition-leak:flip")
+    simulator.call_at(
+        heal_at,
+        lambda: environment.heal("partition_leak:reverse"),
+        label="env:partition-leak:heal",
+    )
+
+
+def _install_target_coordinator(
+    cluster: "Cluster",
+    rng: random.Random,
+    *,
+    start: float = 40.0,
+    period: float = 35.0,
+    epochs: int = 5,
+    slow_factor: float = 8.0,
+) -> None:
+    """Adaptively degrade whoever currently coordinates the system.
+
+    Every *period* the program re-reads :func:`current_coordinator` and
+    replaces its slow-down overlay so only the current leader's links (both
+    directions, against every present processor) run *slow_factor* times
+    slower.  After *epochs* readings the overlay is removed for good, so the
+    adversary quiesces and convergence probes measure recovery under — not
+    after — the chase.
+    """
+    environment = cluster.environment
+    simulator = cluster.simulator
+    base = _base_config(cluster)
+    slow = replace(
+        base,
+        min_delay=base.min_delay * slow_factor,
+        max_delay=base.max_delay * slow_factor,
+    )
+    tag = "target_coordinator"
+
+    def _epoch(index: int) -> None:
+        environment.remove_overlay(tag)
+        if index >= epochs:
+            return
+        victim = current_coordinator(cluster)
+        if victim is not None:
+            mapping: Dict[Tuple[ProcessId, ProcessId], ChannelConfig] = {}
+            for peer in sorted(cluster.nodes):
+                if peer != victim:
+                    mapping[(victim, peer)] = slow
+                    mapping[(peer, victim)] = slow
+            environment.apply_overlay(tag, mapping)
+            environment.record("target", victim=victim, epoch=index)
+        simulator.call_at(
+            simulator.now + period,
+            lambda: _epoch(index + 1),
+            label="env:target-coordinator",
+        )
+
+    simulator.call_at(start, lambda: _epoch(0), label="env:target-coordinator")
+
+
+# ---------------------------------------------------------------------------
+# Registrations
+# ---------------------------------------------------------------------------
 UNIFORM = register_scheduler(
     AdversarialScheduler(
         "uniform", "identity baseline: the cluster config's channels", _install_uniform
@@ -189,5 +443,29 @@ SLOW_NODE = register_scheduler(
         "slow_node",
         "one seeded victim's links run 10x slower (straggler at the FD threshold)",
         _install_slow_node,
+    )
+)
+CRASH_RECOVERY = register_scheduler(
+    AdversarialScheduler(
+        "crash_recovery",
+        "per-epoch link blackouts timed at the FD threshold (apparent crash/recover)",
+        _install_crash_recovery,
+        dynamic=True,
+    )
+)
+PARTITION_LEAK = register_scheduler(
+    AdversarialScheduler(
+        "partition_leak",
+        "one-way leaky partition whose blocked direction flips, then heals",
+        _install_partition_leak,
+        dynamic=True,
+    )
+)
+TARGET_COORDINATOR = register_scheduler(
+    AdversarialScheduler(
+        "target_coordinator",
+        "adaptive: re-reads the current coordinator each epoch and slows its links",
+        _install_target_coordinator,
+        dynamic=True,
     )
 )

@@ -28,6 +28,7 @@ from repro.scenarios.workloads import (
     QuorumEdgeCrashWorkload,
     RegisterWriteWorkload,
     ScrambleWorkload,
+    SMRCommandWorkload,
     StaleMessageWorkload,
     Workload,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "QuorumEdgeCrashWorkload",
     "RegisterWriteWorkload",
     "ScrambleWorkload",
+    "SMRCommandWorkload",
     "StaleMessageWorkload",
     "available_scenarios",
     "get_scenario",

@@ -23,6 +23,7 @@ from repro.scenarios.workloads import (
     QuorumEdgeCrashWorkload,
     RegisterWriteWorkload,
     ScrambleWorkload,
+    SMRCommandWorkload,
     StaleMessageWorkload,
 )
 
@@ -180,6 +181,73 @@ register_scenario(
         scheduler="reorder_heavy",
         workloads=(ArbitraryStateWorkload(at=40.0),),
         horizon=45.0,
+        track_convergence=True,
+        probes=(probes.converged(10_000), probes.participating(10_000)),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# Environment-driven scenarios (time-varying adversaries, repro.sim.environment)
+# ---------------------------------------------------------------------------
+register_scenario(
+    ScenarioSpec(
+        name="coordinator_hunt",
+        description=(
+            "The adaptive adversary re-reads the VS coordinator each epoch "
+            "and slows its links while replicas keep multicasting commands; "
+            "same-view delivery histories must never diverge."
+        ),
+        n=5,
+        stack="vs_smr",
+        scheduler="target_coordinator",
+        scheduler_params=(("start", 30.0), ("period", 30.0), ("epochs", 4)),
+        workloads=(
+            SMRCommandWorkload(at=40.0, submitter=0, command=("hunt", 1)),
+            SMRCommandWorkload(at=70.0, submitter=2, command=("hunt", 2)),
+            SMRCommandWorkload(at=110.0, submitter=4, command=("hunt", 3)),
+        ),
+        horizon=160.0,
+        invariants=(probes.smr_agreement_invariant(),),
+        track_convergence=True,
+        probes=(probes.converged(8_000), probes.participating(8_000)),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="partition_leak_recovery",
+        description=(
+            "A one-way partition with a small leak splits the system, flips "
+            "its blocked direction mid-run and heals; the scheme must ride "
+            "out asymmetric reachability without a permanent split-brain."
+        ),
+        n=6,
+        scheduler="partition_leak",
+        scheduler_params=(
+            ("at", 20.0), ("flip_at", 60.0), ("heal_at", 100.0), ("leak", 0.1),
+        ),
+        horizon=110.0,
+        track_convergence=True,
+        probes=(probes.converged(10_000), probes.participating(10_000)),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="crash_recovery_pulse",
+        description=(
+            "Per-epoch link blackouts make one victim appear to crash and "
+            "recover right at the failure-detector threshold, on the "
+            "counters stack over ambient loss (degraded_net)."
+        ),
+        n=5,
+        stack="counters",
+        config="degraded_net",
+        scheduler="crash_recovery",
+        scheduler_params=(
+            ("start", 20.0), ("period", 30.0), ("outage", 12.0), ("epochs", 3),
+        ),
+        horizon=120.0,
         track_convergence=True,
         probes=(probes.converged(10_000), probes.participating(10_000)),
     )

@@ -62,7 +62,7 @@ def prepare(spec_or_name: Union[str, ScenarioSpec], seed: int = 0) -> ScenarioRu
     if spec.scheduler is not None:
         from repro.audit.schedulers import get_scheduler
 
-        get_scheduler(spec.scheduler).install(cluster)
+        get_scheduler(spec.scheduler).install(cluster, **dict(spec.scheduler_params))
     monitor: Optional[InvariantMonitor] = None
     if spec.invariants:
         monitor = InvariantMonitor(cluster.simulator)
@@ -122,6 +122,12 @@ def execute(run: ScenarioRun) -> Dict[str, Any]:
         result["ok"] = result["ok"] and run.monitor.ok()
     if cluster.workload_reports:
         result["workload_reports"] = list(cluster.workload_reports)
+    # What the environment did and when: partition/heal/overlay transitions
+    # of the installed environment program (deterministic, so part of the
+    # reproducible result surface).
+    environment = cluster.environment
+    if spec.scheduler is not None or environment.transition_count:
+        result["environment"] = environment.summary()
     if spec.measure_window > 0:
         before = cluster.statistics()
         start = cluster.simulator.now

@@ -38,9 +38,16 @@ class ScenarioSpec:
         ``timeout`` is its own budget of simulated time.
     scheduler:
         Name of an adversarial scheduler (:mod:`repro.audit.schedulers`)
-        installed right after the cluster is built — per-link delay skew,
-        heavy reordering, burst delivery, a slow node.  ``None`` keeps the
-        config's uniform channel behaviour.
+        installed right after the cluster is built — an *environment
+        program* over the :class:`~repro.sim.environment.NetworkEnvironment`:
+        static shapes (delay skew, heavy reordering, burst delivery, a slow
+        node) or time-varying adversaries (crash-recovery blackouts, leaky
+        one-way partitions, adaptive coordinator targeting).  ``None`` keeps
+        the config's uniform channel behaviour.
+    scheduler_params:
+        Program-specific knobs forwarded to the scheduler's installer, as a
+        tuple of ``(name, value)`` pairs (kept hashable so specs stay
+        frozen): ``(("epochs", 5), ("leak", 0.1))``.
     invariants:
         :class:`~repro.analysis.probes.Invariant` predicates monitored after
         every executed event; any recorded violation interval fails the run
@@ -68,6 +75,7 @@ class ScenarioSpec:
     workloads: Tuple[Any, ...] = ()
     probes: Tuple[Probe, ...] = field(default_factory=tuple)
     scheduler: Optional[str] = None
+    scheduler_params: Tuple[Tuple[str, Any], ...] = ()
     invariants: Tuple[Invariant, ...] = ()
     track_convergence: bool = False
     bootstrap_timeout: float = 4_000.0

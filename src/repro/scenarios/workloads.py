@@ -249,6 +249,35 @@ class PartitionWorkload:
 
 
 @dataclass(frozen=True)
+class SMRCommandWorkload:
+    """Submit a command to *submitter*'s VS layer for totally-ordered delivery.
+
+    The replicated-state counterpart of :class:`RegisterWriteWorkload` for
+    stacks that expose the raw ``"vs"`` service (``vs_smr``): delivered
+    commands land in every replica's delivery history, which is what makes
+    the ``smr_agreement`` invariant check something real instead of holding
+    vacuously over empty histories.
+    """
+
+    at: float
+    submitter: ProcessId
+    command: Any
+
+    def install(self, cluster: "Cluster") -> None:
+        def _fire() -> None:
+            node = cluster.nodes.get(self.submitter)
+            if node is None or node.crashed:
+                return
+            vs = node.service_map.get("vs")
+            if vs is not None:
+                vs.submit(self.command)
+
+        cluster.simulator.call_at(
+            self.at, _fire, label=f"workload:smr-command:{self.submitter}"
+        )
+
+
+@dataclass(frozen=True)
 class RegisterWriteWorkload:
     """Submit a shared-register write from *writer* at time *at*.
 

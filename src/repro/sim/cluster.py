@@ -226,6 +226,12 @@ class Cluster:
         #: scenario runner copies them into the result dictionary.
         self.workload_reports: List[Dict[str, Any]] = []
 
+    @property
+    def environment(self):
+        """The network's time-varying environment layer (link programs,
+        partitions); what adversarial environment programs mutate mid-run."""
+        return self.simulator.network.environment
+
     # Convenience views on the shared config (kept for existing callers).
     @property
     def upper_bound_n(self) -> int:

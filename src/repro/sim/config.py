@@ -160,10 +160,30 @@ def coherent_start(**overrides: Any) -> ClusterConfig:
     return fast_sim(coherent_start=True).with_overrides(**overrides)
 
 
+def degraded_net(**overrides: Any) -> ClusterConfig:
+    """Lossy, jittery channels: the floor environment programs degrade from.
+
+    5% loss and a 6x delay spread keep fair communication intact while
+    making every retransmission matter — the baseline the environment-driven
+    scenarios (leaky partitions, coordinator hunts) start from, so their
+    adversaries compose with ambient unreliability instead of a pristine
+    fabric.
+    """
+    return ClusterConfig(
+        channel=ChannelConfig(
+            capacity=DEFAULT_CHANNEL_CAPACITY,
+            loss_probability=0.05,
+            min_delay=0.2,
+            max_delay=1.2,
+        ),
+    ).with_overrides(**overrides)
+
+
 PRESETS: Dict[str, Callable[..., ClusterConfig]] = {
     "fast_sim": fast_sim,
     "paper_faithful": paper_faithful,
     "coherent_start": coherent_start,
+    "degraded_net": degraded_net,
 }
 
 

@@ -110,6 +110,8 @@ class FaultInjector:
         self.simulator = simulator
         self.rng = make_rng(seed, "fault-injector")
         self.records: List[FaultRecord] = []
+        # Partitions this injector installed; the scope of a no-name heal().
+        self._partition_names: List[str] = []
 
     # ------------------------------------------------------------ crash/churn
     def crash(self, pid: ProcessId) -> None:
@@ -220,17 +222,47 @@ class FaultInjector:
         return accepted
 
     # ------------------------------------------------------------ partitions
-    def partition(self, group_a: Iterable[ProcessId], group_b: Iterable[ProcessId]) -> None:
-        """Partition the network between the two groups."""
+    def partition(
+        self,
+        group_a: Iterable[ProcessId],
+        group_b: Iterable[ProcessId],
+        name: Optional[str] = None,
+        leak: float = 0.0,
+        symmetric: bool = True,
+    ) -> str:
+        """Partition the network between the two groups; return the name.
+
+        Delegates to the :class:`~repro.sim.environment.NetworkEnvironment`'s
+        directed model: ``symmetric=False`` blocks only a→b links, ``leak``
+        lets the occasional packet cross, and the returned name heals this
+        partition independently of any other.
+        """
         group_a = list(group_a)
         group_b = list(group_b)
-        self.simulator.network.partition(group_a, group_b)
-        self._record("partition", (tuple(group_a), tuple(group_b)))
+        name = self.simulator.network.environment.partition(
+            group_a, group_b, name=name, leak=leak, symmetric=symmetric
+        )
+        self._partition_names.append(name)
+        self._record(
+            "partition",
+            (tuple(group_a), tuple(group_b)),
+            {"name": name, "leak": leak, "symmetric": symmetric},
+        )
+        return name
 
-    def heal(self) -> None:
-        """Heal every partition."""
-        self.simulator.network.heal_partitions()
-        self._record("heal", None)
+    def heal(self, name: Optional[str] = None) -> None:
+        """Heal the named partition (default: every partition *this injector*
+        installed — never partitions owned by a running environment program)."""
+        environment = self.simulator.network.environment
+        if name is not None:
+            environment.heal(name)
+            if name in self._partition_names:
+                self._partition_names.remove(name)
+        else:
+            for own in self._partition_names:
+                environment.heal(own)
+            self._partition_names.clear()
+        self._record("heal", name)
 
     # ------------------------------------------------------------- internals
     def _record(self, kind: str, target: Any, details: Optional[Dict[str, Any]] = None) -> None:

@@ -34,6 +34,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 from repro.common.rng import make_rng
 from repro.common.types import ProcessId
 from repro.common.errors import SimulationError
+from repro.sim.environment import NetworkEnvironment
 
 
 @dataclass(frozen=True)
@@ -249,22 +250,34 @@ class Network:
     """The fully-connected fabric of directed :class:`Channel` objects.
 
     The network is lazy: a channel is created the first time a packet flows
-    between a pair of processors, using the default :class:`ChannelConfig`
-    (or a per-pair override installed via :meth:`set_channel_config`).
-    Delivery scheduling is delegated to a callback installed by the
-    :class:`~repro.sim.simulator.Simulator`.
+    between a pair of processors, resolving its configuration through the
+    :class:`~repro.sim.environment.NetworkEnvironment` — the time-varying
+    link-state layer that holds per-pair overrides, dynamic overlays, link
+    policies (so late joiners inherit the active shaping) and the directed,
+    possibly leaky partitions.  Delivery scheduling is delegated to a
+    callback installed by the :class:`~repro.sim.simulator.Simulator`.
     """
 
-    def __init__(self, default_config: Optional[ChannelConfig] = None, seed: int = 0) -> None:
+    def __init__(
+        self,
+        default_config: Optional[ChannelConfig] = None,
+        seed: int = 0,
+        environment: Optional[NetworkEnvironment] = None,
+    ) -> None:
         self.default_config = default_config or ChannelConfig()
         self._seed = seed
         self._channels: Dict[Tuple[ProcessId, ProcessId], Channel] = {}
-        self._overrides: Dict[Tuple[ProcessId, ProcessId], ChannelConfig] = {}
+        self.environment = environment or NetworkEnvironment(
+            self.default_config, seed=seed
+        )
+        self.environment.attach(self)
+        #: Names of partitions installed via the legacy two-group wrapper;
+        #: :meth:`heal_partitions` heals exactly these.
+        self._legacy_partitions: List[str] = []
         self._schedule_delivery: Optional[Callable[[Channel, Packet, float], None]] = None
         self._schedule_deliveries: Optional[
             Callable[[List[Tuple[Channel, Packet, float]]], None]
         ] = None
-        self._partitions: set[frozenset[ProcessId]] = set()
         self._totals = NetworkCounters()
         # Dedicated stream for batched broadcasts: every delay of a
         # ``send_many`` burst is drawn from this one RNG, which keeps the
@@ -291,18 +304,25 @@ class Network:
     def set_channel_config(
         self, source: ProcessId, destination: ProcessId, config: ChannelConfig
     ) -> None:
-        """Override the channel configuration for one directed pair."""
-        self._overrides[(source, destination)] = config
-        existing = self._channels.get((source, destination))
-        if existing is not None:
-            existing.config = config
+        """Override the channel configuration for one directed pair.
+
+        Thin wrapper over the environment's explicit-override layer, kept
+        because the install protocol is load-bearing in tests and workloads.
+        """
+        self.environment.set_link_config(source, destination, config)
 
     def channel(self, source: ProcessId, destination: ProcessId) -> Channel:
-        """Return (creating if needed) the directed channel source→destination."""
+        """Return (creating if needed) the directed channel source→destination.
+
+        The configuration of a new channel is resolved through the
+        environment's layer stack, so a processor joining mid-run gets
+        channels shaped by whatever program is currently active instead of
+        falling back to the default config.
+        """
         key = (source, destination)
         chan = self._channels.get(key)
         if chan is None:
-            config = self._overrides.get(key, self.default_config)
+            config = self.environment.config_for(source, destination)
             chan = Channel(source, destination, config, seed=self._seed, totals=self._totals)
             self._channels[key] = chan
         return chan
@@ -312,25 +332,39 @@ class Network:
         return self._channels.values()
 
     def partition(self, group_a: Iterable[ProcessId], group_b: Iterable[ProcessId]) -> None:
-        """Install a (temporary) partition: packets between the groups are lost."""
-        for a in group_a:
-            for b in group_b:
-                self._partitions.add(frozenset((a, b)))
+        """Install a symmetric, leak-free partition between the two groups.
+
+        Compatibility wrapper over :meth:`NetworkEnvironment.partition`; use
+        the environment directly for one-way partitions, leaks and
+        per-partition heal.
+        """
+        self._legacy_partitions.append(self.environment.partition(group_a, group_b))
 
     def heal_partitions(self) -> None:
-        """Remove every installed partition."""
-        self._partitions.clear()
+        """Heal every partition installed through this wrapper.
+
+        Scoped to wrapper-created partitions on purpose: a workload calling
+        the historical heal-all must not erase named partitions owned by a
+        concurrently running environment program (pre-environment behaviour
+        is preserved, since back then every partition came through here).
+        """
+        for name in self._legacy_partitions:
+            self.environment.heal(name)
+        self._legacy_partitions.clear()
 
     def is_partitioned(self, source: ProcessId, destination: ProcessId) -> bool:
-        """Return True when the pair is currently separated by a partition."""
-        return frozenset((source, destination)) in self._partitions
+        """Return True when a partition currently blocks the directed pair."""
+        return self.environment.is_blocked(source, destination)
 
     def send(self, packet: Packet) -> None:
         """Submit *packet* for transmission on its directed channel."""
         if self._schedule_delivery is None:
             raise SimulationError("network is not bound to a simulator")
         chan = self.channel(packet.source, packet.destination)
-        if self._partitions and self.is_partitioned(packet.source, packet.destination):
+        environment = self.environment
+        if environment._blocked and not environment.permits(
+            packet.source, packet.destination
+        ):
             chan.record_blocked()
             return
         for pkt, delay in chan.try_accept(packet):
@@ -346,14 +380,15 @@ class Network:
         """
         if self._schedule_delivery is None:
             raise SimulationError("network is not bound to a simulator")
-        partitioned = self._partitions
+        environment = self.environment
+        blocked = environment._blocked
         rng = self._broadcast_rng
         batch: List[Tuple[Channel, Packet, float]] = []
         accepted = 0
         for destination, payload in payloads:
             packet = Packet(source=source, destination=destination, payload=payload)
             chan = self.channel(source, destination)
-            if partitioned and self.is_partitioned(source, destination):
+            if blocked and not environment.permits(source, destination):
                 chan.record_blocked()
                 continue
             deliveries = chan.try_accept(packet, rng=rng)

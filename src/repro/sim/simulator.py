@@ -25,6 +25,7 @@ from repro.common.errors import SimulationError
 from repro.common.logging_utils import get_logger
 from repro.common.rng import make_rng
 from repro.common.types import ProcessId
+from repro.sim.environment import NetworkEnvironment
 from repro.sim.events import Event, EventQueue
 from repro.sim.network import Channel, ChannelConfig, Network, Packet
 from repro.sim.process import Process, ProcessContext
@@ -46,6 +47,11 @@ class Simulator:
         self.events = EventQueue()
         self.network = network or Network(default_config=channel_config, seed=seed)
         self.network.bind_scheduler(self._schedule_delivery, self._schedule_deliveries)
+        # The time-varying environment layer ticks through ordinary simulator
+        # events: bind the clock and the scheduling entry point so environment
+        # programs (adversarial schedulers, partition schedules) can register
+        # their transitions like any other event source.
+        self.network.environment.bind_timeline(lambda: self.now, self.call_at)
         self.processes: Dict[ProcessId, Process] = {}
         self.executed_events = 0
         self.delivered_messages = 0
@@ -116,6 +122,11 @@ class Simulator:
         return self.call_at(self.now + delay, callback, label=label)
 
     # -------------------------------------------------------------- network
+    @property
+    def environment(self) -> NetworkEnvironment:
+        """The network's time-varying environment layer."""
+        return self.network.environment
+
     def send(self, source: ProcessId, destination: ProcessId, payload: Any) -> None:
         """Send a packet from *source* to *destination* (may be lost)."""
         packet = Packet(source=source, destination=destination, payload=payload)

@@ -142,9 +142,19 @@ class VirtualSynchronyService:
         """Every command this replica has applied, in application order."""
         return [cmd for _, cmd in self._delivered_history]
 
+    def delivery_history(self) -> Tuple[Tuple[int, Any], ...]:
+        """The totally-ordered ``(round, command)`` delivery record.
+
+        The stable surface consistency checks compare across replicas: within
+        one installed view every member's history evolves along the
+        coordinator's chain, so any two same-view histories must be
+        prefix-ordered (the ``smr_agreement`` audit invariant).
+        """
+        return tuple(self._delivered_history)
+
     def current_view(self) -> Optional[View]:
         """The installed view (None before the first installation)."""
-        return self.view if self.status is VSStatus.MULTICAST else self.view
+        return self.view
 
     def is_coordinator(self) -> bool:
         """True when this participant currently leads the installed view."""

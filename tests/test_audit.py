@@ -428,3 +428,182 @@ class TestAuditHarness:
         report = result["workload_reports"][0]
         assert report["atoms_selected"] == 3
         assert report["atoms_total"] > 3
+
+
+# ---------------------------------------------------------------------------
+# Environment-program sweep surface: stacks, profiles, smoke, gate
+# ---------------------------------------------------------------------------
+class TestAuditStacksAndProfiles:
+    def test_dynamic_schedulers_registered(self):
+        from repro.audit.schedulers import dynamic_schedulers, static_schedulers
+
+        assert dynamic_schedulers() == [
+            "crash_recovery",
+            "partition_leak",
+            "target_coordinator",
+        ]
+        assert set(static_schedulers()) == {
+            "uniform",
+            "delay_skew",
+            "reorder_heavy",
+            "burst_delivery",
+            "slow_node",
+        }
+
+    def test_build_cases_stacks_arm_smr_agreement(self):
+        cases = build_cases(
+            schedulers=["uniform"], corruption_seeds=[0], stacks=["bare", "vs_smr"]
+        )
+        by_stack = {case.stack: case for case in cases}
+        assert by_stack["bare"].invariants == ()
+        assert [inv.name for inv in by_stack["vs_smr"].invariants] == ["smr_agreement"]
+
+    def test_profile_names_disambiguate_registered_specs(self):
+        light = AuditCase(scheduler="uniform", corruption_seed=0, profile="light")
+        heavy = AuditCase(scheduler="uniform", corruption_seed=0, profile="heavy")
+        default = AuditCase(scheduler="uniform", corruption_seed=0)
+        assert len({light.name, heavy.name, default.name}) == 3
+        assert default.profile_name == "default"
+
+    def test_unknown_profile_fails_fast(self):
+        case = AuditCase(scheduler="uniform", corruption_seed=0, profile="nope")
+        with pytest.raises(KeyError, match="unknown corruption profile"):
+            case.to_spec()
+
+    def test_dynamic_case_params_anchor_at_corruption(self):
+        case = AuditCase(scheduler="crash_recovery", corruption_seed=0, corrupt_at=30.0)
+        params = dict(case.to_spec().scheduler_params)
+        assert params["start"] == pytest.approx(32.0)
+        # Explicit params override the audit-tuned defaults.
+        custom = AuditCase(
+            scheduler="crash_recovery",
+            corruption_seed=0,
+            scheduler_params=(("start", 99.0),),
+        )
+        assert dict(custom.to_spec().scheduler_params)["start"] == pytest.approx(99.0)
+
+    def test_smr_agreement_holds_on_vs_smr_audit_case(self):
+        case = build_cases(
+            schedulers=["uniform"], corruption_seeds=[0], stacks=["vs_smr"]
+        )[0]
+        result = run_case(case, seed=0)
+        assert result["ok"]
+        assert result["invariants"]["ok"]
+
+    def test_smr_audit_invariant_is_not_vacuous(self):
+        # The SMR-stack audit cases multicast commands around the corruption,
+        # so the armed smr_agreement invariant compares real (non-empty)
+        # delivery histories.
+        from repro.scenarios.runner import execute, prepare
+
+        case = build_cases(
+            schedulers=["uniform"], corruption_seeds=[0], stacks=["vs_smr"]
+        )[0]
+        run = prepare(case.to_spec(), seed=0)
+        result = execute(run)
+        assert result["ok"]
+        histories = [
+            node.service_map["vs"].delivery_history()
+            for node in run.cluster.alive_nodes()
+        ]
+        assert any(history for history in histories)
+
+    def test_case_names_do_not_alias_across_params_or_profiles(self):
+        plain = AuditCase(scheduler="partition_leak", corruption_seed=0)
+        tuned = AuditCase(
+            scheduler="partition_leak",
+            corruption_seed=0,
+            scheduler_params=(("leak", 0.5),),
+        )
+        ad_hoc_a = AuditCase(
+            scheduler="uniform", corruption_seed=0,
+            profile=CorruptionProfile(field_probability=0.31),
+        )
+        ad_hoc_b = AuditCase(
+            scheduler="uniform", corruption_seed=0,
+            profile=CorruptionProfile(field_probability=0.32),
+        )
+        names = {plain.name, tuned.name, ad_hoc_a.name, ad_hoc_b.name}
+        assert len(names) == 4
+
+    def test_smoke_cases_cover_dynamic_and_smr(self):
+        from repro.audit.__main__ import smoke_cases
+
+        cases = smoke_cases()
+        schedulers = {case.scheduler for case in cases}
+        assert {"crash_recovery", "partition_leak", "target_coordinator"} <= schedulers
+        stacks = {case.stack for case in cases}
+        assert {"bare", "vs_smr", "shared_register"} <= stacks
+        armed = [
+            case for case in cases if any(i.name == "smr_agreement" for i in case.invariants)
+        ]
+        assert armed and all(case.stack != "bare" for case in armed)
+
+    def test_stabilization_distribution_shape(self):
+        from repro.audit.harness import stabilization_distribution
+
+        verdicts = [
+            {"case": "a", "seed": 0, "convergence": {"stabilization_time": 10.0}},
+            {"case": "a", "seed": 1, "convergence": {"stabilization_time": 30.0}},
+            {"case": "b", "seed": 0, "convergence": {"stabilization_time": 20.0}},
+            {"case": "b", "seed": 1, "convergence": {"stabilization_time": None}},
+        ]
+        dist = stabilization_distribution(verdicts)
+        assert dist["runs"] == 3
+        assert dist["worst"] == 30.0
+        assert dist["by_case"] == {"a": 30.0, "b": 20.0}
+        assert dist["unconverged"] == ["b@1"]
+
+
+class TestConvergenceGate:
+    def test_gate_passes_within_tolerance(self):
+        from repro.audit.gate import compare
+
+        outcome = compare(
+            {"worst": 110.0, "unconverged": [], "by_case": {"a": 110.0}},
+            {"worst": 100.0, "by_case": {"a": 100.0}},
+            tolerance=0.25,
+        )
+        assert outcome["ok"] and not outcome["failures"]
+
+    def test_gate_fails_beyond_tolerance(self):
+        from repro.audit.gate import compare
+
+        outcome = compare(
+            {"worst": 130.0, "unconverged": [], "by_case": {}},
+            {"worst": 100.0, "by_case": {}},
+            tolerance=0.25,
+        )
+        assert not outcome["ok"]
+        assert "regressed" in outcome["failures"][0]
+
+    def test_gate_fails_on_unconverged_runs(self):
+        from repro.audit.gate import compare
+
+        outcome = compare(
+            {"worst": 50.0, "unconverged": ["x@0"], "by_case": {}},
+            {"worst": 100.0, "by_case": {}},
+        )
+        assert not outcome["ok"]
+
+    def test_gate_warns_on_per_case_regression(self):
+        from repro.audit.gate import compare
+
+        outcome = compare(
+            {"worst": 100.0, "unconverged": [], "by_case": {"a": 100.0, "b": 90.0}},
+            {"worst": 100.0, "by_case": {"a": 100.0, "b": 50.0}},
+            tolerance=0.25,
+        )
+        assert outcome["ok"]  # overall worst unchanged
+        assert outcome["warnings"] and "b" in outcome["warnings"][0]
+
+    def test_checked_in_baseline_matches_current_smoke_schema(self):
+        import json
+        from pathlib import Path
+
+        baseline = json.loads(
+            (Path(__file__).parent.parent / "benchmarks" / "audit_baseline.json").read_text()
+        )
+        assert baseline["worst"] > 0
+        assert baseline["runs"] >= 48
+        assert baseline["by_case"]

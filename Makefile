@@ -1,18 +1,24 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-pytest scenarios scenarios-smoke audit-smoke audit-gate audit-baseline audit-profile-grid audit-shrink-demo
+.PHONY: test bench bench-quick bench-matrix bench-pytest scenarios scenarios-smoke audit-smoke audit-gate audit-baseline audit-n24 audit-n24-baseline audit-profile-grid audit-shrink-demo
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
-# Full perf trajectory: writes BENCH_pr4.json at the repository root.
+# Full perf trajectory: writes BENCH_pr5.json at the repository root.
 bench:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --tag pr4
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --tag pr5
 
 # Smoke run (<60s) for CI: scalability + hotpath + scenario-matrix scenarios.
 bench-quick:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --quick --tag pr4
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --quick --tag pr5
+
+# Matrix-throughput timing only (cold bootstrap-per-run vs warm prefix
+# snapshots, runs/sec): the audit job runs this and uploads the JSON next to
+# the AUDIT_*.json verdicts so sweep wall-clock is tracked per commit.
+bench-matrix:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --quick --only matrix_throughput --output AUDIT_matrix_timing.json
 
 # The pytest-benchmark experiment suite (E1-E12 + hotpath micro-benches).
 bench-pytest:
@@ -40,6 +46,20 @@ audit-gate: audit-smoke
 # Re-pin the baseline after a deliberate convergence-bound change.
 audit-baseline: audit-smoke
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.audit.gate AUDIT_smoke.json --baseline benchmarks/audit_baseline.json --refresh
+
+# The large-topology tier: n=24, paper_faithful config, two dynamic
+# adversaries, corruption at t=120 (after bootstrap convergence at ~t=83).
+# Tractable because of the sweep engine: warm prefix snapshots share each
+# adversary's bootstrap across corruption seeds (or cold-parallel workers
+# take over when idle cores outnumber the fan-out).
+audit-n24:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.audit --tier n24 --workers 4 --output AUDIT_n24.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.audit.gate AUDIT_n24.json --tier n24 --baseline benchmarks/audit_baseline.json
+
+# Re-pin the n24 tier's bounds (preserves the smoke bounds).
+audit-n24-baseline:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.audit --tier n24 --workers 4 --output AUDIT_n24.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.audit.gate AUDIT_n24.json --tier n24 --baseline benchmarks/audit_baseline.json --refresh
 
 # Stabilization-time distributions across corruption intensity (light/
 # default/heavy CorruptionProfile grid).

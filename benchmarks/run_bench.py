@@ -217,6 +217,98 @@ def bench_environment_sweep(seeds, workers: int, quick: bool) -> dict:
     return entry
 
 
+def _throughput_cell(
+    cases, seeds, cold_sample_cases: int | None = None
+) -> dict:
+    """Measure one matrix tier cold vs warm and report runs/sec for both.
+
+    Both paths run serially (workers=1) so the rates are per-core and the
+    comparison is free of pool-scheduling noise.  ``cold_sample_cases``
+    bounds how many cases the cold path replays: cold runs don't amortize
+    anything, so their per-run rate is measured exactly on a sample instead
+    of burning minutes on a full grid (the sample size is recorded).
+    """
+    from repro.audit.harness import certify
+
+    t0 = time.perf_counter()
+    warm = certify(cases, seeds=seeds, workers=1, shrink_failures=False, reuse_prefix=True)
+    warm_wall = time.perf_counter() - t0
+    warm_runs = warm["meta"]["runs"]
+
+    if cold_sample_cases is None or cold_sample_cases >= len(cases):
+        cold_cases = cases
+    else:
+        # Spread the sample evenly across the (scheduler-major) case list so
+        # the cold mix covers the same schedulers the warm rate averages
+        # over — a head-slice would measure only the first scheduler's cost.
+        total = len(cases)
+        cold_cases = [
+            cases[index * total // cold_sample_cases]
+            for index in range(cold_sample_cases)
+        ]
+    t0 = time.perf_counter()
+    cold = certify(
+        cold_cases, seeds=seeds, workers=1, shrink_failures=False, reuse_prefix=False
+    )
+    cold_wall = time.perf_counter() - t0
+    cold_runs = cold["meta"]["runs"]
+
+    warm_rate = warm_runs / warm_wall if warm_wall else None
+    cold_rate = cold_runs / cold_wall if cold_wall else None
+    return {
+        "runs": warm_runs,
+        "all_ok": warm["certified"] and cold["certified"],
+        "failed": warm["failed"] + cold["failed"],
+        "prefix_reuse": warm["meta"]["prefix_reuse"],
+        "warm_wall_seconds": warm_wall,
+        "warm_runs_per_second": warm_rate,
+        "cold_sampled_runs": cold_runs,
+        "cold_wall_seconds": cold_wall,
+        "cold_runs_per_second": cold_rate,
+        "speedup": (warm_rate / cold_rate) if warm_rate and cold_rate else None,
+    }
+
+
+def bench_matrix_throughput(quick: bool) -> dict:
+    """Audit-matrix throughput: cold bootstrap-per-run vs warm prefix fan-out.
+
+    The PR 5 headline.  Two tiers of the same shaped sweep (two schedulers x
+    corruption seeds x sim seeds): at ``n=5`` recovery dominates and warm
+    sharing helps modestly; at ``n=16`` (corruption at t=120, i.e. landing
+    on a long-running converged system — the certification-campaign shape,
+    and the same instant the n=24 tier corrupts at) the shared prefix
+    dominates and the warm path clears 5x runs/sec.
+    """
+    from repro.audit.harness import build_cases
+
+    t0 = time.perf_counter()
+    entry: dict = {"tiers": {}}
+    n5_cases = build_cases(
+        schedulers=["uniform", "delay_skew"],
+        corruption_seeds=range(8 if not quick else 2),
+    )
+    entry["tiers"]["n5"] = _throughput_cell(
+        n5_cases, seeds=range(4 if not quick else 2)
+    )
+    if not quick:
+        n16_cases = build_cases(
+            schedulers=["uniform", "delay_skew"],
+            corruption_seeds=range(16),
+            n=16,
+            corrupt_at=120.0,
+        )
+        # 2 x 16 cases x 2 seeds = the 64-run sweep; cold sampled on 4 cases
+        # (8 runs) — cold runs amortize nothing, so the sample rate is exact.
+        entry["tiers"]["n16"] = _throughput_cell(
+            n16_cases, seeds=range(2), cold_sample_cases=4
+        )
+        entry["speedup_64run_sweep"] = entry["tiers"]["n16"]["speedup"]
+    entry["all_ok"] = all(cell["all_ok"] for cell in entry["tiers"].values())
+    entry["failed"] = [f for cell in entry["tiers"].values() for f in cell["failed"]]
+    entry["wall_seconds"] = time.perf_counter() - t0
+    return entry
+
+
 def bench_scenario_matrix(seeds, workers: int) -> dict:
     """Seed-sweep of the composed scenario library via the parallel runner."""
     t0 = time.perf_counter()
@@ -245,9 +337,14 @@ def bench_scenario_matrix(seeds, workers: int) -> dict:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="smoke run, <60s")
-    parser.add_argument("--tag", default="pr4", help="suffix of BENCH_<tag>.json")
+    parser.add_argument("--tag", default="pr5", help="suffix of BENCH_<tag>.json")
     parser.add_argument("--output", default=None, help="explicit output path")
     parser.add_argument("--workers", type=int, default=4, help="matrix sweep workers")
+    parser.add_argument(
+        "--only",
+        default=None,
+        help="run a single benchmark entry by name (e.g. matrix_throughput)",
+    )
     args = parser.parse_args(argv)
 
     sizes = [4, 8, 16] if not args.quick else [4, 16]
@@ -265,41 +362,91 @@ def main(argv=None) -> int:
         "benchmarks": {},
     }
 
+    # Flag-independent name set: a valid entry name must never be rejected
+    # just because the current mode (e.g. --quick) happens to exclude it —
+    # such a selection runs zero benchmarks and fails via the
+    # selected-nothing guard below instead.
+    known_entries = {
+        "event_throughput",
+        "bootstrap",
+        "steady_state",
+        "scenario_matrix",
+        "audit_sweep",
+        "environment_sweep",
+        "matrix_throughput",
+    } | {f"event_throughput_{n}" for n in (100_000, 200_000)} \
+      | {f"bootstrap_n{n}" for n in (4, 8, 16)} \
+      | {f"steady_state_n{n}" for n in (8, 16)}
+    if args.only is not None and args.only not in known_entries:
+        # A typo must fail loudly, not write an empty benchmark file and
+        # exit 0 (which would silently kill the CI timing trail).
+        print(
+            f"[bench] unknown --only entry {args.only!r}; "
+            f"known: {sorted(known_entries)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    def want(key: str) -> bool:
+        return args.only is None or args.only == key
+
     for n_events in event_counts:
         key = f"event_throughput_{n_events}"
+        if not want(key) and not want("event_throughput"):
+            continue
         print(f"[bench] {key} ...", flush=True)
         results["benchmarks"][key] = bench_event_throughput(n_events)
 
     for n in sizes:
         key = f"bootstrap_n{n}"
+        if not want(key) and not want("bootstrap"):
+            continue
         print(f"[bench] {key} ...", flush=True)
         results["benchmarks"][key] = bench_bootstrap(n, seed=89)
 
     steady_sizes = [8] if args.quick else [8, 16]
     for n in steady_sizes:
         key = f"steady_state_n{n}"
+        if not want(key) and not want("steady_state"):
+            continue
         print(f"[bench] {key} ...", flush=True)
         results["benchmarks"][key] = bench_steady_state(
             n, seed=89, horizon=100.0 if args.quick else 200.0
         )
 
-    print("[bench] scenario_matrix ...", flush=True)
-    results["benchmarks"]["scenario_matrix"] = bench_scenario_matrix(
-        seeds=matrix_seeds, workers=args.workers
-    )
+    if want("scenario_matrix"):
+        print("[bench] scenario_matrix ...", flush=True)
+        results["benchmarks"]["scenario_matrix"] = bench_scenario_matrix(
+            seeds=matrix_seeds, workers=args.workers
+        )
 
-    print("[bench] audit_sweep ...", flush=True)
-    audit_corruptions = range(2) if not args.quick else range(1)
-    results["benchmarks"]["audit_sweep"] = bench_audit_sweep(
-        corruption_seeds=audit_corruptions,
-        seeds=matrix_seeds,
-        workers=args.workers,
-    )
+    if want("audit_sweep"):
+        print("[bench] audit_sweep ...", flush=True)
+        audit_corruptions = range(2) if not args.quick else range(1)
+        results["benchmarks"]["audit_sweep"] = bench_audit_sweep(
+            corruption_seeds=audit_corruptions,
+            seeds=matrix_seeds,
+            workers=args.workers,
+        )
 
-    print("[bench] environment_sweep ...", flush=True)
-    results["benchmarks"]["environment_sweep"] = bench_environment_sweep(
-        seeds=matrix_seeds, workers=args.workers, quick=args.quick
-    )
+    if want("environment_sweep"):
+        print("[bench] environment_sweep ...", flush=True)
+        results["benchmarks"]["environment_sweep"] = bench_environment_sweep(
+            seeds=matrix_seeds, workers=args.workers, quick=args.quick
+        )
+
+    if want("matrix_throughput"):
+        print("[bench] matrix_throughput ...", flush=True)
+        results["benchmarks"]["matrix_throughput"] = bench_matrix_throughput(
+            quick=args.quick
+        )
+
+    if args.only is not None and not results["benchmarks"]:
+        # Belt over the name-validation braces: if the known-entries set ever
+        # drifts from the run loop, an --only run that selected nothing must
+        # still fail loudly instead of writing an empty timing file.
+        print(f"[bench] --only {args.only!r} selected no benchmarks", file=sys.stderr)
+        return 2
 
     headline = results["benchmarks"].get("bootstrap_n16")
     baseline = SEED_BASELINE.get("bootstrap_n16")

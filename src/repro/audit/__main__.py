@@ -74,6 +74,36 @@ def smoke_cases(n: int = 5, convergence_budget: float = 6_000.0) -> List[AuditCa
     )
 
 
+def n24_cases(
+    convergence_budget: float = 8_000.0,
+    corrupt_at: float = 120.0,
+) -> List[AuditCase]:
+    """The large-topology tier: ``n=24`` under the paper-faithful model.
+
+    Two dynamic adversaries (crash-recovery blackouts and the leaky one-way
+    partition) against a 24-processor cluster running the literal Section-2
+    communication model (link cleaning on every link, un-throttled
+    heartbeats).  The corruption lands at t=120 — after the ~t=83 bootstrap
+    convergence — so every run certifies re-convergence of a long-running
+    converged system.  Tractable because of the sweep engine: the warm
+    prefix path bootstraps each adversary's 120-time-unit prefix once and
+    fans the corruption seeds out from the snapshot (on machines with more
+    idle cores than fan-out, ``certify`` runs the group cold-parallel
+    instead — whichever is faster).
+    """
+    return build_cases(
+        schedulers=["crash_recovery", "partition_leak"],
+        corruption_seeds=[0, 1],
+        n=24,
+        config="paper_faithful",
+        corrupt_at=corrupt_at,
+        convergence_budget=convergence_budget,
+    )
+
+
+TIERS = {"n24": n24_cases}
+
+
 def _render(report: dict) -> str:
     table = ResultTable(
         title=(
@@ -171,6 +201,19 @@ def main(argv=None) -> int:
         f"(default: {','.join(sorted(PROFILES))})",
     )
     parser.add_argument(
+        "--tier",
+        default=None,
+        choices=sorted(TIERS),
+        help="run a named matrix tier (n24: 24 processors, paper_faithful "
+        "config, two dynamic adversaries, corruption at t=120)",
+    )
+    parser.add_argument(
+        "--cold",
+        action="store_true",
+        help="disable warm prefix sharing (every run pays its own bootstrap; "
+        "results are identical, only slower)",
+    )
+    parser.add_argument(
         "--demo-shrink",
         action="store_true",
         help="run the broken-invariant shrinking demonstration and exit",
@@ -213,7 +256,31 @@ def main(argv=None) -> int:
             return 1
         return 0
 
-    if args.smoke:
+    if args.tier:
+        # A tier is a fixed matrix; silently ignoring contradictory flags
+        # would certify a different sweep than the user asked for.
+        ignored = [
+            flag
+            for flag, value, default in (
+                ("--schedulers", args.schedulers, None),
+                ("--corruptions", args.corruptions, "0"),
+                ("--stacks", args.stacks, "bare"),
+                ("--profiles", args.profiles, None),
+                ("--n", args.n, 5),
+                ("--budget", args.budget, 6_000.0),
+            )
+            if value != default
+        ]
+        if ignored:
+            print(
+                f"[audit] --tier {args.tier} fixes the matrix; drop {ignored} "
+                f"(only --seeds/--workers/--cold/--output apply to a tier)",
+                file=sys.stderr,
+            )
+            return 2
+        cases = TIERS[args.tier]()
+        seeds = parse_seeds(args.seeds)
+    elif args.smoke:
         cases = smoke_cases(n=args.n, convergence_budget=args.budget)
         seeds = [0, 1, 2]
     else:
@@ -229,7 +296,9 @@ def main(argv=None) -> int:
         )
         seeds = parse_seeds(args.seeds)
 
-    report = certify(cases, seeds=seeds, workers=args.workers)
+    report = certify(
+        cases, seeds=seeds, workers=args.workers, reuse_prefix=not args.cold
+    )
     print(_render(report))
 
     if args.output:

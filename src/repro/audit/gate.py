@@ -12,12 +12,23 @@ Usage::
 
     python -m repro.audit.gate AUDIT_smoke.json                 # compare
     python -m repro.audit.gate AUDIT_smoke.json --refresh       # re-pin
+    python -m repro.audit.gate AUDIT_n24.json --tier n24        # a tier
     python -m repro.audit.gate AUDIT_smoke.json \\
         --baseline benchmarks/audit_baseline.json --tolerance 0.25
 
 The baseline is refreshed (``make audit-baseline``) whenever a deliberate
 change moves the bound; the refresh rewrites the JSON from the same report
 format the gate reads, so baseline and verdict can never drift structurally.
+
+Beyond the default smoke bounds, the baseline file carries
+
+* ``tiers.<name>`` — stabilization bounds of additional matrix tiers (the
+  ``n24`` tier's bounds live under ``tiers.n24``; select with ``--tier``),
+  preserved across refreshes of other tiers;
+* ``matrix_wall_seconds.<tier>`` — the pinned wall-clock of the sweep, used
+  by a **soft gate**: a matrix that takes >50% longer than its pin prints a
+  warning (never a failure — wall-clock is load-dependent), so sweep
+  throughput regressions surface in CI logs next to the hard bounds.
 """
 
 from __future__ import annotations
@@ -26,10 +37,12 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 DEFAULT_BASELINE = Path("benchmarks/audit_baseline.json")
 DEFAULT_TOLERANCE = 0.25
+#: Soft wall-clock gate: warn when the sweep takes >50% longer than pinned.
+WALL_TOLERANCE = 0.50
 
 
 def extract_bounds(report: Dict[str, Any]) -> Dict[str, Any]:
@@ -87,6 +100,53 @@ def compare(
     }
 
 
+def wall_warning(
+    wall_seconds: Optional[float],
+    pinned_seconds: Optional[float],
+    tolerance: float = WALL_TOLERANCE,
+) -> Optional[str]:
+    """The soft throughput gate: a warning string, or ``None`` when fine.
+
+    Deliberately never a failure — wall-clock depends on runner load — but a
+    matrix that slowed >50% against its pin is exactly the regression the
+    sweep-throughput engine exists to prevent, so it must be visible.
+    """
+    if not wall_seconds or not pinned_seconds:
+        return None
+    limit = pinned_seconds * (1.0 + tolerance)
+    if wall_seconds <= limit:
+        return None
+    return (
+        f"matrix wall-clock regressed: {wall_seconds:.1f}s > {limit:.1f}s "
+        f"(pinned {pinned_seconds:.1f}s + {tolerance:.0%}; soft gate, not failing)"
+    )
+
+
+def _baseline_slice(baseline: Dict[str, Any], tier: Optional[str]) -> Dict[str, Any]:
+    """The bounds to compare against: a named tier's, or the top level."""
+    if tier:
+        return baseline.get("tiers", {}).get(tier, {})
+    return baseline
+
+
+def _merge_refresh(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    tier: Optional[str],
+    wall_seconds: Optional[float],
+) -> Dict[str, Any]:
+    """Pin *current* into *baseline* without clobbering other tiers/pins."""
+    if tier:
+        baseline.setdefault("tiers", {})[tier] = current
+    else:
+        baseline.update(current)
+    if wall_seconds:
+        baseline.setdefault("matrix_wall_seconds", {})[tier or "smoke"] = round(
+            wall_seconds, 2
+        )
+    return baseline
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.audit.gate", description=__doc__
@@ -106,7 +166,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--refresh",
         action="store_true",
-        help="rewrite the baseline from the report instead of comparing",
+        help="pin the report's bounds into the baseline instead of comparing "
+        "(preserves other tiers and wall-clock pins)",
+    )
+    parser.add_argument(
+        "--tier",
+        default=None,
+        help="compare/refresh a named baseline tier (e.g. 'n24') instead of "
+        "the top-level smoke bounds",
     )
     args = parser.parse_args(argv)
 
@@ -115,12 +182,18 @@ def main(argv=None) -> int:
         print(f"[gate] sweep not certified: {report.get('failed')}", file=sys.stderr)
         return 1
     current = extract_bounds(report)
+    wall_seconds = (report.get("meta") or {}).get("wall_seconds")
 
     baseline_path = Path(args.baseline)
     if args.refresh:
-        baseline_path.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+        baseline = (
+            json.loads(baseline_path.read_text()) if baseline_path.exists() else {}
+        )
+        baseline = _merge_refresh(baseline, current, args.tier, wall_seconds)
+        baseline_path.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
         print(
-            f"[gate] pinned baseline {baseline_path} "
+            f"[gate] pinned baseline {baseline_path}"
+            f"{f' tier {args.tier}' if args.tier else ''} "
             f"(worst={current['worst']:.2f} over {current['runs']} runs)"
         )
         return 0
@@ -132,7 +205,26 @@ def main(argv=None) -> int:
         )
         return 1
     baseline = json.loads(baseline_path.read_text())
-    outcome = compare(current, baseline, tolerance=args.tolerance)
+    slice_ = _baseline_slice(baseline, args.tier)
+    if not slice_:
+        print(
+            f"[gate] baseline has no tier {args.tier!r}; "
+            f"run with --refresh --tier {args.tier} to pin it",
+            file=sys.stderr,
+        )
+        return 1
+    outcome = compare(current, slice_, tolerance=args.tolerance)
+    # The wall pin describes one specific matrix shape; comparing a custom
+    # sweep (different run count) against the smoke pin would warn on every
+    # run and train people to ignore the soft gate.
+    soft = None
+    if current.get("runs") == slice_.get("runs"):
+        soft = wall_warning(
+            wall_seconds,
+            baseline.get("matrix_wall_seconds", {}).get(args.tier or "smoke"),
+        )
+    if soft:
+        print(f"[gate] warning: {soft}")
     for warning in outcome["warnings"]:
         print(f"[gate] warning: {warning}")
     if not outcome["ok"]:

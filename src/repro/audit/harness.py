@@ -13,17 +13,35 @@ contract as every other sweep) and asserts, per run, that
   (violation intervals recorded by the
   :class:`~repro.sim.monitors.InvariantMonitor`).
 
+Warm prefix sharing
+-------------------
+Before the corruption fires, every run of a sweep cell is **pure
+deterministic replay**: it depends on the topology, stack, config, scheduler
+program and simulator seed — but *not* on the corruption seed, profile or
+plan subset, all of which are read at fire time.  :func:`certify` therefore
+groups cases by that pre-corruption *prefix* (:func:`prefix_key`), bootstraps
+each distinct ``(prefix, simulator seed)`` once, snapshots it right before
+the first event at ``corrupt_at`` (:class:`~repro.sim.snapshot.SimSnapshot`),
+and fans the corruption cases out from the warm snapshot — the dominant cost
+of a matrix drops from O(cases) bootstraps to O(distinct prefixes).  The
+``fork``-based worker pool inherits parent-captured snapshots copy-on-write.
+Warm results are byte-identical to cold ones (pinned by the test-suite);
+``reuse_prefix=False`` forces the historical cold path.
+
 A run that fails certification is handed to :func:`shrink_case`, which
 re-runs the deterministic corruption plan with ddmin-style subset bisection
 until no atom can be removed without the failure disappearing — the minimal
-reproducer every bug report wants.
+reproducer every bug report wants.  The shrinker reuses one prefix snapshot
+across all its probe runs, so each ddmin trial skips bootstrap too.
 """
 
 from __future__ import annotations
 
 import hashlib
 import math
+import os
 import statistics
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -36,9 +54,10 @@ from repro.audit.arbitrary_state import (
 )
 from repro.audit.schedulers import available_schedulers, get_scheduler
 from repro.scenarios.library import register_scenario
-from repro.scenarios.runner import run_matrix, run_scenario
+from repro.scenarios.runner import drive, finalize, prepare, run_matrix, run_scenario
 from repro.scenarios.spec import ScenarioSpec
 from repro.scenarios.workloads import ArbitraryStateWorkload, SMRCommandWorkload
+from repro.sim.snapshot import SimSnapshot
 
 #: Stacks whose nodes run a ``"vs"`` service, i.e. can multicast commands.
 SMR_STACKS = ("vs_smr", "shared_register")
@@ -236,13 +255,115 @@ def build_cases(
     return cases
 
 
-def run_case(
+# ---------------------------------------------------------------------------
+# Warm prefix sharing: bootstrap once per (prefix, seed), fan corruption out
+# ---------------------------------------------------------------------------
+def prefix_key(case: AuditCase) -> str:
+    """Digest of everything that shapes a case's *pre-corruption* execution.
+
+    Two cases with the same key evolve identically until the corruption
+    event fires (the corruption seed, profile and plan subset are read at
+    fire time, not install time — see ``ArbitraryStateWorkload._fire``), so
+    they can share one bootstrapped snapshot per simulator seed.  The probe
+    budgets are deliberately *not* part of the key: probes run after the
+    corruption, against the case's own spec.
+    """
+    spec = case.to_spec()
+    stack = case.stack if isinstance(case.stack, str) else _digest(case.stack)
+    config = case.config if isinstance(case.config, str) else _digest(case.config)
+    return _digest(
+        (
+            case.n,
+            stack,
+            config,
+            case.scheduler,
+            spec.scheduler_params,
+            case.corrupt_at,
+            tuple((inv.name, inv.arm_after) for inv in spec.invariants),
+        )
+    )
+
+
+def prefix_snapshot(case: AuditCase, seed: int) -> Optional[SimSnapshot]:
+    """Bootstrap *case*'s pre-corruption prefix and snapshot at ``corrupt_at``.
+
+    The run pauses right before the first event at ``time >= corrupt_at`` —
+    whether that lands mid-bootstrap (slow adversary, large ``n``) or in the
+    post-convergence horizon — and the whole prepared run (cluster, monitor,
+    tracker, phase state, pending corruption event) is captured.  Returns
+    ``None`` in the degenerate case where nothing was left to pause on (the
+    caller falls back to cold runs).
+    """
+    run = prepare(case.to_spec(), seed=seed)
+    completed = drive(run, stop_before=case.corrupt_at)
+    if completed:
+        return None
+    return SimSnapshot.capture(run)
+
+
+def _run_from_snapshot(
+    snapshot: SimSnapshot,
     case: AuditCase,
     seed: int,
     include: Optional[Tuple[int, ...]] = None,
     record_atoms: bool = False,
 ) -> Dict[str, Any]:
-    """Execute one audit run (spec passed directly; no registration needed)."""
+    """Resume a restored prefix as *case*: patch the corruption, run, finalize.
+
+    The pending corruption event in the snapshot belongs to whatever case
+    built the prefix; its corruption-shaping fields are overwritten on the
+    restored copy before the event fires, which is indistinguishable from a
+    cold run of *case* (the fields are only read at fire time).
+    """
+    run = snapshot.restore()
+    (workload,) = [
+        w for w in run.spec.workloads if isinstance(w, ArbitraryStateWorkload)
+    ]
+    # The workload dataclass is frozen (specs are value-like); the restored
+    # copy is private to this run, so patching it is safe.
+    object.__setattr__(workload, "seed", case.corruption_seed)
+    object.__setattr__(workload, "profile", get_profile(case.profile))
+    object.__setattr__(workload, "include", include)
+    object.__setattr__(workload, "record_atoms", record_atoms)
+    # Swap in the case's own spec for naming and probe budgets; the installed
+    # objects (workloads, monitor, tracker) stay the restored ones.
+    run.spec = case.to_spec(include=include, record_atoms=record_atoms)
+    drive(run)
+    return finalize(run)
+
+
+#: Per-sweep warm state, rebuilt by :func:`certify` and inherited by forked
+#: matrix workers (copy-on-write).  Under a spawn start method the workers
+#: see empty dicts and fall back to cold runs — correct, just slower.
+_WARM_CASES: Dict[str, AuditCase] = {}
+_WARM_SNAPSHOTS: Dict[Tuple[str, int], SimSnapshot] = {}
+
+
+def _warm_job(name: str, seed: int) -> Dict[str, Any]:
+    """Matrix job runner: resume the case's warm snapshot when one exists."""
+    case = _WARM_CASES.get(name)
+    if case is not None:
+        snapshot = _WARM_SNAPSHOTS.get((prefix_key(case), seed))
+        if snapshot is not None:
+            return _run_from_snapshot(snapshot, case, seed)
+    return run_scenario(name, seed=seed)
+
+
+def run_case(
+    case: AuditCase,
+    seed: int,
+    include: Optional[Tuple[int, ...]] = None,
+    record_atoms: bool = False,
+    snapshot: Optional[SimSnapshot] = None,
+) -> Dict[str, Any]:
+    """Execute one audit run (spec passed directly; no registration needed).
+
+    With *snapshot* (a :func:`prefix_snapshot` of the same ``(case, seed)``
+    prefix), the bootstrap is skipped by resuming the warm copy — the result
+    is byte-identical to the cold path.
+    """
+    if snapshot is not None:
+        return _run_from_snapshot(snapshot, case, seed, include=include, record_atoms=record_atoms)
     return run_scenario(case.to_spec(include=include, record_atoms=record_atoms), seed=seed)
 
 
@@ -277,49 +398,120 @@ def certify(
     workers: int = 1,
     shrink_failures: bool = True,
     max_shrink_trials: int = 64,
+    reuse_prefix: bool = True,
 ) -> Dict[str, Any]:
     """Sweep ``cases x seeds``; return the JSON-serializable audit report.
 
     The cases are registered as named scenarios (re-registration allowed) so
     the parallel matrix workers can resolve them, exactly like the built-in
     scenario library.
+
+    With *reuse_prefix* (the default), cases sharing a pre-corruption prefix
+    are fanned out from one warm :class:`~repro.sim.snapshot.SimSnapshot` per
+    ``(prefix, simulator seed)`` instead of each paying a full bootstrap;
+    results are byte-identical to the cold path.  Snapshots are built in the
+    parent (serially — they cannot cross a process boundary except by fork
+    inheritance), so a group only goes warm when its fan-out beats that
+    serial cost: at least 2 cases per prefix, and at least one case per
+    *actually available* core the pool could otherwise use for parallel cold
+    bootstraps.  (Requested ``workers`` beyond the CPU count add no real
+    parallelism — on an oversubscribed or single-core box the shared prefix
+    always reduces total work and wins, which is what measurements show.)
     """
+    wall_start = time.perf_counter()
     by_name: Dict[str, AuditCase] = {}
     for case in cases:
         register_scenario(case.to_spec(), replace=True)
         by_name[case.name] = case
-    sweep = run_matrix([case.name for case in cases], seeds=seeds, workers=workers)
-    verdicts = [
-        _verdict(entry, corrupt_at=by_name[entry["scenario"]].corrupt_at)
-        for entry in sweep["results"]
-    ]
-    failures = [v for v in verdicts if not v["certified"]]
-    report: Dict[str, Any] = {
-        "meta": {
-            "cases": sorted(by_name),
-            "seeds": list(seeds),
-            "workers": sweep["meta"]["workers"],
-            "runs": len(verdicts),
-            # Runs where bootstrap overran corrupt_at: those certify
-            # convergence from a corrupted bootstrap state, not
-            # re-convergence of a converged system.
-            "corrupted_mid_bootstrap": sum(
-                1 for v in verdicts if v["corrupted_converged_state"] is False
-            ),
-        },
-        "certified": not failures,
-        "failed": [f"{v['case']}@{v['seed']}" for v in failures],
-        "verdicts": verdicts,
-    }
-    report["stabilization"] = stabilization_distribution(verdicts)
-    if shrink_failures and failures:
-        report["reproducers"] = [
-            shrink_case(
-                by_name[v["case"]], v["seed"], max_trials=max_shrink_trials
-            )
-            for v in failures
+    job_runner = None
+    groups: Dict[str, List[AuditCase]] = {}
+    warm_jobs = 0
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - platform without affinity
+        cores = os.cpu_count() or 1
+    parallelism = max(1, min(workers, cores, len(by_name) * max(1, len(seeds))))
+    if reuse_prefix:
+        for case in by_name.values():
+            groups.setdefault(prefix_key(case), []).append(case)
+        _WARM_CASES.clear()
+        _WARM_SNAPSHOTS.clear()
+        _WARM_CASES.update(by_name)
+        for key, members in groups.items():
+            if len(members) < max(2, parallelism):
+                # A snapshot costs one serial parent bootstrap; it pays only
+                # when it replaces more bootstraps than the pool could have
+                # run concurrently on real cores in the same wall time.
+                continue
+            for seed in seeds:
+                snapshot = prefix_snapshot(members[0], seed)
+                if snapshot is not None:
+                    _WARM_SNAPSHOTS[(key, seed)] = snapshot
+                    warm_jobs += len(members)
+        if _WARM_SNAPSHOTS:
+            job_runner = _warm_job
+    try:
+        sweep = run_matrix(
+            [case.name for case in cases], seeds=seeds, workers=workers, job_runner=job_runner
+        )
+        verdicts = [
+            _verdict(entry, corrupt_at=by_name[entry["scenario"]].corrupt_at)
+            for entry in sweep["results"]
         ]
-    return report
+        failures = [v for v in verdicts if not v["certified"]]
+        report: Dict[str, Any] = {
+            "meta": {
+                "cases": sorted(by_name),
+                "seeds": list(seeds),
+                "workers": sweep["meta"]["workers"],
+                "runs": len(verdicts),
+                "sweep": sweep["meta"]["sweep"],
+                # Warm prefix sharing: how many distinct pre-corruption
+                # prefixes the matrix had, and how many of its runs resumed
+                # a snapshot instead of bootstrapping from scratch.
+                "prefix_reuse": {
+                    "enabled": bool(reuse_prefix),
+                    "distinct_prefixes": len(groups) if reuse_prefix else None,
+                    "snapshots": len(_WARM_SNAPSHOTS) if reuse_prefix else 0,
+                    "warm_runs": warm_jobs,
+                },
+                # Runs where bootstrap overran corrupt_at: those certify
+                # convergence from a corrupted bootstrap state, not
+                # re-convergence of a converged system.
+                "corrupted_mid_bootstrap": sum(
+                    1 for v in verdicts if v["corrupted_converged_state"] is False
+                ),
+            },
+            "certified": not failures,
+            "failed": [f"{v['case']}@{v['seed']}" for v in failures],
+            "verdicts": verdicts,
+        }
+        report["stabilization"] = stabilization_distribution(verdicts)
+        if shrink_failures and failures:
+            # A failing case's prefix snapshot is usually already warm from
+            # the sweep; hand it to the shrinker so ddmin skips the
+            # re-bootstrap too.
+            report["reproducers"] = [
+                shrink_case(
+                    by_name[v["case"]],
+                    v["seed"],
+                    max_trials=max_shrink_trials,
+                    snapshot=_WARM_SNAPSHOTS.get(
+                        (prefix_key(by_name[v["case"]]), v["seed"])
+                    ),
+                )
+                for v in failures
+            ]
+        report["meta"]["wall_seconds"] = time.perf_counter() - wall_start
+        return report
+    finally:
+        if reuse_prefix:
+            # The snapshots are full deep copies of simulation graphs; they
+            # were only needed during the sweep (workers inherited them at
+            # fork) and the shrink pass — don't hold the memory for the
+            # process lifetime, not even when a worker death raised.
+            _WARM_CASES.clear()
+            _WARM_SNAPSHOTS.clear()
 
 
 # ---------------------------------------------------------------------------
@@ -423,7 +615,11 @@ def _plan_size(result: Dict[str, Any]) -> int:
 
 
 def shrink_case(
-    case: AuditCase, seed: int, max_trials: int = 64
+    case: AuditCase,
+    seed: int,
+    max_trials: int = 64,
+    reuse_prefix: bool = True,
+    snapshot: Optional[SimSnapshot] = None,
 ) -> Dict[str, Any]:
     """Shrink *case*'s corruption plan to a minimal failing subset (ddmin).
 
@@ -432,8 +628,17 @@ def shrink_case(
     keeping any complement that still fails, and refines granularity until
     either every single-atom removal breaks the failure (1-minimality) or
     the trial budget is spent.
+
+    Every probe run replays the *same* deterministic pre-corruption prefix,
+    so with *reuse_prefix* the shrinker bootstraps once, snapshots, and
+    resumes the warm copy per trial — a ddmin pass over a hundred atoms pays
+    for one bootstrap instead of dozens.  A caller that already holds the
+    matching prefix *snapshot* (``certify`` does, for failures of a warm
+    sweep) can pass it in to skip even that one bootstrap.
     """
-    full = run_case(case, seed)
+    if snapshot is None and reuse_prefix:
+        snapshot = prefix_snapshot(case, seed)
+    full = run_case(case, seed, snapshot=snapshot)
     total = _plan_size(full)
     base = {"case": case.name, "seed": seed, "atoms_total": total}
     if not _fails(full):
@@ -454,7 +659,7 @@ def shrink_case(
             ]
             if not candidate:
                 continue
-            result = run_case(case, seed, include=tuple(candidate))
+            result = run_case(case, seed, include=tuple(candidate), snapshot=snapshot)
             trials += 1
             if _fails(result):
                 indices = candidate
@@ -467,7 +672,7 @@ def shrink_case(
             if granularity >= len(indices):
                 break
             granularity = min(len(indices), granularity * 2)
-    final = run_case(case, seed, include=tuple(indices), record_atoms=True)
+    final = run_case(case, seed, include=tuple(indices), record_atoms=True, snapshot=snapshot)
     atoms: List[str] = []
     for entry in final.get("workload_reports", ()):
         if entry.get("workload") == "arbitrary_state":

@@ -62,6 +62,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional,
 
 from repro.common.rng import make_rng
 from repro.common.types import ProcessId
+from repro.sim.events import Action
 from repro.sim.network import ChannelConfig
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -183,6 +184,58 @@ def current_coordinator(cluster: "Cluster") -> Optional[ProcessId]:
 
 
 # ---------------------------------------------------------------------------
+# Link policies (deep-copy-safe callables)
+#
+# Policies are long-lived environment state, so they are small frozen
+# dataclasses over immutable values instead of closures: snapshot/restore
+# deep-copies them with the graph, and they are pure per pair — the contract
+# :meth:`NetworkEnvironment.resolve` memoization relies on.
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class _ConstantLinkPolicy:
+    """Shape every late pair with one fixed config."""
+
+    config: ChannelConfig
+
+    def __call__(self, source: ProcessId, destination: ProcessId) -> ChannelConfig:
+        return self.config
+
+
+@dataclass(frozen=True)
+class _VictimLinkPolicy:
+    """Shape only pairs touching *victim*; defer on everything else."""
+
+    victim: ProcessId
+    config: ChannelConfig
+
+    def __call__(
+        self, source: ProcessId, destination: ProcessId
+    ) -> Optional[ChannelConfig]:
+        return self.config if self.victim in (source, destination) else None
+
+
+@dataclass(frozen=True)
+class _DelaySkewLatePolicy:
+    """Per-pair log-uniform delay factors for pairs that appear later.
+
+    Factors come from a pair-keyed derived stream, so shaping extends to
+    joiners without perturbing the install-time draws.
+    """
+
+    seed: int
+    base: ChannelConfig
+
+    def __call__(self, source: ProcessId, destination: ProcessId) -> ChannelConfig:
+        pair_rng = make_rng(self.seed, "scheduler", "delay_skew", "late", source, destination)
+        factor = math.exp(pair_rng.uniform(math.log(0.5), math.log(8.0)))
+        return replace(
+            self.base,
+            min_delay=self.base.min_delay * factor,
+            max_delay=self.base.max_delay * factor,
+        )
+
+
+# ---------------------------------------------------------------------------
 # Static installers (install-once; late joiners covered by link policies)
 # ---------------------------------------------------------------------------
 def _install_uniform(cluster: "Cluster", rng: random.Random) -> None:
@@ -203,21 +256,9 @@ def _install_delay_skew(cluster: "Cluster", rng: random.Random) -> None:
                 max_delay=base.max_delay * factor,
             ),
         )
-    # Pairs that appear later (joiners) draw their factor from a pair-keyed
-    # stream, so shaping extends to them without perturbing the install-time
-    # draws above.
-    seed = cluster.simulator.seed
-
-    def _late_pair(source: ProcessId, destination: ProcessId) -> ChannelConfig:
-        pair_rng = make_rng(seed, "scheduler", "delay_skew", "late", source, destination)
-        factor = math.exp(pair_rng.uniform(math.log(0.5), math.log(8.0)))
-        return replace(
-            base,
-            min_delay=base.min_delay * factor,
-            max_delay=base.max_delay * factor,
-        )
-
-    cluster.environment.add_link_policy("delay_skew", _late_pair)
+    cluster.environment.add_link_policy(
+        "delay_skew", _DelaySkewLatePolicy(cluster.simulator.seed, base)
+    )
 
 
 def _install_reorder_heavy(cluster: "Cluster", rng: random.Random) -> None:
@@ -228,7 +269,7 @@ def _install_reorder_heavy(cluster: "Cluster", rng: random.Random) -> None:
     )
     for source, destination in _pairs(cluster):
         network.set_channel_config(source, destination, config)
-    cluster.environment.add_link_policy("reorder_heavy", lambda s, d: config)
+    cluster.environment.add_link_policy("reorder_heavy", _ConstantLinkPolicy(config))
 
 
 def _install_burst_delivery(cluster: "Cluster", rng: random.Random) -> None:
@@ -238,7 +279,7 @@ def _install_burst_delivery(cluster: "Cluster", rng: random.Random) -> None:
     config = replace(base, max_delay=base.max_delay * 4.0, delay_quantum=quantum)
     for source, destination in _pairs(cluster):
         network.set_channel_config(source, destination, config)
-    cluster.environment.add_link_policy("burst_delivery", lambda s, d: config)
+    cluster.environment.add_link_policy("burst_delivery", _ConstantLinkPolicy(config))
 
 
 def _install_slow_node(cluster: "Cluster", rng: random.Random) -> None:
@@ -249,14 +290,42 @@ def _install_slow_node(cluster: "Cluster", rng: random.Random) -> None:
     for source, destination in _pairs(cluster):
         if victim in (source, destination):
             network.set_channel_config(source, destination, slow)
-    cluster.environment.add_link_policy(
-        "slow_node", lambda s, d: slow if victim in (s, d) else None
-    )
+    cluster.environment.add_link_policy("slow_node", _VictimLinkPolicy(victim, slow))
 
 
 # ---------------------------------------------------------------------------
 # Dynamic installers (time-varying environment programs)
+#
+# Each program is a plain object whose scheduled transitions are ``Action``s
+# over bound methods: deep-copying the graph (snapshot/restore) copies the
+# program with it, so a restored run's pending transitions mutate the
+# restored environment, never the original's.
 # ---------------------------------------------------------------------------
+@dataclass
+class _CrashRecoveryProgram:
+    """Per-epoch link blackouts: isolate a victim, heal *outage* later."""
+
+    cluster: Any
+    victims: List[ProcessId]
+    outage: float
+
+    def begin(self, epoch: int) -> None:
+        cluster = self.cluster
+        victim = self.victims[epoch]
+        node = cluster.nodes.get(victim)
+        if node is None or node.crashed:
+            return
+        environment = cluster.environment
+        name = environment.isolate(
+            victim, sorted(cluster.nodes), name=f"crash_recovery:{epoch}"
+        )
+        environment.call_at(
+            cluster.simulator.now + self.outage,
+            Action(environment.heal, name),
+            label="env:crash-recovery:heal",
+        )
+
+
 def _install_crash_recovery(
     cluster: "Cluster",
     rng: random.Random,
@@ -274,31 +343,51 @@ def _install_crash_recovery(
     later — a link-level crash-recovery cycle timed against the failure
     detector rather than an actual process crash.
     """
-    environment = cluster.environment
-    simulator = cluster.simulator
     pids = sorted(cluster.nodes)
     victims = [pids[rng.randrange(len(pids))] for _ in range(epochs)]
-
-    def _begin(epoch: int) -> None:
-        victim = victims[epoch]
-        node = cluster.nodes.get(victim)
-        if node is None or node.crashed:
-            return
-        name = environment.isolate(
-            victim, sorted(cluster.nodes), name=f"crash_recovery:{epoch}"
-        )
-        environment.call_at(
-            simulator.now + outage,
-            lambda: environment.heal(name),
-            label="env:crash-recovery:heal",
-        )
-
+    program = _CrashRecoveryProgram(cluster, victims, outage)
     for epoch in range(epochs):
-        simulator.call_at(
+        cluster.simulator.call_at(
             start + epoch * period,
-            lambda epoch=epoch: _begin(epoch),
+            Action(program.begin, epoch),
             label="env:crash-recovery",
         )
+
+
+@dataclass
+class _PartitionLeakProgram:
+    """One-way leaky split over the alive pids; flips direction, then heals."""
+
+    cluster: Any
+    leak: float
+
+    def _halves(self) -> Optional[Tuple[List[ProcessId], List[ProcessId]]]:
+        alive = sorted(node.pid for node in self.cluster.alive_nodes())
+        half = len(alive) // 2
+        if not half:
+            return None
+        return alive[:half], alive[half:]
+
+    def forward(self) -> None:
+        groups = self._halves()
+        if groups is not None:
+            self.cluster.environment.partition(
+                groups[0], groups[1],
+                name="partition_leak:forward", leak=self.leak, symmetric=False,
+            )
+
+    def flip(self) -> None:
+        environment = self.cluster.environment
+        environment.heal("partition_leak:forward")
+        groups = self._halves()
+        if groups is not None:
+            environment.partition(
+                groups[1], groups[0],
+                name="partition_leak:reverse", leak=self.leak, symmetric=False,
+            )
+
+    def heal_reverse(self) -> None:
+        self.cluster.environment.heal("partition_leak:reverse")
 
 
 def _install_partition_leak(
@@ -323,40 +412,45 @@ def _install_partition_leak(
             f"partition_leak requires at < flip_at < heal_at "
             f"(got {at}, {flip_at}, {heal_at})"
         )
-    environment = cluster.environment
+    program = _PartitionLeakProgram(cluster, leak)
     simulator = cluster.simulator
-
-    def _halves() -> Optional[Tuple[List[ProcessId], List[ProcessId]]]:
-        alive = sorted(node.pid for node in cluster.alive_nodes())
-        half = len(alive) // 2
-        if not half:
-            return None
-        return alive[:half], alive[half:]
-
-    def _forward() -> None:
-        groups = _halves()
-        if groups is not None:
-            environment.partition(
-                groups[0], groups[1],
-                name="partition_leak:forward", leak=leak, symmetric=False,
-            )
-
-    def _flip() -> None:
-        environment.heal("partition_leak:forward")
-        groups = _halves()
-        if groups is not None:
-            environment.partition(
-                groups[1], groups[0],
-                name="partition_leak:reverse", leak=leak, symmetric=False,
-            )
-
-    simulator.call_at(at, _forward, label="env:partition-leak")
-    simulator.call_at(flip_at, _flip, label="env:partition-leak:flip")
+    simulator.call_at(at, Action(program.forward), label="env:partition-leak")
+    simulator.call_at(flip_at, Action(program.flip), label="env:partition-leak:flip")
     simulator.call_at(
-        heal_at,
-        lambda: environment.heal("partition_leak:reverse"),
-        label="env:partition-leak:heal",
+        heal_at, Action(program.heal_reverse), label="env:partition-leak:heal"
     )
+
+
+@dataclass
+class _TargetCoordinatorProgram:
+    """Adaptive chase: re-read the coordinator each epoch, slow its links."""
+
+    cluster: Any
+    slow: ChannelConfig
+    period: float
+    epochs: int
+    tag: str = "target_coordinator"
+
+    def epoch(self, index: int) -> None:
+        cluster = self.cluster
+        environment = cluster.environment
+        environment.remove_overlay(self.tag)
+        if index >= self.epochs:
+            return
+        victim = current_coordinator(cluster)
+        if victim is not None:
+            mapping: Dict[Tuple[ProcessId, ProcessId], ChannelConfig] = {}
+            for peer in sorted(cluster.nodes):
+                if peer != victim:
+                    mapping[(victim, peer)] = self.slow
+                    mapping[(peer, victim)] = self.slow
+            environment.apply_overlay(self.tag, mapping)
+            environment.record("target", victim=victim, epoch=index)
+        cluster.simulator.call_at(
+            cluster.simulator.now + self.period,
+            Action(self.epoch, index + 1),
+            label="env:target-coordinator",
+        )
 
 
 def _install_target_coordinator(
@@ -377,36 +471,16 @@ def _install_target_coordinator(
     adversary quiesces and convergence probes measure recovery under — not
     after — the chase.
     """
-    environment = cluster.environment
-    simulator = cluster.simulator
     base = _base_config(cluster)
     slow = replace(
         base,
         min_delay=base.min_delay * slow_factor,
         max_delay=base.max_delay * slow_factor,
     )
-    tag = "target_coordinator"
-
-    def _epoch(index: int) -> None:
-        environment.remove_overlay(tag)
-        if index >= epochs:
-            return
-        victim = current_coordinator(cluster)
-        if victim is not None:
-            mapping: Dict[Tuple[ProcessId, ProcessId], ChannelConfig] = {}
-            for peer in sorted(cluster.nodes):
-                if peer != victim:
-                    mapping[(victim, peer)] = slow
-                    mapping[(peer, victim)] = slow
-            environment.apply_overlay(tag, mapping)
-            environment.record("target", victim=victim, epoch=index)
-        simulator.call_at(
-            simulator.now + period,
-            lambda: _epoch(index + 1),
-            label="env:target-coordinator",
-        )
-
-    simulator.call_at(start, lambda: _epoch(0), label="env:target-coordinator")
+    program = _TargetCoordinatorProgram(cluster, slow, period, epochs)
+    cluster.simulator.call_at(
+        start, Action(program.epoch, 0), label="env:target-coordinator"
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -39,7 +39,9 @@ from repro.scenarios.library import (
 )
 from repro.scenarios.runner import (
     ScenarioRun,
+    drive,
     execute,
+    finalize,
     prepare,
     run_matrix,
     run_scenario,
@@ -63,6 +65,8 @@ __all__ = [
     "register_scenario",
     "ScenarioRun",
     "prepare",
+    "drive",
+    "finalize",
     "execute",
     "run_scenario",
     "run_matrix",

@@ -1,4 +1,4 @@
-"""Scenario execution: single runs and parallel seed sweeps.
+"""Scenario execution: single runs, resumable phases and parallel sweeps.
 
 :func:`run_scenario` turns ``(spec, seed)`` into a plain, JSON-serializable
 result dictionary that is a *pure function of the seed* — two runs of the
@@ -6,12 +6,28 @@ same scenario and seed produce identical dictionaries (the determinism
 guarantee the test-suite pins).  Wall-clock timing and worker identity are
 added only by the sweep envelope, never to the scenario result itself.
 
+Execution is split into a **resumable phase machine**:
+
+* :func:`drive` advances a prepared run through its simulated phases
+  (bootstrap, horizon).  An optional ``stop_before`` boundary pauses the run
+  right before the first event at or past that simulated time — with every
+  phase's absolute deadline persisted on the :class:`ScenarioRun` — which is
+  what lets the audit harness snapshot a bootstrapped prefix
+  (:mod:`repro.sim.snapshot`) and resume restored copies later, byte-identically
+  to an uninterrupted run.
+* :func:`finalize` evaluates probes, collects monitor/tracker summaries and
+  assembles the result dictionary.
+* :func:`execute` is simply ``drive`` + ``finalize``.
+
 :func:`run_matrix` executes a ``scenarios × seeds`` grid.  With
-``workers > 1`` the jobs are split round-robin into exactly that many chunks
-and each chunk is handed to its own ``multiprocessing.Process`` — every
-configured worker runs, and only ``(scenario name, seed)`` pairs cross the
-process boundary (workers re-resolve specs from the registry, so probes and
-workload callables never need to be pickled).
+``workers > 1`` a persistent pool of forked worker processes pulls jobs from
+one shared queue (work stealing: a slow job never strands the other jobs
+that a static chunking would have pinned to the same worker), and only
+``(scenario name, seed)`` pairs cross the process boundary — workers
+re-resolve specs from the registry, so probes and workload callables never
+need to be pickled.  Each result records its own wall time and worker pid;
+the sweep meta reports per-worker utilization so scheduling regressions are
+visible in every sweep artifact.
 """
 
 from __future__ import annotations
@@ -21,12 +37,14 @@ import os
 import time
 from queue import Empty
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.scenarios.spec import ScenarioSpec
 from repro.sim.cluster import Cluster, build_cluster
 from repro.sim.config import ClusterConfig, preset
+from repro.sim.events import Action
 from repro.sim.monitors import ConvergenceTracker, InvariantMonitor
+from repro.sim.simulator import PAUSED
 from repro.analysis.probes import wait_for
 
 
@@ -38,6 +56,11 @@ class ScenarioRun:
     scenario engine's phases without hand-wiring any services.  ``monitor``
     and ``tracker`` are populated when the spec declares invariants /
     convergence tracking (the audit engine's certification hooks).
+
+    ``phase`` / ``phase_deadline`` / ``bootstrapped`` are the phase machine's
+    persisted state: a run paused by :func:`drive` carries everything needed
+    to resume (absolute deadlines survive a snapshot/restore round-trip
+    because the simulated clock does too).
     """
 
     spec: ScenarioSpec
@@ -45,6 +68,9 @@ class ScenarioRun:
     cluster: Cluster
     monitor: Optional[InvariantMonitor] = None
     tracker: Optional[ConvergenceTracker] = None
+    phase: str = "bootstrap"
+    phase_deadline: Optional[float] = None
+    bootstrapped: Optional[bool] = None
 
 
 def prepare(spec_or_name: Union[str, ScenarioSpec], seed: int = 0) -> ScenarioRun:
@@ -67,10 +93,9 @@ def prepare(spec_or_name: Union[str, ScenarioSpec], seed: int = 0) -> ScenarioRu
     if spec.invariants:
         monitor = InvariantMonitor(cluster.simulator)
         for invariant in spec.invariants:
-            monitor.add_invariant(
-                invariant.name,
-                lambda invariant=invariant: invariant(cluster),
-            )
+            # An Action (not a closure) so that snapshot/restore remaps the
+            # cluster reference along with the rest of the graph.
+            monitor.add_invariant(invariant.name, Action(invariant, cluster))
     tracker: Optional[ConvergenceTracker] = None
     if spec.track_convergence:
         tracker = ConvergenceTracker(
@@ -83,8 +108,51 @@ def prepare(spec_or_name: Union[str, ScenarioSpec], seed: int = 0) -> ScenarioRu
     )
 
 
-def execute(run: ScenarioRun) -> Dict[str, Any]:
-    """Drive a prepared scenario through its phases; return the result dict."""
+def drive(run: ScenarioRun, stop_before: Optional[float] = None) -> bool:
+    """Advance *run* through its simulated phases (bootstrap, then horizon).
+
+    Returns ``True`` when every phase completed.  With *stop_before* set, the
+    run pauses — returning ``False`` — before executing the first event at
+    ``time >= stop_before``; phase progress (including the current phase's
+    absolute deadline) is persisted on the run, so a later ``drive(run)``
+    resumes exactly where a cold, uninterrupted run would be.
+    """
+    spec, cluster = run.spec, run.cluster
+    simulator = cluster.simulator
+    while True:
+        if run.phase == "bootstrap":
+            if not spec.require_bootstrap:
+                run.bootstrapped = None
+                run.phase, run.phase_deadline = "horizon", None
+                continue
+            if run.phase_deadline is None:
+                run.phase_deadline = simulator.now + spec.bootstrap_timeout
+            outcome = simulator.run_until(
+                cluster.is_converged,
+                timeout=run.phase_deadline,
+                stop_before=stop_before,
+            )
+            if outcome is PAUSED:
+                return False
+            run.bootstrapped = outcome
+            run.phase, run.phase_deadline = "horizon", None
+            continue
+        if run.phase == "horizon":
+            if spec.horizon <= 0:
+                run.phase = "done"
+                continue
+            if run.phase_deadline is None:
+                run.phase_deadline = simulator.now + spec.horizon
+            outcome = simulator.run(run.phase_deadline, stop_before=stop_before)
+            if outcome is PAUSED:
+                return False
+            run.phase, run.phase_deadline = "done", None
+            continue
+        return True
+
+
+def finalize(run: ScenarioRun) -> Dict[str, Any]:
+    """Evaluate probes and assemble the result dict of a driven run."""
     spec, cluster = run.spec, run.cluster
     result: Dict[str, Any] = {
         "scenario": spec.name,
@@ -92,12 +160,7 @@ def execute(run: ScenarioRun) -> Dict[str, Any]:
         "n": spec.n,
         "stack": cluster.stack.name,
     }
-    if spec.require_bootstrap:
-        result["bootstrapped"] = cluster.run_until_converged(timeout=spec.bootstrap_timeout)
-    else:
-        result["bootstrapped"] = None
-    if spec.horizon > 0:
-        cluster.run(until=cluster.simulator.now + spec.horizon)
+    result["bootstrapped"] = run.bootstrapped if spec.require_bootstrap else None
     probe_results: Dict[str, Dict[str, Any]] = {}
     all_satisfied = True
     for probe in spec.probes:
@@ -148,6 +211,12 @@ def execute(run: ScenarioRun) -> Dict[str, Any]:
     return result
 
 
+def execute(run: ScenarioRun) -> Dict[str, Any]:
+    """Drive a prepared scenario through its phases; return the result dict."""
+    drive(run)
+    return finalize(run)
+
+
 def run_scenario(spec_or_name: Union[str, ScenarioSpec], seed: int = 0) -> Dict[str, Any]:
     """Prepare and execute one scenario run."""
     return execute(prepare(spec_or_name, seed=seed))
@@ -156,10 +225,18 @@ def run_scenario(spec_or_name: Union[str, ScenarioSpec], seed: int = 0) -> Dict[
 # ---------------------------------------------------------------------------
 # Parallel seed sweeps
 # ---------------------------------------------------------------------------
-def _run_job(job: Sequence[Any]) -> Dict[str, Any]:
+#: A job runner maps ``(scenario name, seed)`` to a result dictionary.  The
+#: default resolves the name through the registry and runs it cold; the audit
+#: harness substitutes a runner that resumes warm prefix snapshots.  Custom
+#: runners must be module-level callables when sweeps may run under a spawn
+#: start method (fork inherits anything).
+JobRunner = Callable[[str, int], Dict[str, Any]]
+
+
+def _run_job(job: Sequence[Any], job_runner: Optional[JobRunner] = None) -> Dict[str, Any]:
     name, seed = job
     wall_start = time.perf_counter()
-    result = run_scenario(name, seed=seed)
+    result = job_runner(name, seed) if job_runner is not None else run_scenario(name, seed=seed)
     return {
         **result,
         "wall_seconds": time.perf_counter() - wall_start,
@@ -187,12 +264,20 @@ def _reap_workers(processes: List[Any], timeout: float = 5.0) -> None:
             process.join(timeout=timeout)
 
 
-def _worker(jobs: List[Sequence[Any]], queue: "multiprocessing.Queue") -> None:
-    for job in jobs:
+def _pool_worker(
+    task_queue: "multiprocessing.Queue",
+    result_queue: "multiprocessing.Queue",
+    job_runner: Optional[JobRunner],
+) -> None:
+    """One persistent worker: pull jobs until the ``None`` sentinel arrives."""
+    while True:
+        job = task_queue.get()
+        if job is None:
+            return
         try:
-            queue.put(_run_job(job))
+            result_queue.put(_run_job(job, job_runner))
         except Exception as exc:  # surface worker failures instead of hanging
-            queue.put(
+            result_queue.put(
                 {
                     "scenario": job[0],
                     "seed": job[1],
@@ -203,10 +288,43 @@ def _worker(jobs: List[Sequence[Any]], queue: "multiprocessing.Queue") -> None:
             )
 
 
+def _sweep_summary(
+    results: Sequence[Dict[str, Any]], workers: int, wall_seconds: float
+) -> Dict[str, Any]:
+    """Per-worker load/busy accounting for a finished sweep.
+
+    ``utilization`` is the busy fraction of the pool: the sum of per-job wall
+    times divided by ``workers × sweep wall``.  A straggler-bound sweep (one
+    worker grinding while the rest idle) shows up as a low utilization even
+    when every job individually looks cheap — exactly the regression the old
+    round-robin chunking hid.
+    """
+    by_worker: Dict[str, Dict[str, Any]] = {}
+    busy_total = 0.0
+    for entry in results:
+        pid = str(entry.get("worker_pid", "?"))
+        wall = float(entry.get("wall_seconds", 0.0) or 0.0)
+        slot = by_worker.setdefault(pid, {"jobs": 0, "busy_seconds": 0.0})
+        slot["jobs"] += 1
+        slot["busy_seconds"] += wall
+        busy_total += wall
+    capacity = workers * wall_seconds
+    return {
+        "wall_seconds": wall_seconds,
+        "busy_seconds": busy_total,
+        "utilization": (busy_total / capacity) if capacity > 0 else None,
+        "max_job_seconds": max(
+            (float(e.get("wall_seconds", 0.0) or 0.0) for e in results), default=0.0
+        ),
+        "by_worker": {pid: by_worker[pid] for pid in sorted(by_worker)},
+    }
+
+
 def run_matrix(
     scenarios: Sequence[Union[str, ScenarioSpec]],
     seeds: Sequence[int],
     workers: int = 1,
+    job_runner: Optional[JobRunner] = None,
 ) -> Dict[str, Any]:
     """Run every ``scenario × seed`` combination, optionally in parallel.
 
@@ -214,6 +332,12 @@ def run_matrix(
     ``(scenario, seed)`` regardless of completion order.  Scenario *specs*
     (not just names) are accepted with ``workers == 1``; a parallel sweep
     requires registered names so workers can resolve them locally.
+
+    Parallel sweeps use a persistent pool of forked workers pulling from one
+    shared work queue — a slow job delays only itself, not a statically
+    assigned chunk.  ``meta["sweep"]`` reports per-worker job counts, busy
+    seconds and overall pool utilization; each result entry carries its own
+    ``wall_seconds`` and ``worker_pid``.
     """
     from repro.scenarios.library import get_scenario
 
@@ -223,9 +347,10 @@ def run_matrix(
     for ref in scenarios:
         if isinstance(ref, str):
             get_scenario(ref)  # fail fast on unknown names
-        elif effective_workers > 1:
-            # Workers resolve jobs by name from the registry; an unregistered
-            # spec object would fail remotely on every job, so fail fast here.
+        elif effective_workers > 1 or job_runner is not None:
+            # Workers (and custom job runners) resolve jobs by name from the
+            # registry; an unregistered spec object would fail remotely on
+            # every job, so fail fast here.
             try:
                 registered = get_scenario(ref.name)
             except KeyError:
@@ -235,39 +360,44 @@ def run_matrix(
                     f"parallel sweeps require registered scenario names; "
                     f"register_scenario({ref.name!r}) first or use workers=1"
                 )
+    sweep_start = time.perf_counter()
     if effective_workers == 1:
         by_ref = {(ref if isinstance(ref, str) else ref.name): ref for ref in scenarios}
         results = []
         for name, seed in jobs:
-            wall_start = time.perf_counter()
-            result = run_scenario(by_ref[name], seed=seed)
-            results.append(
-                {
-                    **result,
-                    "wall_seconds": time.perf_counter() - wall_start,
-                    "worker_pid": os.getpid(),
-                }
-            )
+            if job_runner is not None:
+                results.append(_run_job((name, seed), job_runner))
+            else:
+                results.append(_run_job((by_ref[name], seed)))
     else:
-        chunks = [jobs[index::effective_workers] for index in range(effective_workers)]
-        # Prefer fork so workers inherit runtime-registered scenarios; under
+        # Prefer fork so workers inherit runtime-registered scenarios (and
+        # the audit harness's warm prefix snapshots, copy-on-write); under
         # spawn (Windows) workers re-import only the built-in library, so
         # names registered at runtime would not resolve there.
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - platform without fork
             context = multiprocessing.get_context()
-        queue = context.Queue()
+        task_queue = context.Queue()
+        result_queue = context.Queue()
+        for job in jobs:
+            task_queue.put(tuple(job))
+        for _ in range(effective_workers):
+            task_queue.put(None)  # one shutdown sentinel per worker
         processes = [
-            context.Process(target=_worker, args=(chunk, queue), daemon=True)
-            for chunk in chunks
+            context.Process(
+                target=_pool_worker,
+                args=(task_queue, result_queue, job_runner),
+                daemon=True,
+            )
+            for _ in range(effective_workers)
         ]
         for process in processes:
             process.start()
         results = []
         while len(results) < len(jobs):
             try:
-                results.append(queue.get(timeout=1.0))
+                results.append(result_queue.get(timeout=1.0))
                 continue
             except Empty:
                 pass
@@ -281,7 +411,7 @@ def run_matrix(
             # threads) before deciding results really are missing.
             try:
                 while len(results) < len(jobs):
-                    results.append(queue.get(timeout=0.25))
+                    results.append(result_queue.get(timeout=0.25))
             except Empty:
                 missing = _unfinished_jobs(jobs, results)
                 _reap_workers(processes)
@@ -291,6 +421,7 @@ def run_matrix(
                     f"missing (scenario, seed) pairs: {missing}"
                 )
         _reap_workers(processes)
+    wall_seconds = time.perf_counter() - sweep_start
     results.sort(key=lambda entry: (entry["scenario"], entry["seed"]))
     return {
         "meta": {
@@ -298,6 +429,7 @@ def run_matrix(
             "seeds": list(seeds),
             "workers": effective_workers,
             "jobs": len(jobs),
+            "sweep": _sweep_summary(results, effective_workers, wall_seconds),
         },
         "results": results,
     }

@@ -30,6 +30,7 @@ from repro.audit.arbitrary_state import (
     plan_summary,
 )
 from repro.common.types import ProcessId
+from repro.sim.events import Action
 from repro.workloads.churn import generate_churn_trace
 from repro.workloads.corruption import scramble_cluster, stuff_stale_recma_packets
 
@@ -90,12 +91,14 @@ class ScrambleWorkload:
     seed: Optional[int] = None
 
     def install(self, cluster: "Cluster") -> None:
-        def _fire() -> None:
-            scramble_cluster(
-                cluster, seed=_seed_for(self.seed, cluster), fraction=self.fraction
-            )
+        cluster.simulator.call_at(
+            self.at, Action(ScrambleWorkload._fire, self, cluster), label="workload:scramble"
+        )
 
-        cluster.simulator.call_at(self.at, _fire, label="workload:scramble")
+    def _fire(self, cluster: "Cluster") -> None:
+        scramble_cluster(
+            cluster, seed=_seed_for(self.seed, cluster), fraction=self.fraction
+        )
 
 
 @dataclass(frozen=True)
@@ -121,28 +124,37 @@ class ArbitraryStateWorkload:
     record_atoms: bool = False
 
     def install(self, cluster: "Cluster") -> None:
-        def _fire() -> None:
-            plan = generate_plan(
-                cluster, seed=_seed_for(self.seed, cluster), profile=self.profile
-            )
-            if self.include is None:
-                selected = plan
-            else:
-                selected = [plan[i] for i in self.include if 0 <= i < len(plan)]
-            report = apply_plan(cluster, selected)
-            entry = {
-                "workload": "arbitrary_state",
-                "time": self.at,
-                "atoms_total": len(plan),
-                "atoms_selected": len(selected),
-                "by_kind": plan_summary(selected),
-                **report,
-            }
-            if self.record_atoms:
-                entry["atoms"] = [atom.describe() for atom in selected]
-            cluster.workload_reports.append(entry)
+        cluster.simulator.call_at(
+            self.at,
+            Action(ArbitraryStateWorkload._fire, self, cluster),
+            label="workload:arbitrary-state",
+        )
 
-        cluster.simulator.call_at(self.at, _fire, label="workload:arbitrary-state")
+    def _fire(self, cluster: "Cluster") -> None:
+        # Every corruption-shaping field (seed, profile, include,
+        # record_atoms) is read *here*, at fire time, not at install time:
+        # the audit harness's warm path snapshots a bootstrapped prefix with
+        # this event still pending and patches those fields before resuming,
+        # which must be indistinguishable from a cold run.
+        plan = generate_plan(
+            cluster, seed=_seed_for(self.seed, cluster), profile=self.profile
+        )
+        if self.include is None:
+            selected = plan
+        else:
+            selected = [plan[i] for i in self.include if 0 <= i < len(plan)]
+        report = apply_plan(cluster, selected)
+        entry = {
+            "workload": "arbitrary_state",
+            "time": self.at,
+            "atoms_total": len(plan),
+            "atoms_selected": len(selected),
+            "by_kind": plan_summary(selected),
+            **report,
+        }
+        if self.record_atoms:
+            entry["atoms"] = [atom.describe() for atom in selected]
+        cluster.workload_reports.append(entry)
 
 
 @dataclass(frozen=True)
@@ -155,13 +167,17 @@ class StaleMessageWorkload:
     seed: Optional[int] = None
 
     def install(self, cluster: "Cluster") -> None:
-        def _fire() -> None:
-            if self.target in cluster.nodes:
-                stuff_stale_recma_packets(
-                    cluster, self.target, self.count, seed=_seed_for(self.seed, cluster)
-                )
+        cluster.simulator.call_at(
+            self.at,
+            Action(StaleMessageWorkload._fire, self, cluster),
+            label="workload:stale-packets",
+        )
 
-        cluster.simulator.call_at(self.at, _fire, label="workload:stale-packets")
+    def _fire(self, cluster: "Cluster") -> None:
+        if self.target in cluster.nodes:
+            stuff_stale_recma_packets(
+                cluster, self.target, self.count, seed=_seed_for(self.seed, cluster)
+            )
 
 
 @dataclass(frozen=True)
@@ -174,7 +190,7 @@ class CrashWorkload:
         for time, pid in self.schedule:
             cluster.simulator.call_at(
                 time,
-                lambda pid=pid: cluster.try_crash(pid),
+                Action(type(cluster).try_crash, cluster, pid),
                 label=f"workload:crash:{pid}",
             )
 
@@ -192,7 +208,9 @@ class QuorumEdgeCrashWorkload:
     at: float
 
     def install(self, cluster: "Cluster") -> None:
-        cluster.simulator.call_at(self.at, lambda: self._fire(cluster), label="workload:quorum-edge")
+        cluster.simulator.call_at(
+            self.at, Action(QuorumEdgeCrashWorkload._fire, cluster), label="workload:quorum-edge"
+        )
 
     @staticmethod
     def _fire(cluster: "Cluster") -> None:
@@ -215,7 +233,9 @@ class FlashJoinWorkload:
     first_pid: int = 500
 
     def install(self, cluster: "Cluster") -> None:
-        cluster.simulator.call_at(self.at, lambda: self._fire(cluster), label="workload:flash-join")
+        cluster.simulator.call_at(
+            self.at, Action(FlashJoinWorkload._fire, self, cluster), label="workload:flash-join"
+        )
 
     def _fire(self, cluster: "Cluster") -> None:
         for pid in range(self.first_pid, self.first_pid + self.count):
@@ -233,11 +253,11 @@ class PartitionWorkload:
     def install(self, cluster: "Cluster") -> None:
         if self.heal_at <= self.at:
             raise ValueError("heal_at must be after the partition time")
-        cluster.simulator.call_at(self.at, lambda: self._split(cluster), label="workload:partition")
         cluster.simulator.call_at(
-            self.heal_at,
-            lambda: cluster.simulator.network.heal_partitions(),
-            label="workload:heal",
+            self.at, Action(PartitionWorkload._split, cluster), label="workload:partition"
+        )
+        cluster.simulator.call_at(
+            self.heal_at, Action(PartitionWorkload._heal, cluster), label="workload:heal"
         )
 
     @staticmethod
@@ -246,6 +266,10 @@ class PartitionWorkload:
         half = len(alive) // 2
         if half and len(alive) - half:
             cluster.simulator.network.partition(alive[:half], alive[half:])
+
+    @staticmethod
+    def _heal(cluster: "Cluster") -> None:
+        cluster.simulator.network.heal_partitions()
 
 
 @dataclass(frozen=True)
@@ -264,17 +288,19 @@ class SMRCommandWorkload:
     command: Any
 
     def install(self, cluster: "Cluster") -> None:
-        def _fire() -> None:
-            node = cluster.nodes.get(self.submitter)
-            if node is None or node.crashed:
-                return
-            vs = node.service_map.get("vs")
-            if vs is not None:
-                vs.submit(self.command)
-
         cluster.simulator.call_at(
-            self.at, _fire, label=f"workload:smr-command:{self.submitter}"
+            self.at,
+            Action(SMRCommandWorkload._fire, self, cluster),
+            label=f"workload:smr-command:{self.submitter}",
         )
+
+    def _fire(self, cluster: "Cluster") -> None:
+        node = cluster.nodes.get(self.submitter)
+        if node is None or node.crashed:
+            return
+        vs = node.service_map.get("vs")
+        if vs is not None:
+            vs.submit(self.command)
 
 
 @dataclass(frozen=True)
@@ -292,12 +318,16 @@ class RegisterWriteWorkload:
     value: Any
 
     def install(self, cluster: "Cluster") -> None:
-        def _fire() -> None:
-            node = cluster.nodes.get(self.writer)
-            if node is None or node.crashed:
-                return
-            register = node.service_map.get("register")
-            if register is not None:
-                register.write(self.value)
+        cluster.simulator.call_at(
+            self.at,
+            Action(RegisterWriteWorkload._fire, self, cluster),
+            label=f"workload:write:{self.writer}",
+        )
 
-        cluster.simulator.call_at(self.at, _fire, label=f"workload:write:{self.writer}")
+    def _fire(self, cluster: "Cluster") -> None:
+        node = cluster.nodes.get(self.writer)
+        if node is None or node.crashed:
+            return
+        register = node.service_map.get("register")
+        if register is not None:
+            register.write(self.value)

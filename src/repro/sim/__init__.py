@@ -16,7 +16,8 @@ The package also contains the transient-fault injector and the invariant
 monitors used by the test-suite and benchmark harness.
 """
 
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import Action, Event, EventQueue
+from repro.sim.snapshot import SimSnapshot, snapshot
 from repro.sim.network import Packet, Channel, ChannelConfig, Network
 from repro.sim.process import Process, ProcessContext
 from repro.sim.simulator import Simulator
@@ -27,8 +28,11 @@ from repro.sim.monitors import InvariantMonitor, ConvergenceTracker
 from repro.sim.cluster import Cluster, ClusterNode, build_cluster
 
 __all__ = [
+    "Action",
     "Event",
     "EventQueue",
+    "SimSnapshot",
+    "snapshot",
     "Packet",
     "Channel",
     "ChannelConfig",

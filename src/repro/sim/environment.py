@@ -12,7 +12,11 @@ first-class, programmable layer:
   adversaries push and pop mid-run) over explicit *overrides* (what the
   static schedulers install) over *link policies* (pair-keyed functions that
   shape channels created later, so **late joiners inherit the active
-  shaping**) over the network default;
+  shaping**) over the network default.  Resolution is *pull-based and
+  memoized*: the network reads every channel's config through
+  :meth:`resolve`, a per-pair cache invalidated (and :attr:`version` bumped)
+  by every layer mutation — the steady-state send path pays one dict lookup
+  and a mutation is O(1) instead of a re-sync walk;
 * **partitions** — *named*, *directed* and optionally *leaky*: one-way
   blocks, per-partition heal, and a leak probability that lets an occasional
   packet cross (fair communication is preserved whenever every blocking
@@ -53,6 +57,10 @@ MAX_RECORDED_TRANSITIONS = 256
 #: overlay/heal transitions the log exists to report.
 UNLISTED_KINDS = frozenset({"link_config", "link_config_cleared"})
 
+#: Cache-miss sentinel for :meth:`NetworkEnvironment.resolve` (``None`` is a
+#: legitimate policy answer, so it cannot mark absence).
+_UNRESOLVED = object()
+
 
 class NetworkEnvironment:
     """Programmable, time-varying state of the network fabric."""
@@ -71,10 +79,21 @@ class NetworkEnvironment:
         self._partitions: Dict[str, Dict[LinkKey, float]] = {}
         self._blocked: Dict[LinkKey, Dict[str, float]] = {}
         self._partition_counter = 0
-        # Bindings (installed by Network / Simulator).
+        # Binding (installed by Network / Simulator).  The timeline is the
+        # simulator object itself (``.now`` / ``.call_at``) rather than a
+        # pair of captured closures, so snapshot/restore (repro.sim.snapshot)
+        # remaps it together with the rest of the graph.
         self._network: Optional[Any] = None
-        self._clock: Callable[[], float] = lambda: 0.0
-        self._schedule: Optional[Callable[..., Any]] = None
+        self._timeline: Optional[Any] = None
+        # Memoized link-state resolution: the effective config of a directed
+        # pair is cached until any config-affecting layer (overlay, override,
+        # policy) mutates; ``version`` counts every mutation of the
+        # environment — partitions included — so external observers can
+        # detect *any* change with one integer compare.
+        self._resolve_cache: Dict[LinkKey, Any] = {}
+        self.version = 0
+        self.resolve_hits = 0
+        self.resolve_misses = 0
         # Transition log: exact counts plus a bounded list of records.
         self.transition_counts: Dict[str, int] = {}
         self.transitions: List[Dict[str, Any]] = []
@@ -86,23 +105,26 @@ class NetworkEnvironment:
         """Bind the owning network (done by ``Network.__init__``)."""
         self._network = network
 
-    def bind_timeline(
-        self, clock: Callable[[], float], schedule: Callable[..., Any]
-    ) -> None:
-        """Bind the simulator's clock and ``call_at`` (done by the simulator)."""
-        self._clock = clock
-        self._schedule = schedule
+    def bind_timeline(self, timeline: Any) -> None:
+        """Bind the simulator (clock + ``call_at``); done by the simulator.
+
+        The simulator object is held directly instead of captured closures so
+        that a deep copy of the graph (snapshot/restore) rebinds the copy's
+        environment to the copy's simulator automatically.
+        """
+        self._timeline = timeline
 
     @property
     def now(self) -> float:
         """The current simulated time (0.0 before a simulator is bound)."""
-        return self._clock()
+        timeline = self._timeline
+        return timeline.now if timeline is not None else 0.0
 
     def call_at(self, time: float, callback: Callable[[], None], label: str = "") -> Any:
         """Schedule an environment transition as a simulator event."""
-        if self._schedule is None:
+        if self._timeline is None:
             raise SimulationError("environment is not bound to a simulator")
-        return self._schedule(time, callback, label=label or "environment")
+        return self._timeline.call_at(time, callback, label=label or "environment")
 
     # ------------------------------------------------------------------
     # Transition log
@@ -122,16 +144,52 @@ class NetworkEnvironment:
 
     def summary(self) -> Dict[str, Any]:
         """JSON-serializable view of what the environment did during a run."""
+        lookups = self.resolve_hits + self.resolve_misses
         return {
             "transitions": self.transition_count,
             "by_kind": dict(sorted(self.transition_counts.items())),
             "active_partitions": sorted(self._partitions),
             "events": [dict(entry) for entry in self.transitions],
+            "resolve_cache": {
+                "version": self.version,
+                "entries": len(self._resolve_cache),
+                "hits": self.resolve_hits,
+                "misses": self.resolve_misses,
+                "hit_rate": (self.resolve_hits / lookups) if lookups else None,
+            },
         }
 
     # ------------------------------------------------------------------
     # Link state: overlays > overrides > policies > default
     # ------------------------------------------------------------------
+    def resolve(self, source: ProcessId, destination: ProcessId) -> Any:
+        """Memoized :meth:`config_for`: one dict lookup on the steady path.
+
+        The cache is invalidated (and :attr:`version` bumped) on every
+        mutation of a config-affecting layer — overlay push/pop, explicit
+        override set/clear, policy registration — so a cached entry is always
+        identical to a fresh layer walk.  Registered link policies must
+        therefore be *pure* per pair (the built-in schedulers' are); a policy
+        that wants to vary over time should be expressed as overlay/override
+        transitions, which invalidate correctly.
+        """
+        key = (source, destination)
+        cache = self._resolve_cache
+        config = cache.get(key, _UNRESOLVED)
+        if config is not _UNRESOLVED:
+            self.resolve_hits += 1
+            return config
+        self.resolve_misses += 1
+        config = self.config_for(source, destination)
+        cache[key] = config
+        return config
+
+    def _invalidate_resolution(self) -> None:
+        """A config-affecting layer changed: drop every memoized pair."""
+        self.version += 1
+        if self._resolve_cache:
+            self._resolve_cache.clear()
+
     def config_for(self, source: ProcessId, destination: ProcessId) -> Any:
         """The effective channel config of the directed pair, layer-resolved."""
         key = (source, destination)
@@ -158,13 +216,13 @@ class NetworkEnvironment:
     ) -> None:
         """Install an explicit override for one directed pair."""
         self._overrides[(source, destination)] = config
-        self._sync_channel(source, destination)
+        self._invalidate_resolution()
         self.record("link_config", link=[source, destination])
 
     def clear_link_config(self, source: ProcessId, destination: ProcessId) -> None:
         """Drop the explicit override of one directed pair (if any)."""
         if self._overrides.pop((source, destination), None) is not None:
-            self._sync_channel(source, destination)
+            self._invalidate_resolution()
             self.record("link_config_cleared", link=[source, destination])
 
     def apply_overlay(self, tag: str, mapping: Dict[LinkKey, Any]) -> None:
@@ -173,13 +231,9 @@ class NetworkEnvironment:
         Dynamic adversaries use overlays so that dropping the tag restores
         whatever shaping was active underneath — no need to remember it.
         """
-        previous = self._overlays.pop(tag, None)
+        self._overlays.pop(tag, None)
         self._overlays[tag] = dict(mapping)
-        touched = set(mapping)
-        if previous:
-            touched.update(previous)
-        for source, destination in touched:
-            self._sync_channel(source, destination)
+        self._invalidate_resolution()
         self.record("overlay", tag=tag, links=len(mapping))
 
     def remove_overlay(self, tag: str) -> bool:
@@ -187,8 +241,7 @@ class NetworkEnvironment:
         mapping = self._overlays.pop(tag, None)
         if mapping is None:
             return False
-        for source, destination in mapping:
-            self._sync_channel(source, destination)
+        self._invalidate_resolution()
         self.record("overlay_removed", tag=tag, links=len(mapping))
         return True
 
@@ -196,24 +249,14 @@ class NetworkEnvironment:
         """Register a pair-keyed shaping rule for channels created later.
 
         This is what makes late joiners inherit the active shaping: the
-        network resolves the config of a newly created channel through
-        :meth:`config_for`, which consults registered policies for pairs
-        without an explicit override.  Channels that already exist without an
-        override are re-synced immediately.
+        network pulls every channel's config through :meth:`resolve`, which
+        consults registered policies for pairs without an explicit override.
+        Existing channels pick the policy up on their next access (the
+        registration invalidates the resolve cache).
         """
         self._policies.append((name, policy))
-        if self._network is not None:
-            for key in list(self._network._channels):
-                if key not in self._overrides:
-                    self._sync_channel(*key)
+        self._invalidate_resolution()
         self.record("link_policy", name=name)
-
-    def _sync_channel(self, source: ProcessId, destination: ProcessId) -> None:
-        if self._network is None:
-            return
-        channel = self._network._channels.get((source, destination))
-        if channel is not None:
-            channel.config = self.config_for(source, destination)
 
     # ------------------------------------------------------------------
     # Partitions: named, directed, leaky
@@ -240,6 +283,10 @@ class NetworkEnvironment:
             key = (source, destination)
             entry[key] = leak
             self._blocked.setdefault(key, {})[name] = leak
+        # Partitions gate delivery (``permits``) but do not change a pair's
+        # resolved config, so they bump the version without clearing the
+        # resolve cache.
+        self.version += 1
         self.record("partition", name=name, links=len(entry), leak=leak)
         return name
 
@@ -294,6 +341,7 @@ class NetworkEnvironment:
                     if not blockers:
                         del self._blocked[key]
             freed += len(entry)
+            self.version += 1
             self.record("heal", name=partition_name, links=len(entry))
         return freed
 

@@ -35,6 +35,38 @@ _INF = float("inf")
 _NEG_INF = float("-inf")
 
 
+class Action:
+    """A deep-copyable scheduled callable: ``fn(*args)``.
+
+    Snapshot/restore (:mod:`repro.sim.snapshot`) deep-copies the whole
+    simulation graph.  A plain closure in the event queue would survive that
+    copy *unchanged* — functions are copied atomically, so its cells would
+    keep pointing at the **old** graph and a restored run would silently
+    mutate the original cluster.  An ``Action`` instead carries its target
+    objects as instance state: ``deepcopy`` remaps them through the same memo
+    as the rest of the graph, so the restored event fires against the
+    restored objects.
+
+    ``fn`` must be either (a) a module-level function / function accessed on
+    a class (stateless; shared across copies by design) with the stateful
+    targets passed via ``*args``, or (b) a bound method — ``deepcopy``
+    rebinds methods to the copied instance.
+    """
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn: Callable[..., object], *args: object) -> None:
+        self.fn = fn
+        self.args = args
+
+    def __call__(self, *extra: object) -> object:
+        return self.fn(*self.args, *extra)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"Action({name}, {', '.join(map(repr, self.args))})"
+
+
 class Event:
     """A scheduled callback handle.
 

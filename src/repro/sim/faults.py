@@ -33,6 +33,7 @@ from repro.common.types import (
     Proposal,
     make_config,
 )
+from repro.sim.events import Action
 from repro.sim.simulator import Simulator
 
 
@@ -137,7 +138,7 @@ class FaultInjector:
 
     def schedule_crash(self, time: float, pid: ProcessId) -> None:
         """Crash *pid* at absolute simulated time *time*."""
-        self.simulator.call_at(time, lambda: self.crash(pid), label=f"fault:crash:{pid}")
+        self.simulator.call_at(time, Action(self.crash, pid), label=f"fault:crash:{pid}")
 
     # -------------------------------------------------------- state corruption
     def corrupt_attribute(self, obj: Any, attribute: str, value: Any) -> None:

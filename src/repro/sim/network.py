@@ -264,11 +264,11 @@ class Network:
         seed: int = 0,
         environment: Optional[NetworkEnvironment] = None,
     ) -> None:
-        self.default_config = default_config or ChannelConfig()
+        self._default_config = default_config or ChannelConfig()
         self._seed = seed
         self._channels: Dict[Tuple[ProcessId, ProcessId], Channel] = {}
         self.environment = environment or NetworkEnvironment(
-            self.default_config, seed=seed
+            self._default_config, seed=seed
         )
         self.environment.attach(self)
         #: Names of partitions installed via the legacy two-group wrapper;
@@ -301,6 +301,23 @@ class Network:
         self._schedule_delivery = schedule_delivery
         self._schedule_deliveries = schedule_deliveries
 
+    @property
+    def default_config(self) -> ChannelConfig:
+        """The fabric-wide fallback :class:`ChannelConfig`.
+
+        Rebinding it invalidates the environment's memoized link resolution —
+        the default is the bottom layer of the resolve stack, so a cached
+        entry computed against the old default would otherwise go stale.
+        """
+        return self._default_config
+
+    @default_config.setter
+    def default_config(self, config: ChannelConfig) -> None:
+        self._default_config = config
+        environment = getattr(self, "environment", None)
+        if environment is not None:
+            environment._invalidate_resolution()
+
     def set_channel_config(
         self, source: ProcessId, destination: ProcessId, config: ChannelConfig
     ) -> None:
@@ -314,17 +331,22 @@ class Network:
     def channel(self, source: ProcessId, destination: ProcessId) -> Channel:
         """Return (creating if needed) the directed channel source→destination.
 
-        The configuration of a new channel is resolved through the
-        environment's layer stack, so a processor joining mid-run gets
-        channels shaped by whatever program is currently active instead of
-        falling back to the default config.
+        The channel's configuration is **pulled** through the environment's
+        memoized :meth:`~repro.sim.environment.NetworkEnvironment.resolve` on
+        every access: the steady-state send path pays one cache-dict lookup,
+        a processor joining mid-run gets channels shaped by whatever program
+        is currently active, and an environment mutation (overlay push,
+        override, policy) is O(1) — it invalidates the cache instead of
+        walking and re-syncing every touched channel.
         """
         key = (source, destination)
         chan = self._channels.get(key)
         if chan is None:
-            config = self.environment.config_for(source, destination)
+            config = self.environment.resolve(source, destination)
             chan = Channel(source, destination, config, seed=self._seed, totals=self._totals)
             self._channels[key] = chan
+        else:
+            chan.config = self.environment.resolve(source, destination)
         return chan
 
     def channels(self) -> Iterable[Channel]:

@@ -32,6 +32,12 @@ from repro.sim.process import Process, ProcessContext
 
 _log = get_logger("simulator")
 
+#: Returned by :meth:`Simulator.run` / :meth:`Simulator.run_until` when a
+#: ``stop_before`` boundary was reached: the next live event lies at or past
+#: the boundary and was **not** executed.  Falsy on purpose — callers that
+#: ignore pausing treat it like a timeout.
+PAUSED = type("_Paused", (), {"__bool__": lambda self: False, "__repr__": lambda self: "PAUSED"})()
+
 
 class Simulator:
     """Deterministic discrete-event simulator for the asynchronous model."""
@@ -48,10 +54,12 @@ class Simulator:
         self.network = network or Network(default_config=channel_config, seed=seed)
         self.network.bind_scheduler(self._schedule_delivery, self._schedule_deliveries)
         # The time-varying environment layer ticks through ordinary simulator
-        # events: bind the clock and the scheduling entry point so environment
-        # programs (adversarial schedulers, partition schedules) can register
-        # their transitions like any other event source.
-        self.network.environment.bind_timeline(lambda: self.now, self.call_at)
+        # events: bind this simulator as the environment's timeline (clock +
+        # ``call_at``) so environment programs (adversarial schedulers,
+        # partition schedules) can register their transitions like any other
+        # event source.  The simulator object itself is bound — not captured
+        # closures — so snapshot/restore rebinds the copy automatically.
+        self.network.environment.bind_timeline(self)
         self.processes: Dict[ProcessId, Process] = {}
         self.executed_events = 0
         self.delivered_messages = 0
@@ -206,13 +214,22 @@ class Simulator:
                 hook(self)
         return True
 
-    def run(self, until: float) -> None:
-        """Run until the simulated clock passes *until* (or no events remain)."""
+    def run(self, until: float, stop_before: Optional[float] = None) -> Any:
+        """Run until the simulated clock passes *until* (or no events remain).
+
+        With *stop_before*, execution pauses — returning :data:`PAUSED`, with
+        the clock **not** advanced — right before the first event at ``time
+        >= stop_before``; otherwise returns ``True`` with ``now`` advanced to
+        *until*.  The pause boundary is what snapshot capture uses to stop
+        between events (see ``repro.scenarios.runner.drive``).
+        """
         while True:
             next_time = self.events.peek_time()
             if next_time is None or next_time > until:
                 self.now = max(self.now, until)
-                return
+                return True
+            if stop_before is not None and next_time >= stop_before:
+                return PAUSED
             self.step()
 
     def run_steps(self, count: int) -> int:
@@ -229,7 +246,8 @@ class Simulator:
         predicate: Callable[[], bool],
         timeout: float = 10_000.0,
         check_interval: int = 1,
-    ) -> bool:
+        stop_before: Optional[float] = None,
+    ) -> Any:
         """Run until *predicate()* holds or the clock exceeds *timeout*.
 
         *timeout* is an **absolute simulated-clock deadline**, not a budget:
@@ -240,7 +258,11 @@ class Simulator:
 
         The predicate is evaluated every *check_interval* executed events.
         Returns ``True`` when the predicate became true, ``False`` on timeout
-        or event-queue exhaustion.
+        or event-queue exhaustion — or :data:`PAUSED` (falsy) when
+        *stop_before* is set and the next live event lies at or past that
+        boundary (the event is not executed; resuming later re-enters with an
+        extra predicate evaluation, which is pure and cannot perturb the
+        run).
         """
         counter = 0
         if predicate():
@@ -249,6 +271,8 @@ class Simulator:
             next_time = self.events.peek_time()
             if next_time is None or next_time > timeout:
                 return predicate()
+            if stop_before is not None and next_time >= stop_before:
+                return PAUSED
             self.step()
             counter += 1
             if counter % check_interval == 0 and predicate():

@@ -1,0 +1,137 @@
+"""Converged-state snapshot/restore of a running simulation.
+
+A :class:`SimSnapshot` captures the *complete* state of a simulation at an
+instant between events — the event queue (including pending timers and
+in-flight delivery events), every channel's in-flight ledger, each process's
+full protocol state (recSA / recMA / failure detector / heartbeat links /
+stack services), the :class:`~repro.sim.environment.NetworkEnvironment`'s
+layer stack, partitions and transition log, and every seeded RNG stream —
+and can restore any number of fresh, fully independent copies.
+
+The determinism guarantee
+-------------------------
+``restore()`` followed by running the copy produces **byte-identical**
+results (``executed_events``, ``delivered_messages``, convergence times,
+scenario result dictionaries) to running the original — or a cold run of the
+same seed — uninterrupted.  The audit harness builds on this: the expensive
+pre-corruption bootstrap prefix of a sweep is computed once, snapshotted,
+and fanned out across corruption cases (see ``repro.audit.harness``), and
+``run_matrix`` workers inherit parent-captured snapshots copy-on-write
+through ``fork``.
+
+How it works
+------------
+Capture and restore are structural deep copies of the object graph.  Two
+properties of the codebase make that sound:
+
+* **No foreign closures in live state.**  Everything the event queue or any
+  long-lived structure holds is either a bound method, an
+  :class:`~repro.sim.events.Action`, or a small callable object — all of
+  which ``deepcopy`` remaps onto the copied graph.  A plain closure would be
+  shared (functions copy atomically) and would keep mutating the *original*
+  graph; the workload/scheduler/monitor layers are written to never store
+  one (this is enforced by the snapshot determinism tests).
+* **Identity-keyed ledgers are re-keyed.**  Channels track in-flight packets
+  in a dict keyed by ``id(packet)`` for O(1) completion; object ids change
+  under deepcopy, so :func:`_rekey_in_flight` rebuilds those ledgers (in
+  order) after every copy.
+
+Restrictions
+------------
+* A snapshot must be taken **between events** (never from inside a running
+  callback): capture while a handler is mid-flight would miss its pending
+  local mutations.
+* Objects reachable from the graph must be deepcopy-able; registered link
+  policies must be pure per pair (the built-ins are frozen dataclasses).
+* Wall-clock measurements are obviously not reproduced — only simulated
+  state is.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any
+
+from repro.common.errors import SimulationError
+
+
+def _find_simulator(subject: Any) -> Any:
+    """Locate the simulator inside *subject* (a run, cluster or simulator)."""
+    seen = 0
+    node = subject
+    while node is not None and seen < 4:
+        if hasattr(node, "events") and hasattr(node, "network"):
+            return node  # quacks like a Simulator
+        node = getattr(node, "simulator", None) or getattr(node, "cluster", None)
+        seen += 1
+    raise SimulationError(
+        f"cannot find a simulator inside {type(subject).__name__!r}; "
+        "capture a Simulator, a Cluster or a ScenarioRun"
+    )
+
+
+def _rekey_in_flight(simulator: Any) -> None:
+    """Rebuild every channel's identity-keyed in-flight ledger.
+
+    The ledger maps ``id(packet) -> packet``; after a deep copy the values
+    are fresh objects while the keys still hold the *original* ids, so a
+    delivery completing on the copy would miss the ledger and corrupt the
+    capacity accounting.  Rebuilding preserves insertion order, which is the
+    only ordering the channel relies on.
+    """
+    for channel in simulator.network.channels():
+        in_flight = channel._in_flight
+        if in_flight:
+            channel._in_flight = {id(packet): packet for packet in in_flight.values()}
+
+
+class SimSnapshot:
+    """An immutable, restorable copy of a simulation's complete state.
+
+    ``capture`` accepts a :class:`~repro.sim.simulator.Simulator`, a
+    :class:`~repro.sim.cluster.Cluster`, or a scenario
+    :class:`~repro.scenarios.runner.ScenarioRun` (the most useful unit: it
+    carries the monitor/tracker hooks and the phase machine's resume state
+    along with the cluster).  Each ``restore()`` yields an independent copy;
+    the snapshot itself is never handed out, so it can fan out any number of
+    runs.
+    """
+
+    def __init__(self, state: Any) -> None:
+        self._state = state
+        self._restores = 0
+
+    @classmethod
+    def capture(cls, subject: Any) -> "SimSnapshot":
+        """Deep-copy *subject* into a new snapshot (the original keeps running)."""
+        state = copy.deepcopy(subject)
+        _rekey_in_flight(_find_simulator(state))
+        return cls(state)
+
+    def restore(self) -> Any:
+        """Return a fresh, fully independent copy of the captured state."""
+        restored = copy.deepcopy(self._state)
+        _rekey_in_flight(_find_simulator(restored))
+        self._restores += 1
+        return restored
+
+    @property
+    def restores(self) -> int:
+        """How many times this snapshot has been restored (fan-out width)."""
+        return self._restores
+
+    @property
+    def now(self) -> float:
+        """The simulated instant the snapshot was captured at."""
+        return _find_simulator(self._state).now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimSnapshot(at={self.now:g}, of={type(self._state).__name__}, "
+            f"restores={self._restores})"
+        )
+
+
+def snapshot(subject: Any) -> SimSnapshot:
+    """Convenience alias for :meth:`SimSnapshot.capture`."""
+    return SimSnapshot.capture(subject)

@@ -137,9 +137,26 @@ def _build_counters(node: "ClusterNode", options: Dict[str, Any]) -> Dict[str, A
     return {"counters": service}
 
 
+class _ControlEvalConfig:
+    """Default evalConfig policy: read the node's ``control`` mailbox.
+
+    A class (not a closure) so snapshot/restore deep-copies remap the node
+    reference: a restored VS service must read the restored node's mailbox,
+    not the original's.
+    """
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: "ClusterNode") -> None:
+        self.node = node
+
+    def __call__(self) -> bool:
+        return bool(self.node.control.get("reconfigure", False))
+
+
 def _control_eval_config(node: "ClusterNode") -> Callable[[], bool]:
-    """Default evalConfig policy: read the node's ``control`` mailbox."""
-    return lambda: bool(node.control.get("reconfigure", False))
+    """Build the default evalConfig policy for *node*."""
+    return _ControlEvalConfig(node)
 
 
 def _build_vs_smr(node: "ClusterNode", options: Dict[str, Any]) -> Dict[str, Any]:

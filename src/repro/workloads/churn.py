@@ -13,6 +13,7 @@ from typing import Iterable, List, Optional
 from repro.common.rng import make_rng
 from repro.common.types import ProcessId
 from repro.sim.cluster import Cluster
+from repro.sim.events import Action
 
 
 @dataclass(frozen=True)
@@ -48,13 +49,13 @@ class ChurnTrace:
             if event.kind == "crash":
                 cluster.simulator.call_at(
                     event.time,
-                    lambda pid=event.pid: cluster.try_crash(pid),
+                    Action(Cluster.try_crash, cluster, event.pid),
                     label=f"churn:crash:{event.pid}",
                 )
             elif event.kind == "join":
                 cluster.simulator.call_at(
                     event.time,
-                    lambda pid=event.pid: self._fire_join(cluster, pid),
+                    Action(ChurnTrace._fire_join, cluster, event.pid),
                     label=f"churn:join:{event.pid}",
                 )
 

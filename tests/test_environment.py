@@ -162,17 +162,20 @@ class TestDirectedPartitions:
 # ---------------------------------------------------------------------------
 class TestLinkStateLayers:
     def test_overlay_wins_and_pop_restores_override(self):
+        # Channel configs are *pulled* through the memoized resolve on every
+        # ``network.channel()`` access (PR 5), so the current shaping of a
+        # pair is read by re-fetching the channel, and a mutation is O(1)
+        # instead of a walk over touched channels.
         sim = _two_nodes()
         env = sim.environment
         override = ChannelConfig(min_delay=1.0, max_delay=2.0)
         env.set_link_config(1, 2, override)
-        chan = sim.network.channel(1, 2)
-        assert chan.config is override
+        assert sim.network.channel(1, 2).config is override
         overlay = ChannelConfig(min_delay=5.0, max_delay=6.0)
         env.apply_overlay("slow", {(1, 2): overlay})
-        assert chan.config is overlay
+        assert sim.network.channel(1, 2).config is overlay
         assert env.remove_overlay("slow")
-        assert chan.config is override
+        assert sim.network.channel(1, 2).config is override
         assert not env.remove_overlay("slow")  # idempotent
 
     def test_policy_shapes_channels_created_later(self):
@@ -184,13 +187,12 @@ class TestLinkStateLayers:
         assert sim.network.channel(1, 2).config is shaped
         assert sim.network.channel(2, 1).config is sim.network.default_config
 
-    def test_policy_resyncs_existing_unoverridden_channels(self):
+    def test_policy_reshapes_existing_unoverridden_channels(self):
         sim = _two_nodes()
-        chan = sim.network.channel(1, 2)
-        assert chan.config is sim.network.default_config
+        assert sim.network.channel(1, 2).config is sim.network.default_config
         shaped = ChannelConfig(min_delay=3.0, max_delay=4.0)
         sim.environment.add_link_policy("test", lambda s, d: shaped)
-        assert chan.config is shaped
+        assert sim.network.channel(1, 2).config is shaped
 
     def test_transitions_are_recorded_with_time(self):
         sim = _two_nodes()

@@ -8,6 +8,8 @@ and fault campaigns), probes, scenario determinism and the parallel runner.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.analysis import probes
@@ -283,8 +285,13 @@ class TestScenarioEngine:
         sweep = run_matrix(["bootstrap"], seeds=[0, 1, 2, 3], workers=2)
         assert sweep["meta"]["workers"] == 2
         pids = {entry["worker_pid"] for entry in sweep["results"]}
-        # Round-robin chunking pins two jobs on each worker process.
-        assert len(pids) == 2
+        # Work stealing: jobs go to whichever pool worker is free, so the
+        # only hard guarantees are that the pool (not the parent) ran them
+        # and that every job is accounted exactly once.  Demanding an exact
+        # worker split would be timing-dependent.
+        assert 1 <= len(pids) <= 2
+        assert os.getpid() not in pids
+        assert sum(w["jobs"] for w in sweep["meta"]["sweep"]["by_worker"].values()) == 4
         assert all(entry["ok"] for entry in sweep["results"])
         # Results come back sorted regardless of completion order.
         assert [entry["seed"] for entry in sweep["results"]] == [0, 1, 2, 3]

@@ -1,0 +1,373 @@
+"""Snapshot/restore determinism, warm prefix sharing, pool + resolve cache.
+
+The load-bearing guarantee of PR 5's sweep-throughput engine is pinned here:
+a restored :class:`~repro.sim.snapshot.SimSnapshot` resumed to completion is
+**byte-identical** to a cold, uninterrupted run of the same seed — for every
+stack profile, with active leaky partitions and overlays in the captured
+state, and through the audit harness's warm prefix path (certify and ddmin
+shrinking).  The work-stealing sweep meta and the environment's memoized
+link resolution are covered alongside, since the same engine relies on both.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.analysis import probes
+from repro.audit.harness import (
+    AuditCase,
+    build_cases,
+    certify,
+    prefix_key,
+    prefix_snapshot,
+    run_case,
+    shrink_case,
+)
+from repro.scenarios import (
+    ArbitraryStateWorkload,
+    ScenarioSpec,
+    drive,
+    finalize,
+    prepare,
+    run_matrix,
+    run_scenario,
+)
+from repro.sim.cluster import build_cluster
+from repro.sim.events import Action
+from repro.sim.network import ChannelConfig
+from repro.sim.snapshot import SimSnapshot
+from repro.sim.stacks import available_stacks
+
+
+def _strip_wall(result):
+    """Drop the wall-clock keys that are deliberately nondeterministic."""
+    result = copy.deepcopy(result)
+    result.pop("wall_seconds", None)
+    result.pop("worker_pid", None)
+    if "window" in result:
+        result["window"].pop("wall_seconds", None)
+    return result
+
+
+def _strip_report(report):
+    """Audit report minus timing/scheduling meta (not part of determinism)."""
+    report = copy.deepcopy(report)
+    report["meta"].pop("wall_seconds", None)
+    report["meta"].pop("sweep", None)
+    report["meta"].pop("prefix_reuse", None)
+    return report
+
+
+def _snapshot_spec(stack: str) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"snapdet:{stack}",
+        n=5,
+        stack=stack,
+        workloads=(ArbitraryStateWorkload(at=20.0, seed=5),),
+        horizon=40.0,
+        probes=(probes.converged(4_000.0),),
+        track_convergence=True,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Core determinism guarantee: restore + run == cold run, per stack profile
+# ---------------------------------------------------------------------------
+class TestSnapshotDeterminism:
+    @pytest.mark.parametrize("stack", sorted(available_stacks()))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_restored_run_is_byte_identical_per_stack(self, stack, seed):
+        spec = _snapshot_spec(stack)
+        cold = run_scenario(spec, seed=seed)
+
+        run = prepare(spec, seed=seed)
+        paused = not drive(run, stop_before=20.0)
+        assert paused, "the pending corruption event must pause the prefix"
+        snapshot = SimSnapshot.capture(run)
+        restored = snapshot.restore()
+        drive(restored)
+        warm = finalize(restored)
+
+        assert _strip_wall(warm) == _strip_wall(cold)
+        # The satellite contract, spelled out: identical executed events,
+        # deliveries and convergence behaviour.
+        assert warm["statistics"]["executed_events"] == cold["statistics"]["executed_events"]
+        assert warm["statistics"]["delivered_messages"] == cold["statistics"]["delivered_messages"]
+        assert warm["convergence"] == cold["convergence"]
+
+    def test_snapshot_with_active_leaky_partition_and_overlay(self):
+        """Capture mid-run with a leaky partition standing and an overlay
+        pushed; the restored run must still replay byte-identically."""
+        spec = ScenarioSpec(
+            name="snapdet:leaky",
+            n=6,
+            stack="counters",
+            scheduler="partition_leak",  # forward leaky split stands at t=70
+            horizon=200.0,
+            probes=(probes.converged(6_000.0),),
+            track_convergence=True,
+        )
+        slow = ChannelConfig(min_delay=2.0, max_delay=6.0)
+        overlay = {(0, 1): slow, (1, 0): slow}
+
+        def run_with_boundary(capture: bool):
+            run = prepare(spec, seed=7)
+            assert not drive(run, stop_before=70.0)
+            environment = run.cluster.environment
+            assert environment.active_partitions() == ["partition_leak:forward"]
+            environment.apply_overlay("test-overlay", overlay)
+            if capture:
+                snapshot = SimSnapshot.capture(run)
+                run = snapshot.restore()
+                assert run.cluster.environment.active_partitions() == [
+                    "partition_leak:forward"
+                ]
+                assert "test-overlay" in run.cluster.environment._overlays
+            drive(run)
+            return finalize(run)
+
+        cold = run_with_boundary(capture=False)
+        warm = run_with_boundary(capture=True)
+        assert _strip_wall(warm) == _strip_wall(cold)
+
+    def test_snapshot_mid_bootstrap(self):
+        """A prefix boundary that lands before convergence resumes correctly
+        (the bootstrap phase deadline survives the snapshot)."""
+        case = AuditCase(scheduler="uniform", corruption_seed=0, corrupt_at=2.0)
+        cold = run_case(case, seed=1)
+        snapshot = prefix_snapshot(case, seed=1)
+        assert snapshot is not None and snapshot.now < 2.0
+        warm = run_case(case, seed=1, snapshot=snapshot)
+        assert warm == cold
+
+    def test_restores_are_isolated(self):
+        """Restoring and running copies never perturbs the original, and
+        sibling restores never perturb each other."""
+        spec = _snapshot_spec("bare")
+        cold = run_scenario(spec, seed=3)
+        run = prepare(spec, seed=3)
+        drive(run, stop_before=20.0)
+        before_events = run.cluster.simulator.executed_events
+        snapshot = SimSnapshot.capture(run)
+
+        first = snapshot.restore()
+        drive(first)
+        first_result = finalize(first)
+        # Driving the first copy moved neither the original nor the snapshot.
+        assert run.cluster.simulator.executed_events == before_events
+        second = snapshot.restore()
+        drive(second)
+        assert _strip_wall(finalize(second)) == _strip_wall(first_result)
+        assert snapshot.restores == 2
+
+        # The paused original still completes to the cold result.
+        drive(run)
+        assert _strip_wall(finalize(run)) == _strip_wall(cold)
+
+    def test_in_flight_ledgers_are_rekeyed(self):
+        """Packets in flight across the boundary are delivered on the copy:
+        the identity-keyed channel ledgers must be rebuilt after the copy,
+        or completions would miss and capacity accounting would corrupt."""
+        spec = _snapshot_spec("bare")
+        run = prepare(spec, seed=0)
+        # Pause inside the bootstrap storm, where the boundary is guaranteed
+        # to cut live traffic (steady state throttles itself to near-silence).
+        drive(run, stop_before=2.0)
+        network = run.cluster.simulator.network
+        assert network.total_in_flight() > 0
+        restored = SimSnapshot.capture(run).restore()
+        chan_net = restored.cluster.simulator.network
+        for channel in chan_net.channels():
+            for key, packet in channel._in_flight.items():
+                assert key == id(packet)
+        drive(restored)
+        # Every in-flight packet either completed or was legitimately
+        # dropped; the incremental aggregate stayed consistent.
+        assert chan_net.total_in_flight() == sum(
+            channel.occupancy() for channel in chan_net.channels()
+        )
+
+
+# ---------------------------------------------------------------------------
+# Warm prefix sharing through the audit harness
+# ---------------------------------------------------------------------------
+class TestWarmPrefixSharing:
+    def test_prefix_key_groups_corruption_axes_only(self):
+        base = AuditCase(scheduler="uniform", corruption_seed=0)
+        assert prefix_key(base) == prefix_key(
+            AuditCase(scheduler="uniform", corruption_seed=7, profile="heavy")
+        )
+        assert prefix_key(base) != prefix_key(AuditCase(scheduler="delay_skew", corruption_seed=0))
+        assert prefix_key(base) != prefix_key(
+            AuditCase(scheduler="uniform", corruption_seed=0, n=8)
+        )
+        assert prefix_key(base) != prefix_key(
+            AuditCase(scheduler="uniform", corruption_seed=0, stack="vs_smr")
+        )
+
+    def test_warm_certify_matches_cold_certify(self):
+        cases = build_cases(
+            schedulers=["uniform", "delay_skew"], corruption_seeds=[0, 1, 2]
+        )
+        seeds = [0, 1]
+        cold = certify(cases, seeds=seeds, shrink_failures=False, reuse_prefix=False)
+        warm = certify(cases, seeds=seeds, shrink_failures=False, reuse_prefix=True)
+        assert _strip_report(warm) == _strip_report(cold)
+        reuse = warm["meta"]["prefix_reuse"]
+        assert reuse["enabled"] and reuse["distinct_prefixes"] == 2
+        # 2 prefixes x 2 seeds snapshots, every one of the 12 runs warm.
+        assert reuse["snapshots"] == 4
+        assert reuse["warm_runs"] == 12
+
+    def test_warm_certify_matches_cold_for_dynamic_adversary_and_smr_stack(self):
+        cases = build_cases(
+            schedulers=["target_coordinator"],
+            corruption_seeds=[0, 1],
+            stacks=["vs_smr"],
+        )
+        cold = certify(cases, seeds=[0], shrink_failures=False, reuse_prefix=False)
+        warm = certify(cases, seeds=[0], shrink_failures=False, reuse_prefix=True)
+        assert _strip_report(warm) == _strip_report(cold)
+
+    def test_single_run_prefixes_stay_cold(self):
+        cases = build_cases(schedulers=["uniform", "slow_node"], corruption_seeds=[0])
+        report = certify(cases, seeds=[0], shrink_failures=False, reuse_prefix=True)
+        assert report["certified"]
+        assert report["meta"]["prefix_reuse"]["snapshots"] == 0
+
+    def test_warm_shrink_matches_cold_shrink(self):
+        case = AuditCase(
+            scheduler="uniform",
+            corruption_seed=0,
+            invariants=(probes.no_reset_invariant(),),
+        )
+        cold = shrink_case(case, seed=0, reuse_prefix=False)
+        warm = shrink_case(case, seed=0, reuse_prefix=True)
+        assert warm == cold
+        assert warm["still_fails"] and warm["minimal_size"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Work-stealing sweep accounting
+# ---------------------------------------------------------------------------
+class TestSweepAccounting:
+    def test_serial_sweep_reports_utilization(self):
+        sweep = run_matrix(["bootstrap"], seeds=[0, 1], workers=1)
+        summary = sweep["meta"]["sweep"]
+        assert summary["wall_seconds"] > 0
+        assert summary["busy_seconds"] > 0
+        assert 0 < summary["utilization"] <= 1.0 + 1e-9
+        (worker,) = summary["by_worker"].values()
+        assert worker["jobs"] == 2
+        for entry in sweep["results"]:
+            assert entry["wall_seconds"] > 0 and entry["worker_pid"]
+
+    def test_parallel_sweep_accounts_every_job(self):
+        sweep = run_matrix(["bootstrap"], seeds=[0, 1, 2, 3], workers=2)
+        summary = sweep["meta"]["sweep"]
+        assert sum(w["jobs"] for w in summary["by_worker"].values()) == 4
+        assert summary["max_job_seconds"] <= summary["busy_seconds"] + 1e-9
+        # Work stealing still returns sorted, complete results.
+        assert [entry["seed"] for entry in sweep["results"]] == [0, 1, 2, 3]
+
+
+# ---------------------------------------------------------------------------
+# Memoized link resolution
+# ---------------------------------------------------------------------------
+class TestResolveCache:
+    def test_hits_and_misses_accumulate(self):
+        cluster = build_cluster(n=3, seed=0)
+        environment = cluster.environment
+        first = environment.resolve(0, 1)
+        again = environment.resolve(0, 1)
+        assert first is again
+        assert environment.resolve_misses >= 1
+        assert environment.resolve_hits >= 1
+        stats = environment.summary()["resolve_cache"]
+        assert stats["hits"] == environment.resolve_hits
+        assert stats["hit_rate"] is not None
+
+    def test_override_and_overlay_invalidate(self):
+        cluster = build_cluster(n=3, seed=0)
+        environment = cluster.environment
+        base = environment.resolve(0, 1)
+        version = environment.version
+        shaped = ChannelConfig(min_delay=3.0, max_delay=9.0)
+        environment.set_link_config(0, 1, shaped)
+        assert environment.version > version
+        assert environment.resolve(0, 1) is shaped
+        environment.apply_overlay("t", {(0, 1): base})
+        assert environment.resolve(0, 1) is base
+        environment.remove_overlay("t")
+        assert environment.resolve(0, 1) is shaped
+        environment.clear_link_config(0, 1)
+        assert environment.resolve(0, 1) == base
+
+    def test_policy_registration_invalidates(self):
+        cluster = build_cluster(n=3, seed=0)
+        environment = cluster.environment
+        default = environment.resolve(0, 2)
+        shaped = ChannelConfig(min_delay=5.0, max_delay=10.0)
+        environment.add_link_policy("shape", lambda s, d: shaped)
+        assert environment.resolve(0, 2) is shaped
+        assert default is not shaped
+
+    def test_partition_bumps_version_without_clearing_cache(self):
+        cluster = build_cluster(n=3, seed=0)
+        environment = cluster.environment
+        environment.resolve(0, 1)
+        entries = len(environment._resolve_cache)
+        version = environment.version
+        name = environment.partition([0], [1], leak=0.5)
+        assert environment.version > version
+        assert len(environment._resolve_cache) == entries
+        environment.heal(name)
+        assert environment.version > version + 1
+
+    def test_default_config_rebind_invalidates(self):
+        cluster = build_cluster(n=3, seed=0)
+        network = cluster.simulator.network
+        environment = cluster.environment
+        environment.resolve(0, 1)
+        replacement = ChannelConfig(capacity=3)
+        network.default_config = replacement
+        assert environment.resolve(0, 1) is replacement
+
+
+# ---------------------------------------------------------------------------
+# Action: the deep-copy-safe scheduled callable
+# ---------------------------------------------------------------------------
+class TestAction:
+    def test_action_remaps_targets_under_deepcopy(self):
+        class Box:
+            def __init__(self):
+                self.value = 0
+
+            def bump(self, amount):
+                self.value += amount
+
+        box = Box()
+        action = Action(Box.bump, box, 3)
+        clone = copy.deepcopy(action)
+        clone()
+        assert box.value == 0  # the original graph is untouched
+        assert clone.args[0].value == 3
+        action()
+        assert box.value == 3
+
+    def test_action_with_bound_method(self):
+        class Box:
+            def __init__(self):
+                self.value = 0
+
+            def bump(self):
+                self.value += 1
+
+        box = Box()
+        action = Action(box.bump)
+        clone = copy.deepcopy(action)
+        clone()
+        assert box.value == 0
+        assert clone.fn.__self__.value == 1

@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-matrix bench-pytest scenarios scenarios-smoke audit-smoke audit-gate audit-baseline audit-n24 audit-n24-baseline audit-profile-grid audit-shrink-demo
+.PHONY: test bench bench-quick bench-matrix bench-pytest scenarios scenarios-smoke audit-smoke audit-gate audit-baseline audit-byzantine audit-n24 audit-n24-baseline audit-profile-grid audit-shrink-demo
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -33,10 +33,18 @@ scenarios-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.scenarios --smoke
 
 # Adversarial audit matrix: static schedulers x 2 corruption seeds + the
-# dynamic adversaries + SMR-stack cases with smr_agreement armed, 3 sim
-# seeds each (48 runs); verdict JSON written for the CI artifact upload.
+# dynamic adversaries + SMR-stack cases with smr_agreement armed + two
+# Byzantine traitor cases, 3 sim seeds each (54 runs); verdict JSON written
+# for the CI artifact upload.
 audit-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.audit --smoke --workers 4 --output AUDIT_smoke.json
+
+# Byzantine matrix: f < n/3 traitors running every registered behavior
+# against the Bracha/Dolev reliable-broadcast stacks and the adaptive
+# coordinator-traitor against vs_smr_rb, with rb_agreement / rb_validity /
+# smr_agreement armed (18 runs).
+audit-byzantine:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.audit --byzantine --workers 4 --output AUDIT_byzantine.json
 
 # Convergence-bound regression gate: fail when the smoke matrix's worst-case
 # stabilization time regresses >25% vs the checked-in baseline.

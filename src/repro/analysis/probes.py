@@ -218,6 +218,80 @@ def no_reset_in_progress(cluster: "Cluster") -> bool:
     )
 
 
+def _honest_rb_services(cluster: "Cluster"):
+    """Yield ``(pid, rb_service)`` for every honest alive node running one.
+
+    Nodes that have *ever* run a traitor program (``cluster.byzantine_pids``)
+    are excluded: reliable-broadcast guarantees are stated over correct
+    processors only, and a deactivated traitor's local tables carry no
+    guarantees either.
+    """
+    byzantine = getattr(cluster, "byzantine_pids", frozenset())
+    for node in cluster.alive_nodes():
+        if node.pid in byzantine:
+            continue
+        rb = node.service_map.get("rb")
+        if rb is not None:
+            yield node.pid, rb
+
+
+def rb_deliveries_agree(cluster: "Cluster") -> bool:
+    """No two honest nodes deliver different payloads for one broadcast.
+
+    The *agreement* half of reliable broadcast, checked over every message
+    id — including ids originated by traitors: Bracha's echo quorums are
+    exactly what extends agreement to equivocating origins, so a split
+    delivery anywhere is a protocol violation (and on the naive baseline,
+    the expected symptom of equivocation).
+    """
+    witnessed: Dict[Any, Any] = {}
+    for _, rb in _honest_rb_services(cluster):
+        for mid, payload in rb.delivered.items():
+            if mid in witnessed:
+                if witnessed[mid] != payload:
+                    return False
+            else:
+                witnessed[mid] = payload
+    return True
+
+
+def rb_deliveries_valid(cluster: "Cluster") -> bool:
+    """Every delivery attributed to an honest origin matches what it sent.
+
+    The *validity/integrity* half: a delivered ``(origin, seq)`` whose origin
+    is an honest alive node must appear in that origin's own send log with an
+    identical payload — anything else means a forged or mutated broadcast was
+    accepted in an honest processor's name.  Traitor-attributed and
+    no-longer-checkable (crashed-origin) deliveries are skipped; reliable
+    broadcast makes no promises about what traitors "sent".
+    """
+    sent_by = {pid: rb.sent for pid, rb in _honest_rb_services(cluster)}
+    for _, rb in _honest_rb_services(cluster):
+        for (origin, seq), payload in rb.delivered.items():
+            sent = sent_by.get(origin)
+            if sent is None:
+                continue
+            if seq not in sent or sent[seq] != payload:
+                return False
+    return True
+
+
+def rb_all_delivered(cluster: "Cluster") -> bool:
+    """Every honest broadcast has been delivered by every honest rb node.
+
+    The *totality/liveness* side, used as a probe (driven toward), never as
+    an invariant (it is legitimately false while echoes are in flight).
+    """
+    services = list(_honest_rb_services(cluster))
+    if not services:
+        return False
+    for origin, rb in services:
+        for seq in rb.sent:
+            if any((origin, seq) not in other.delivered for _, other in services):
+                return False
+    return True
+
+
 def bounded_channels_invariant() -> Invariant:
     return Invariant("channels_bounded", channels_bounded)
 
@@ -237,12 +311,24 @@ def smr_agreement_invariant() -> Invariant:
     return Invariant("smr_agreement", smr_histories_agree)
 
 
+def rb_agreement_invariant() -> Invariant:
+    """``rb_agreement`` — honest nodes never split on a broadcast's payload."""
+    return Invariant("rb_agreement", rb_deliveries_agree)
+
+
+def rb_validity_invariant() -> Invariant:
+    """``rb_validity`` — honest-origin deliveries match the origin's sends."""
+    return Invariant("rb_validity", rb_deliveries_valid)
+
+
 #: Named invariant factories — what corpus entries and CLI flags resolve
 #: against (an :class:`Invariant` itself is not JSON-serializable).
 INVARIANT_FACTORIES: Dict[str, Callable[[], Invariant]] = {
     "channels_bounded": bounded_channels_invariant,
     "no_reset_in_progress": no_reset_invariant,
     "smr_agreement": smr_agreement_invariant,
+    "rb_agreement": rb_agreement_invariant,
+    "rb_validity": rb_validity_invariant,
 }
 
 
@@ -281,3 +367,7 @@ def writes_delivered(timeout: float = DEFAULT_PROBE_TIMEOUT) -> Probe:
 
 def smr_agreement(timeout: float = DEFAULT_PROBE_TIMEOUT) -> Probe:
     return Probe("smr_agreement", smr_states_agree, timeout)
+
+
+def rb_delivered(timeout: float = DEFAULT_PROBE_TIMEOUT) -> Probe:
+    return Probe("rb_delivered", rb_all_delivered, timeout)

@@ -3,7 +3,11 @@
 Examples::
 
     python -m repro.audit --list-schedulers
-    python -m repro.audit --smoke                      # CI gate: 48 runs
+    python -m repro.audit --list-behaviors
+    python -m repro.audit --smoke                      # CI gate: 54 runs
+    python -m repro.audit --byzantine --workers 4      # active-adversary
+                                                       # matrix (traitor
+                                                       # programs vs RB)
     python -m repro.audit --schedulers delay_skew,slow_node \\
         --corruptions 0:4 --seeds 0:4 --workers 4 --output audit.json
     python -m repro.audit --stacks vs_smr,shared_register --seeds 0:2
@@ -25,6 +29,11 @@ from typing import List
 from repro.analysis import probes
 from repro.analysis.metrics import ResultTable
 from repro.audit.arbitrary_state import PROFILES
+from repro.audit.byzantine import (
+    BEHAVIORS,
+    ByzantineSpec,
+    available_behaviors,
+)
 from repro.audit.harness import (
     AuditCase,
     build_cases,
@@ -41,6 +50,17 @@ from repro.audit.schedulers import (
 from repro.scenarios.__main__ import parse_seeds
 
 
+#: Every registered traitor behavior at once — the smoke matrix's Byzantine
+#: adversary (f = 1 < n/3 for the default n = 5).
+_BYZ_FULL = ByzantineSpec(
+    behaviors=("forge", "mutate", "drop", "equivocate", "inflate"), traitors=1
+)
+#: The adaptive adversary: the *current coordinator* turns traitor.
+_BYZ_COORDINATOR = ByzantineSpec(
+    behaviors=("equivocate", "mutate", "inflate"), traitors=1, selection="coordinator"
+)
+
+
 def smoke_cases(n: int = 5, convergence_budget: float = 6_000.0) -> List[AuditCase]:
     """The CI smoke matrix (certified per sim seed by ``--smoke``).
 
@@ -48,8 +68,12 @@ def smoke_cases(n: int = 5, convergence_budget: float = 6_000.0) -> List[AuditCa
     bare stack; every dynamic adversary runs once; the SMR-replicating
     stacks run with the ``smr_agreement`` invariant armed (under both the
     benign baseline and the adaptive coordinator-targeting adversary for
-    ``vs_smr``).  ``--n`` and ``--budget`` pass through; the stack mix is
-    fixed by design (``--stacks`` applies to explicit sweeps only).
+    ``vs_smr``).  Two Byzantine cases ride along: ``f < n/3`` traitors
+    running *every* registered behavior against Bracha reliable broadcast
+    (``rb_agreement`` / ``rb_validity`` armed), and an equivocating
+    *coordinator* against the combined ``vs_smr_rb`` stack (all three
+    invariants armed).  ``--n`` and ``--budget`` pass through; the stack mix
+    is fixed by design (``--stacks`` applies to explicit sweeps only).
     """
     overrides = {"n": n, "convergence_budget": convergence_budget}
     return (
@@ -69,6 +93,71 @@ def smoke_cases(n: int = 5, convergence_budget: float = 6_000.0) -> List[AuditCa
             schedulers=["uniform"],
             corruption_seeds=[0],
             stacks=["shared_register"],
+            **overrides,
+        )
+        + build_cases(
+            schedulers=["uniform"],
+            corruption_seeds=[0],
+            stacks=["rb_bracha"],
+            profiles=["none"],
+            byzantine=_BYZ_FULL,
+            **overrides,
+        )
+        + build_cases(
+            schedulers=["uniform"],
+            corruption_seeds=[0],
+            stacks=["vs_smr_rb"],
+            profiles=["none"],
+            byzantine=_BYZ_COORDINATOR,
+            **overrides,
+        )
+    )
+
+
+def byzantine_cases(
+    n: int = 5, convergence_budget: float = 6_000.0
+) -> List[AuditCase]:
+    """The dedicated active-adversary matrix (``--byzantine``).
+
+    Every registered behavior attacks both reliable-broadcast variants; the
+    adaptive coordinator-traitor attacks the combined SMR+RB stack under the
+    benign and the coordinator-hunting scheduler; and one case layers the
+    full transient corruption *on top of* live traitors (arbitrary state
+    while under active attack — the hardest composition the audit
+    certifies).
+    """
+    overrides = {"n": n, "convergence_budget": convergence_budget}
+    return (
+        build_cases(
+            schedulers=["uniform", "delay_skew"],
+            corruption_seeds=[0],
+            stacks=["rb_bracha"],
+            profiles=["none"],
+            byzantine=_BYZ_FULL,
+            **overrides,
+        )
+        + build_cases(
+            schedulers=["uniform"],
+            corruption_seeds=[0],
+            stacks=["rb_dolev"],
+            profiles=["none"],
+            byzantine=_BYZ_FULL,
+            **overrides,
+        )
+        + build_cases(
+            schedulers=["uniform", "target_coordinator"],
+            corruption_seeds=[0],
+            stacks=["vs_smr_rb"],
+            profiles=["none"],
+            byzantine=_BYZ_COORDINATOR,
+            **overrides,
+        )
+        + build_cases(
+            schedulers=["uniform"],
+            corruption_seeds=[0],
+            stacks=["rb_bracha"],
+            profiles=["default"],
+            byzantine=ByzantineSpec(behaviors=("forge", "inflate"), traitors=1),
             **overrides,
         )
     )
@@ -185,7 +274,14 @@ def main(argv=None) -> int:
         "--smoke",
         action="store_true",
         help="CI gate: static x2 + dynamic adversaries + SMR-stack invariant "
-        "cases, 3 sim seeds each (48 runs)",
+        "cases + Byzantine traitor cases, 3 sim seeds each (54 runs)",
+    )
+    parser.add_argument(
+        "--byzantine",
+        action="store_true",
+        help="the active-adversary matrix: traitor programs (every registered "
+        "behavior) against Bracha/Dolev reliable broadcast and the combined "
+        "vs_smr_rb stack, 3 sim seeds each",
     )
     parser.add_argument(
         "--profile-grid",
@@ -221,12 +317,22 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--list-schedulers", action="store_true", help="list schedulers and exit"
     )
+    parser.add_argument(
+        "--list-behaviors",
+        action="store_true",
+        help="list registered Byzantine behaviors and exit",
+    )
     parser.add_argument("--output", default=None, help="write the verdict JSON here")
     args = parser.parse_args(argv)
 
     if args.list_schedulers:
         for name in available_schedulers():
             print(f"{name:16s} {get_scheduler(name).description}")
+        return 0
+
+    if args.list_behaviors:
+        for name in available_behaviors():
+            print(f"{name:16s} {BEHAVIORS[name].description}")
         return 0
 
     if args.demo_shrink:
@@ -282,6 +388,9 @@ def main(argv=None) -> int:
         seeds = parse_seeds(args.seeds)
     elif args.smoke:
         cases = smoke_cases(n=args.n, convergence_budget=args.budget)
+        seeds = [0, 1, 2]
+    elif args.byzantine:
+        cases = byzantine_cases(n=args.n, convergence_budget=args.budget)
         seeds = [0, 1, 2]
     else:
         schedulers = (

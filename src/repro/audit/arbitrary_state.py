@@ -99,6 +99,17 @@ PROFILES: Dict[str, CorruptionProfile] = {
     "heavy": CorruptionProfile(
         node_fraction=1.0, field_probability=0.9, channel_fraction=0.6, channel_fill=1.0
     ),
+    # No transient corruption at all — the profile Byzantine-only audit
+    # cases use, so the sole disturbance is the traitor program and any
+    # violation is attributable to it alone.
+    "none": CorruptionProfile(
+        node_fraction=0.0,
+        field_probability=0.0,
+        channel_fraction=0.0,
+        channel_fill=0.0,
+        corrupt_services=False,
+        corrupt_failure_detector=False,
+    ),
 }
 
 
@@ -470,6 +481,9 @@ def generate_plan(
         if cluster.nodes[pid].started and not cluster.nodes[pid].crashed
     ]
     if not alive:
+        return []
+    if profile.node_fraction <= 0.0 and profile.channel_fraction <= 0.0:
+        # The "none" profile: an empty plan, not "at least one node".
         return []
     shuffled = list(alive)
     rng.shuffle(shuffled)

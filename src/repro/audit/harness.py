@@ -52,15 +52,24 @@ from repro.audit.arbitrary_state import (
     CorruptionProfile,
     get_profile,
 )
+from repro.audit.byzantine import ByzantineSpec, ByzantineWorkload
 from repro.audit.schedulers import available_schedulers, get_scheduler
 from repro.scenarios.library import register_scenario
 from repro.scenarios.runner import drive, finalize, prepare, run_matrix, run_scenario
 from repro.scenarios.spec import ScenarioSpec
-from repro.scenarios.workloads import ArbitraryStateWorkload, SMRCommandWorkload
+from repro.scenarios.workloads import (
+    ArbitraryStateWorkload,
+    RBBroadcastWorkload,
+    SMRCommandWorkload,
+)
 from repro.sim.snapshot import SimSnapshot
 
 #: Stacks whose nodes run a ``"vs"`` service, i.e. can multicast commands.
-SMR_STACKS = ("vs_smr", "shared_register")
+SMR_STACKS = ("vs_smr", "shared_register", "vs_smr_rb")
+
+#: Stacks whose nodes run an ``"rb"`` reliable-broadcast service; audit cases
+#: on these get broadcast traffic plus the rb_* invariants armed.
+RB_STACKS = ("rb_bracha", "rb_dolev", "rb_naive", "vs_smr_rb")
 
 
 def _digest(value: Any) -> str:
@@ -95,7 +104,15 @@ class AuditCase:
     The simulator seed is *not* part of the case — :func:`certify` sweeps
     each case across seeds, so one case certifies against many executions of
     the same adversary.  ``profile`` may be a :class:`CorruptionProfile` or a
-    registered intensity name (``"light"`` / ``"default"`` / ``"heavy"``).
+    registered intensity name (``"light"`` / ``"default"`` / ``"heavy"`` /
+    ``"none"``).
+
+    ``byzantine`` adds an *active* adversary on top of (or, with the
+    ``"none"`` profile, instead of) the transient corruption: a
+    :class:`~repro.audit.byzantine.ByzantineSpec` whose traitor programs are
+    installed at ``corrupt_at + spec.delay`` and uninstalled after
+    ``spec.duration``.  For a Byzantine case, the shrinkable plan is the
+    ordered traitor-assignment list rather than the corruption atoms.
     """
 
     scheduler: str
@@ -108,6 +125,7 @@ class AuditCase:
     profile: Any = DEFAULT_PROFILE
     invariants: Tuple[probes.Invariant, ...] = ()
     scheduler_params: Tuple[Tuple[str, Any], ...] = ()
+    byzantine: Optional[ByzantineSpec] = None
 
     @property
     def profile_name(self) -> str:
@@ -144,6 +162,9 @@ class AuditCase:
             base = f"{base}:p{_digest(tuple(sorted(self.scheduler_params)))}"
         if self.invariants:
             base = f"{base}:i-" + "+".join(sorted(i.name for i in self.invariants))
+        if self.byzantine is not None:
+            behaviors = "+".join(self.byzantine.behaviors)
+            base = f"{base}:byz-{behaviors}-{_digest(self.byzantine)}"
         return base
 
     def to_spec(
@@ -163,15 +184,45 @@ class AuditCase:
             inv if inv.arm_after > 0.0 else inv.armed_at(self.corrupt_at)
             for inv in self.invariants
         )
+        # For a Byzantine case the shrinkable plan is the traitor-assignment
+        # list, so ``include`` routes to the ByzantineWorkload and the
+        # corruption (usually the "none" profile) always applies in full.
         workloads: Tuple[Any, ...] = (
             ArbitraryStateWorkload(
                 at=self.corrupt_at,
                 seed=self.corruption_seed,
                 profile=get_profile(self.profile),
-                include=include,
+                include=include if self.byzantine is None else None,
                 record_atoms=record_atoms,
             ),
         )
+        if self.byzantine is not None:
+            workloads += (
+                ByzantineWorkload(
+                    at=self.corrupt_at + self.byzantine.delay,
+                    spec=self.byzantine,
+                    include=include,
+                    record_atoms=record_atoms,
+                ),
+            )
+        if self.stack in RB_STACKS:
+            # Broadcast traffic around the adversarial window, so the armed
+            # rb_agreement / rb_validity invariants and the rb_delivered
+            # probe check real delivery tables.  One broadcast lands before
+            # the disturbance; the rest go out while traitors are active —
+            # including one from pid 0, which the "lowest" traitor-selection
+            # policy makes a *traitor-origin* broadcast (the equivocation
+            # case reliable broadcast exists to survive).
+            workloads += tuple(
+                RBBroadcastWorkload(
+                    at=self.corrupt_at + offset,
+                    origin=origin % self.n,
+                    payload=("audit-rb", index),
+                )
+                for index, (offset, origin) in enumerate(
+                    ((-10.0, 1), (2.0, 0), (6.0, 2), (12.0, 3))
+                )
+            )
         if self.stack in SMR_STACKS:
             # Multicast traffic around the corruption, so the armed
             # smr_agreement invariant compares real delivery histories
@@ -204,6 +255,11 @@ class AuditCase:
             probes=(
                 probes.converged(self.convergence_budget),
                 probes.participating(self.convergence_budget),
+            )
+            + (
+                (probes.rb_delivered(self.convergence_budget),)
+                if self.stack in RB_STACKS
+                else ()
             ),
             invariants=invariants,
             track_convergence=True,
@@ -211,10 +267,17 @@ class AuditCase:
 
 
 #: Invariants armed on stacks that replicate state: SMR safety is certified,
-#: not just probed (ROADMAP: "smr_agreement as an armed invariant").
+#: not just probed (ROADMAP: "smr_agreement as an armed invariant").  RB
+#: stacks certify the reliable-broadcast safety pair; the combined
+#: ``vs_smr_rb`` stack certifies all three at once.
+_RB_INVARIANTS = (probes.rb_agreement_invariant(), probes.rb_validity_invariant())
 STACK_INVARIANTS: Dict[str, Tuple[probes.Invariant, ...]] = {
     "vs_smr": (probes.smr_agreement_invariant(),),
     "shared_register": (probes.smr_agreement_invariant(),),
+    "rb_bracha": _RB_INVARIANTS,
+    "rb_dolev": _RB_INVARIANTS,
+    "rb_naive": _RB_INVARIANTS,
+    "vs_smr_rb": (probes.smr_agreement_invariant(),) + _RB_INVARIANTS,
 }
 
 
@@ -280,6 +343,11 @@ def prefix_key(case: AuditCase) -> str:
             spec.scheduler_params,
             case.corrupt_at,
             tuple((inv.name, inv.arm_after) for inv in spec.invariants),
+            # A Byzantine case's spec *contents* are read at fire time and
+            # patchable on a warm snapshot, but the workload's presence and
+            # its firing instant shape the installed event set.
+            case.byzantine is not None,
+            case.byzantine.delay if case.byzantine is not None else 0.0,
         )
     )
 
@@ -320,11 +388,20 @@ def _run_from_snapshot(
         w for w in run.spec.workloads if isinstance(w, ArbitraryStateWorkload)
     ]
     # The workload dataclass is frozen (specs are value-like); the restored
-    # copy is private to this run, so patching it is safe.
+    # copy is private to this run, so patching it is safe.  ``include``
+    # routes like in :meth:`AuditCase.to_spec`: to the traitor-assignment
+    # plan for a Byzantine case, to the corruption plan otherwise.
     object.__setattr__(workload, "seed", case.corruption_seed)
     object.__setattr__(workload, "profile", get_profile(case.profile))
-    object.__setattr__(workload, "include", include)
+    object.__setattr__(workload, "include", include if case.byzantine is None else None)
     object.__setattr__(workload, "record_atoms", record_atoms)
+    if case.byzantine is not None:
+        (byz_workload,) = [
+            w for w in run.spec.workloads if isinstance(w, ByzantineWorkload)
+        ]
+        object.__setattr__(byz_workload, "spec", case.byzantine)
+        object.__setattr__(byz_workload, "include", include)
+        object.__setattr__(byz_workload, "record_atoms", record_atoms)
     # Swap in the case's own spec for naming and probe budgets; the installed
     # objects (workloads, monitor, tracker) stay the restored ones.
     run.spec = case.to_spec(include=include, record_atoms=record_atoms)
@@ -607,9 +684,14 @@ def _fails(result: Dict[str, Any]) -> bool:
     return not result.get("ok")
 
 
-def _plan_size(result: Dict[str, Any]) -> int:
+def _plan_kind(case: AuditCase) -> str:
+    """Which workload report holds the case's shrinkable plan."""
+    return "byzantine" if case.byzantine is not None else "arbitrary_state"
+
+
+def _plan_size(result: Dict[str, Any], kind: str = "arbitrary_state") -> int:
     for entry in result.get("workload_reports", ()):
-        if entry.get("workload") == "arbitrary_state":
+        if entry.get("workload") == kind:
             return int(entry.get("atoms_total", 0))
     return 0
 
@@ -638,9 +720,10 @@ def shrink_case(
     """
     if snapshot is None and reuse_prefix:
         snapshot = prefix_snapshot(case, seed)
+    plan_kind = _plan_kind(case)
     full = run_case(case, seed, snapshot=snapshot)
-    total = _plan_size(full)
-    base = {"case": case.name, "seed": seed, "atoms_total": total}
+    total = _plan_size(full, kind=plan_kind)
+    base = {"case": case.name, "seed": seed, "plan": plan_kind, "atoms_total": total}
     if not _fails(full):
         return {**base, "note": "run does not fail; nothing to shrink", "trials": 1}
     indices: List[int] = list(range(total))
@@ -675,7 +758,7 @@ def shrink_case(
     final = run_case(case, seed, include=tuple(indices), record_atoms=True, snapshot=snapshot)
     atoms: List[str] = []
     for entry in final.get("workload_reports", ()):
-        if entry.get("workload") == "arbitrary_state":
+        if entry.get("workload") == plan_kind:
             atoms = list(entry.get("atoms", ()))
     return {
         **base,

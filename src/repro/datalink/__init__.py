@@ -11,7 +11,11 @@ Implements the communication substrate the paper assumes (Section 2):
   by a transient fault before higher layers see messages;
 * a small **reliable FIFO messaging** facade on top of the token exchange for
   the layers that need request/response semantics (joining, counter reads and
-  writes).
+  writes);
+* optional **Byzantine-tolerant reliable broadcast** variants
+  (:mod:`repro.datalink.reliable_broadcast`): Bracha echo voting and Dolev
+  path flooding, selectable per stack profile, for the active-adversary
+  threat model the audit layer certifies against.
 """
 
 from repro.datalink.token_exchange import (
@@ -21,6 +25,14 @@ from repro.datalink.token_exchange import (
     LinkState,
 )
 from repro.datalink.heartbeat import HeartbeatService
+from repro.datalink.reliable_broadcast import (
+    BrachaBroadcastService,
+    DolevBroadcastService,
+    NaiveBroadcastService,
+    RBMessage,
+    make_rb_service,
+    validate_rb_message,
+)
 
 __all__ = [
     "TokenExchangeLink",
@@ -28,4 +40,10 @@ __all__ = [
     "DataLinkMessage",
     "LinkState",
     "HeartbeatService",
+    "BrachaBroadcastService",
+    "DolevBroadcastService",
+    "NaiveBroadcastService",
+    "RBMessage",
+    "make_rb_service",
+    "validate_rb_message",
 ]

@@ -30,6 +30,15 @@ SendFunction = Callable[[ProcessId, Any], None]
 #: ``1`` retransmits every iteration (the seed behaviour).
 DEFAULT_IDLE_RESEND_INTERVAL = 1
 
+#: Wire kinds a data-link packet may carry.
+_VALID_KINDS = frozenset(("data", "ack", "clean", "clean-ack"))
+
+#: Upper bound on plausible sequence/nonce values.  Token seqs alternate in a
+#: tiny ring and cleaning nonces grow as ``counter * 10_000 + pid``, so any
+#: honest value fits comfortably; a Byzantine out-of-range (or negative, or
+#: non-integer) value is quarantined instead of ingested.
+_MAX_LINK_SEQ = 1 << 31
+
 
 class HeartbeatService:
     """Per-process manager of token-exchange links and heartbeat fan-out."""
@@ -48,6 +57,9 @@ class HeartbeatService:
         self.require_cleaning = require_cleaning
         self.idle_resend_interval = max(1, int(idle_resend_interval))
         self.links: Dict[ProcessId, LinkEndpoint] = {}
+        #: Malformed / out-of-range data-link packets rejected before the
+        #: endpoint saw them (Byzantine garbage degrades gracefully).
+        self.quarantined = 0
         self._idle_rounds: Dict[ProcessId, int] = {}
         self._heartbeat_listeners: List[HeartbeatListener] = []
         self._payload_handlers: List[PayloadHandler] = []
@@ -120,7 +132,17 @@ class HeartbeatService:
             listener(sender)
 
     def on_packet(self, sender: ProcessId, message: DataLinkMessage) -> None:
-        """Feed a received data-link packet to the owning endpoint."""
+        """Feed a received data-link packet to the owning endpoint.
+
+        Structural bounds validation runs first: a packet with an unknown
+        kind, a non-integer link sender, or a sequence/nonce outside the
+        honest value range is counted and dropped before the endpoint (or
+        the failure detector behind it) can ingest it — a Byzantine peer
+        must not be able to poison link state with out-of-range values.
+        """
+        if not self._valid_packet(message):
+            self.quarantined += 1
+            return
         # A packet labelled with a link sender that is neither endpoint of
         # this pair is stale (Section 2: such packets are ignored).
         if message.link_sender not in (sender, self.pid):
@@ -135,6 +157,17 @@ class HeartbeatService:
         for payload in delivered:
             for handler in self._payload_handlers:
                 handler(sender, payload)
+
+    @staticmethod
+    def _valid_packet(message: DataLinkMessage) -> bool:
+        """Schema/bounds check for inbound data-link packets (never raises)."""
+        if message.kind not in _VALID_KINDS:
+            return False
+        if not isinstance(message.link_sender, int) or isinstance(message.link_sender, bool):
+            return False
+        if not isinstance(message.seq, int) or isinstance(message.seq, bool):
+            return False
+        return 0 <= message.seq < _MAX_LINK_SEQ
 
     # ------------------------------------------------------------ inspection
     def established_peers(self) -> List[ProcessId]:

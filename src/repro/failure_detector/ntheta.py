@@ -68,6 +68,10 @@ class NThetaFailureDetector:
         started processors do not cause suspicion.
     """
 
+    #: Only every k-th heartbeat of an uninterrupted run from the same
+    #: already-freshest sender ages the vector (see :meth:`heartbeat`).
+    INFLATION_CLAMP = 4
+
     def __init__(
         self,
         pid: ProcessId,
@@ -82,6 +86,9 @@ class NThetaFailureDetector:
         # The paper's nonCrashed heartbeat-count vector.
         self.counts: Dict[ProcessId, int] = {}
         self.heartbeats_received = 0
+        # Anti-inflation clamp state: length of the current run of
+        # heartbeats from a sender that was already the freshest entry.
+        self._zero_streak = 0
         # ``trusted()`` is a pure function of ``counts`` and is queried many
         # times between heartbeats (every convergence-predicate evaluation
         # walks it); the result is cached until the vector next changes.
@@ -95,10 +102,29 @@ class NThetaFailureDetector:
 
         Sets the sender's count to zero and increments every other known
         processor's count by one — exactly the update rule of Section 2.
+
+        Inflation clamp: a run of heartbeats from the sender that is
+        *already* the freshest entry (count zero) carries almost no new
+        ordering information, so only every
+        ``INFLATION_CLAMP``-th heartbeat of such a run ages the other
+        processors.  Without this, a Byzantine processor spamming junk
+        packets would ratchet every honest peer's count past the suspicion
+        gap between their legitimate heartbeats — one traitor could
+        permanently poison ``trusted()``.  Interleaved honest traffic resets
+        the run, so multi-peer operation is unaffected; and when a single
+        live peer really is the only traffic source (everyone else crashed),
+        aging still proceeds at the reduced rate, preserving crash
+        detection.
         """
         if sender == self.pid:
             return
         self.heartbeats_received += 1
+        if self.counts.get(sender) == 0:
+            self._zero_streak += 1
+            if self._zero_streak % self.INFLATION_CLAMP != 0:
+                return
+        else:
+            self._zero_streak = 0
         self._counts_version += 1
         for other in self.counts:
             if other != sender:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Union
 
 from repro.analysis import probes
+from repro.audit.byzantine import ByzantineSpec, ByzantineWorkload
 from repro.scenarios.spec import ScenarioSpec
 from repro.sim.config import fast_sim
 from repro.scenarios.workloads import (
@@ -21,6 +22,7 @@ from repro.scenarios.workloads import (
     FlashJoinWorkload,
     PartitionWorkload,
     QuorumEdgeCrashWorkload,
+    RBBroadcastWorkload,
     RegisterWriteWorkload,
     ScrambleWorkload,
     SMRCommandWorkload,
@@ -250,6 +252,118 @@ register_scenario(
         horizon=120.0,
         track_convergence=True,
         probes=(probes.converged(10_000), probes.participating(10_000)),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# Byzantine scenarios (active adversaries, repro.audit.byzantine)
+# ---------------------------------------------------------------------------
+register_scenario(
+    ScenarioSpec(
+        name="byzantine_storm",
+        description=(
+            "One traitor runs every registered Byzantine behavior (forge, "
+            "mutate, drop, equivocate, inflate) against the Bracha "
+            "reliable-broadcast stack; honest nodes must still agree on and "
+            "validate every delivered broadcast, and the system must "
+            "converge once the traitor window closes."
+        ),
+        n=5,
+        stack="rb_bracha",
+        workloads=(
+            ByzantineWorkload(
+                at=25.0,
+                spec=ByzantineSpec(
+                    behaviors=("forge", "mutate", "drop", "equivocate", "inflate"),
+                    traitors=1,
+                    duration=60.0,
+                ),
+            ),
+            RBBroadcastWorkload(at=20.0, origin=1, payload=("storm", 1)),
+            RBBroadcastWorkload(at=40.0, origin=2, payload=("storm", 2)),
+            RBBroadcastWorkload(at=70.0, origin=3, payload=("storm", 3)),
+        ),
+        horizon=140.0,
+        invariants=(
+            probes.rb_agreement_invariant(),
+            probes.rb_validity_invariant(),
+        ),
+        track_convergence=True,
+        probes=(probes.rb_delivered(8_000), probes.converged(8_000)),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="equivocating_coordinator",
+        description=(
+            "The adaptive traitor-selection policy re-reads the VS "
+            "coordinator and turns it into an equivocating/inflating traitor "
+            "while the target_coordinator scheduler slows its links; SMR "
+            "histories and RB delivery tables of the honest replicas must "
+            "never diverge."
+        ),
+        n=5,
+        stack="vs_smr_rb",
+        scheduler="target_coordinator",
+        scheduler_params=(("start", 30.0), ("period", 30.0), ("epochs", 3)),
+        workloads=(
+            ByzantineWorkload(
+                at=35.0,
+                spec=ByzantineSpec(
+                    behaviors=("equivocate", "mutate", "inflate"),
+                    traitors=1,
+                    selection="coordinator",
+                    duration=60.0,
+                ),
+            ),
+            SMRCommandWorkload(at=40.0, submitter=1, command=("coup", 1)),
+            SMRCommandWorkload(at=75.0, submitter=3, command=("coup", 2)),
+            RBBroadcastWorkload(at=45.0, origin=2, payload=("coup-rb", 1)),
+            RBBroadcastWorkload(at=105.0, origin=4, payload=("coup-rb", 2)),
+        ),
+        horizon=170.0,
+        invariants=(
+            probes.smr_agreement_invariant(),
+            probes.rb_agreement_invariant(),
+            probes.rb_validity_invariant(),
+        ),
+        track_convergence=True,
+        probes=(probes.rb_delivered(10_000), probes.converged(10_000)),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="traitor_during_recovery",
+        description=(
+            "Full arbitrary-state corruption lands while a traitor is "
+            "actively forging and equivocating: the self-stabilizing scheme "
+            "must recover from the transient fault despite a live Byzantine "
+            "adversary inside its f < n/3 resilience bound."
+        ),
+        n=5,
+        stack="rb_bracha",
+        workloads=(
+            ByzantineWorkload(
+                at=30.0,
+                spec=ByzantineSpec(
+                    behaviors=("forge", "equivocate"),
+                    traitors=1,
+                    duration=50.0,
+                ),
+            ),
+            ArbitraryStateWorkload(at=45.0),
+            RBBroadcastWorkload(at=25.0, origin=1, payload=("recovery", 1)),
+            RBBroadcastWorkload(at=95.0, origin=2, payload=("recovery", 2)),
+        ),
+        horizon=150.0,
+        invariants=(
+            probes.rb_agreement_invariant(),
+            probes.rb_validity_invariant(),
+        ),
+        track_convergence=True,
+        probes=(probes.rb_delivered(10_000), probes.converged(10_000)),
     )
 )
 

@@ -304,6 +304,37 @@ class SMRCommandWorkload:
 
 
 @dataclass(frozen=True)
+class RBBroadcastWorkload:
+    """Reliably broadcast *payload* from *origin* at time *at*.
+
+    Requires a stack exposing the ``"rb"`` service (``rb_bracha`` /
+    ``rb_dolev`` / ``rb_naive`` / ``vs_smr_rb``).  Broadcasts are what turn
+    the ``rb_agreement`` / ``rb_validity`` invariants and the
+    ``rb_delivered`` probe into real checks instead of vacuous truths over
+    empty delivery tables.
+    """
+
+    at: float
+    origin: ProcessId
+    payload: Any
+
+    def install(self, cluster: "Cluster") -> None:
+        cluster.simulator.call_at(
+            self.at,
+            Action(RBBroadcastWorkload._fire, self, cluster),
+            label=f"workload:rb-broadcast:{self.origin}",
+        )
+
+    def _fire(self, cluster: "Cluster") -> None:
+        node = cluster.nodes.get(self.origin)
+        if node is None or node.crashed:
+            return
+        rb = node.service_map.get("rb")
+        if rb is not None:
+            rb.broadcast(self.payload)
+
+
+@dataclass(frozen=True)
 class RegisterWriteWorkload:
     """Submit a shared-register write from *writer* at time *at*.
 

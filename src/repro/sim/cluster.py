@@ -221,6 +221,11 @@ class Cluster:
         self.config = config
         self.stack: StackProfile = get_stack(config.stack)
         self.nodes: Dict[ProcessId, ClusterNode] = {}
+        #: Pids that have *ever* run a Byzantine traitor program (see
+        #: :mod:`repro.audit.byzantine`).  Honest-node safety invariants
+        #: (``rb_agreement``/``rb_validity``) exclude these: a traitor's own
+        #: local state carries no guarantees, even after it falls silent.
+        self.byzantine_pids: set = set()
         #: Deterministic, JSON-serializable reports appended by installed
         #: workloads (e.g. what a corruption workload actually injected); the
         #: scenario runner copies them into the result dictionary.

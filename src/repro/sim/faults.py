@@ -215,6 +215,39 @@ class FaultInjector:
                 skipped += 1
         return {"applied": applied, "skipped": skipped}
 
+    # ------------------------------------------------------------ byzantine
+    def make_byzantine(self, cluster: Any, pid: ProcessId, program: Any) -> bool:
+        """Turn node *pid* into an active adversary running *program*.
+
+        *program* is a :class:`~repro.audit.byzantine.TraitorProgram` (duck-
+        typed here to keep the fault layer free of audit imports): activation
+        registers it as the simulator's outbound interceptor for *pid* and
+        starts its spontaneous-traffic tick.  Recorded like every other
+        injection, so post-mortems see crashes, corruption and treason
+        uniformly.  Returns ``False`` for dead/unknown nodes.
+        """
+        node = cluster.nodes.get(pid)
+        if node is None or node.crashed or not node.started:
+            return False
+        program.activate()
+        self._record(
+            "byzantine", pid, {"behaviors": list(program.behavior_names)}
+        )
+        return True
+
+    def restore_honest(self, pid: ProcessId) -> None:
+        """End *pid*'s Byzantine window: stop intercepting its traffic.
+
+        The node resumes honest execution of whatever state it holds; it
+        stays marked in ``cluster.byzantine_pids`` because its local state
+        carries no guarantees.
+        """
+        interceptors = getattr(self.simulator, "outbound_interceptors", {})
+        program = interceptors.get(pid)
+        if program is not None:
+            program.deactivate()
+            self._record("byzantine-end", pid)
+
     # ------------------------------------------------------------- channels
     def stuff_channel(self, source: ProcessId, destination: ProcessId, payload: Any) -> bool:
         """Inject a stale packet into the channel source→destination."""

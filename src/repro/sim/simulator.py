@@ -61,6 +61,14 @@ class Simulator:
         # closures — so snapshot/restore rebinds the copy automatically.
         self.network.environment.bind_timeline(self)
         self.processes: Dict[ProcessId, Process] = {}
+        #: Per-source outbound interceptors (Byzantine traitor programs):
+        #: when a source pid maps to a program here, every packet it sends
+        #: is routed through ``program.outgoing(destination, payload)``,
+        #: which returns the ``(destination, payload)`` pairs actually put
+        #: on the wire (possibly dropped, mutated or fanned out).  Kept on
+        #: the simulator — the single choke point of all sends — so no
+        #: protocol layer can bypass its node's adversary.
+        self.outbound_interceptors: Dict[ProcessId, Any] = {}
         self.executed_events = 0
         self.delivered_messages = 0
         self._pre_step_hooks: List[Callable[["Simulator"], None]] = []
@@ -137,6 +145,13 @@ class Simulator:
 
     def send(self, source: ProcessId, destination: ProcessId, payload: Any) -> None:
         """Send a packet from *source* to *destination* (may be lost)."""
+        interceptor = self.outbound_interceptors.get(source)
+        if interceptor is not None:
+            for dest, adversarial in interceptor.outgoing(destination, payload):
+                self.network.send(
+                    Packet(source=source, destination=dest, payload=adversarial)
+                )
+            return
         packet = Packet(source=source, destination=destination, payload=payload)
         self.network.send(packet)
 
@@ -147,6 +162,13 @@ class Simulator:
         delays are drawn from the network's dedicated broadcast RNG stream.
         Returns the number of packets accepted into channels.
         """
+        interceptor = self.outbound_interceptors.get(source)
+        if interceptor is not None:
+            payloads = [
+                pair
+                for destination, payload in payloads
+                for pair in interceptor.outgoing(destination, payload)
+            ]
         return self.network.send_many(source, payloads)
 
     @staticmethod

@@ -26,6 +26,16 @@ Built-in profiles (ordered bottom-up; each bundle includes what it builds on):
 ``shared_register``
     ``vs_smr`` pinned to a :class:`~repro.vs.smr.RegisterStateMachine` plus a
     :class:`~repro.vs.shared_memory.SharedRegister` client bound to the node.
+``rb_bracha`` / ``rb_dolev`` / ``rb_naive``
+    A Byzantine-tolerant reliable-broadcast service
+    (:mod:`repro.datalink.reliable_broadcast`) on the bare scheme: Bracha
+    echo voting, Dolev path flooding, or the unprotected naive fan-out
+    baseline.  Options: ``variant`` (pre-set per profile), plus the
+    service's ``resend_interval`` / ``max_resends``.
+``vs_smr_rb``
+    ``vs_smr`` with a Bracha reliable-broadcast service alongside — the
+    stack the Byzantine audit certifies ``smr_agreement`` on while traitors
+    attack the broadcast layer.
 
 Profiles are immutable; :meth:`StackProfile.configure` derives a customized
 copy (``stack("counters", seqn_bound=3)``).
@@ -38,6 +48,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, Mapping, Union
 
 from repro.counters.counter import DEFAULT_SEQN_BOUND
 from repro.counters.service import CounterService
+from repro.datalink.reliable_broadcast import make_rb_service
 from repro.labels.labeling import LabelingService
 from repro.vs.shared_memory import SharedRegister
 from repro.vs.smr import LogStateMachine, RegisterStateMachine
@@ -186,6 +197,24 @@ def _build_shared_register(node: "ClusterNode", options: Dict[str, Any]) -> Dict
     return services
 
 
+def _build_rb(node: "ClusterNode", options: Dict[str, Any]) -> Dict[str, Any]:
+    service = make_rb_service(
+        options.get("variant", "bracha"),
+        node.pid,
+        tuple(node._initial_peers),
+        node.send,
+        resend_interval=options.get("resend_interval", 4),
+        max_resends=options.get("max_resends", 8),
+    )
+    return {"rb": service}
+
+
+def _build_vs_smr_rb(node: "ClusterNode", options: Dict[str, Any]) -> Dict[str, Any]:
+    services = _build_vs_smr(node, options)
+    services.update(_build_rb(node, options))
+    return services
+
+
 BARE = register_stack(
     StackProfile("bare", "reconfiguration scheme only, no services", _build_bare)
 )
@@ -207,5 +236,37 @@ SHARED_REGISTER = register_stack(
         "shared_register",
         "vs_smr over a RegisterStateMachine + MWMR register client",
         _build_shared_register,
+    )
+)
+RB_BRACHA = register_stack(
+    StackProfile(
+        "rb_bracha",
+        "Bracha-echo reliable broadcast (tolerates f < n/3 traitors)",
+        _build_rb,
+        options={"variant": "bracha"},
+    )
+)
+RB_DOLEV = register_stack(
+    StackProfile(
+        "rb_dolev",
+        "Dolev path-flooding reliable broadcast (f+1 disjoint paths)",
+        _build_rb,
+        options={"variant": "dolev"},
+    )
+)
+RB_NAIVE = register_stack(
+    StackProfile(
+        "rb_naive",
+        "unprotected naive broadcast baseline (equivocation splits it)",
+        _build_rb,
+        options={"variant": "naive"},
+    )
+)
+VS_SMR_RB = register_stack(
+    StackProfile(
+        "vs_smr_rb",
+        "vs_smr + Bracha reliable broadcast (the Byzantine audit stack)",
+        _build_vs_smr_rb,
+        options={"variant": "bracha"},
     )
 )

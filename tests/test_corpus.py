@@ -16,6 +16,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysis.probes import invariant_by_name
+from repro.audit.byzantine import ByzantineSpec
 from repro.audit.harness import AuditCase, run_case
 
 CORPUS_DIR = Path(__file__).parent / "corpus"
@@ -31,7 +32,12 @@ def _build_case(entry: dict) -> AuditCase:
     invariants = tuple(
         invariant_by_name(name) for name in case_data.pop("invariants", [])
     )
-    return AuditCase(invariants=invariants, **case_data)
+    byzantine = case_data.pop("byzantine", None)
+    if byzantine is not None:
+        byzantine = ByzantineSpec(
+            **{**byzantine, "behaviors": tuple(byzantine["behaviors"])}
+        )
+    return AuditCase(invariants=invariants, byzantine=byzantine, **case_data)
 
 
 def test_corpus_is_seeded():
@@ -45,11 +51,13 @@ def test_corpus_entry_still_reproduces(path):
     include = tuple(entry["include"])
     result = run_case(case, seed=entry["seed"], include=include, record_atoms=True)
 
-    # The pinned subset must have been applied exactly.
+    # The pinned subset must have been applied exactly — to the traitor
+    # plan for Byzantine reproducers, to the corruption plan otherwise.
+    plan_kind = "byzantine" if case.byzantine is not None else "arbitrary_state"
     reports = [
         report
         for report in result.get("workload_reports", ())
-        if report.get("workload") == "arbitrary_state"
+        if report.get("workload") == plan_kind
     ]
     assert reports and reports[0]["atoms_selected"] == len(include)
 

@@ -1,18 +1,24 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-matrix bench-pytest scenarios scenarios-smoke audit-smoke audit-gate audit-baseline audit-byzantine audit-n24 audit-n24-baseline audit-profile-grid audit-shrink-demo
+.PHONY: test bench bench-quick bench-matrix bench-pytest bench-scale scenarios scenarios-smoke audit-smoke audit-gate audit-baseline audit-byzantine audit-n24 audit-n24-baseline audit-n128 audit-n128-baseline audit-n512-smoke audit-profile-grid audit-shrink-demo
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
 # Full perf trajectory: writes BENCH_pr5.json at the repository root.
 bench:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --tag pr5
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --tag pr7
 
 # Smoke run (<60s) for CI: scalability + hotpath + scenario-matrix scenarios.
 bench-quick:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --quick --tag pr5
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --quick --tag pr7
+
+# The large-topology throughput curve (PR 7 scale push): fixed-window event
+# cost at n=24..256 plus bootstrap-to-convergence where tractable, with the
+# pre-PR7 baseline embedded for the before/after comparison.
+bench-scale:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --only scale_curve --tag pr7
 
 # Matrix-throughput timing only (cold bootstrap-per-run vs warm prefix
 # snapshots, runs/sec): the audit job runs this and uploads the JSON next to
@@ -68,6 +74,24 @@ audit-n24:
 audit-n24-baseline:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.audit --tier n24 --workers 4 --output AUDIT_n24.json
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.audit.gate AUDIT_n24.json --tier n24 --baseline benchmarks/audit_baseline.json --refresh
+
+# The scale tier: n=128, coherent start with fd_gap_slack=2n, full-state
+# ("default") and channel-only corruption at t=20 under one static and one
+# dynamic adversary — certifies re-convergence of a converged 128-processor
+# system and gates its stabilization bound (tiers.n128 in the baseline).
+audit-n128:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.audit --tier n128 --workers 2 --output AUDIT_n128.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.audit.gate AUDIT_n128.json --tier n128 --baseline benchmarks/audit_baseline.json
+
+# Re-pin the n128 tier's bounds (preserves the smoke and n24 bounds).
+audit-n128-baseline:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.audit --tier n128 --workers 2 --output AUDIT_n128.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.audit.gate AUDIT_n128.json --tier n128 --baseline benchmarks/audit_baseline.json --refresh
+
+# Soft n=512 smoke: coherent cluster, 2-sim-unit window; reports event counts
+# and wall clock, fails only on a dead cluster (never on timing).
+audit-n512-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.audit --scale-smoke 512 --output AUDIT_n512_smoke.json
 
 # Stabilization-time distributions across corruption intensity (light/
 # default/heavy CorruptionProfile grid).

@@ -1,10 +1,37 @@
-"""E11: scalability of convergence with system size and channel capacity."""
+"""E11: scalability of convergence with system size and channel capacity.
+
+The large-n window benchmarks (``test_window_scaling_with_n``) measure the
+first ``WINDOW`` sim-units of a cold bootstrap at sizes where full
+convergence is too slow for a pytest benchmark — per-event cost and peak
+resident memory are the quantities that must stay flat as n grows (the
+PR 7 scale push: lazy channel materialization keeps the n=256 footprint
+proportional to *used* links, not the ~65k possible ones).
+"""
 
 from __future__ import annotations
+
+import resource
+import sys
 
 import pytest
 
 from conftest import bench_cluster, record
+
+#: Fixed sim-time window for the large-n benchmarks (matches the
+#: ``scale_curve`` entry of ``run_bench.py``).
+WINDOW = 12.0
+
+
+def _peak_rss_mib() -> float:
+    """Peak resident set size of this process, in MiB.
+
+    ``ru_maxrss`` is kilobytes on Linux, bytes on macOS; both are coarse
+    (high-water mark, not current usage) but need no extra dependencies.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
 
 
 def _bootstrap(n: int, capacity: int, seed: int) -> dict:
@@ -21,11 +48,34 @@ def _bootstrap(n: int, capacity: int, seed: int) -> dict:
     }
 
 
+def _window(n: int, capacity: int, seed: int) -> dict:
+    cluster = bench_cluster(n, seed=seed, capacity=capacity)
+    cluster.run(until=WINDOW)
+    stats = cluster.statistics()
+    return {
+        "n": n,
+        "capacity": capacity,
+        "window": WINDOW,
+        "executed_events": stats["executed_events"],
+        "events_per_node": stats["executed_events"] / n,
+        "messages_delivered": stats["delivered_messages"],
+        "peak_rss_mib": _peak_rss_mib(),
+    }
+
+
 @pytest.mark.parametrize("n", [4, 8, 16])
 def test_convergence_scaling_with_n(benchmark, n):
     result = benchmark.pedantic(_bootstrap, args=(n, 8, 89), rounds=1, iterations=1)
     record(benchmark, result)
     assert result["converged"]
+
+
+@pytest.mark.parametrize("n", [32, 64, 128])
+def test_window_scaling_with_n(benchmark, n):
+    """Fixed-window event cost + peak RSS at sizes beyond full-convergence."""
+    result = benchmark.pedantic(_window, args=(n, 8, 89), rounds=1, iterations=1)
+    record(benchmark, result)
+    assert result["executed_events"] > 0
 
 
 @pytest.mark.parametrize("capacity", [2, 8])

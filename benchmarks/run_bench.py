@@ -51,6 +51,46 @@ SEED_BASELINE = {
     },
 }
 
+#: Pre-PR7 tree (commit 992c9b2) measured with the same harness, serially,
+#: on the same single-CPU container (seed 89): the first 12 sim-units of an
+#: n=128 cold bootstrap, full bootstrap-to-convergence at the sizes the old
+#: tree could finish, and the headline — an n=128 bootstrap with the failure
+#: detector's gap slack scaled to 2n (applied to the old tree by setting
+#: ``gap_slack`` on every detector post-build, which is trajectory-identical
+#: to this tree's ``fd_gap_slack`` config knob).  ``scale_curve`` compares
+#: against these, so every BENCH_pr7.json carries its own before/after
+#: evidence for the scale push.
+PRE_PR7_BASELINE = {
+    "scale_window_n128": {
+        "horizon": 12.0,
+        "wall_seconds": 9.53,
+        "executed_events": 280_673,
+    },
+    "bootstrap_n24": {
+        "time_to_converge": 4.998914279380158,
+        "wall_seconds": 0.41,
+        "executed_events": 4_166,
+    },
+    "bootstrap_n48": {
+        "time_to_converge": 1041.0157662868814,
+        "wall_seconds": 101.64,
+        "executed_events": 3_168_013,
+    },
+    # The acceptance measurement: with default slack the old tree *never*
+    # converges at n=128 (the per-event full-scan convergence predicate then
+    # burns Theta(n^2) per event forever); with slack=2n it converges at
+    # t~5.13 after 153.93s of wall.  This tree: 5.78s (detection throttled
+    # to the poll cadence, t=5.2013, +1.37%) or 46.9s with exact per-event
+    # polling (byte-identical trajectory: same t, events, resets).
+    "bootstrap_n128_scaled_fd": {
+        "fd_gap_slack": 256,
+        "time_to_converge": 5.131209,
+        "wall_seconds": 153.93,
+        "executed_events": 125_295,
+        "resets": 515,
+    },
+}
+
 #: The composed scenarios swept by the matrix entry (the library's
 #: fault-model scenarios, not the trivial boot baselines).
 MATRIX_SCENARIOS = [
@@ -309,6 +349,143 @@ def bench_matrix_throughput(quick: bool) -> dict:
     return entry
 
 
+def bench_scale_curve(
+    sizes,
+    seed: int,
+    horizon: float = 12.0,
+    converge_sizes=(),
+    scaled_fd_sizes=(),
+    sharded_check_n: int | None = None,
+) -> dict:
+    """Large-topology throughput curve: the PR 7 scale push headline.
+
+    Every size runs the *same* fixed sim-time window — the first ``horizon``
+    sim-units of a cold bootstrap — so the wall-clock per size is a pure
+    per-event-cost measurement, comparable across trees regardless of how
+    long full convergence takes at that size.  Sizes in ``converge_sizes``
+    additionally run bootstrap to convergence, pinning the sim-time semantics
+    (``time_to_converge`` must match the pre-PR tree: the fast paths are
+    behavior-preserving).  Sizes in ``scaled_fd_sizes`` bootstrap with the
+    failure detector's gap slack scaled to ``2n`` (``fd_gap_slack``) — the
+    regime where large topologies actually converge — and the n=128 leg is
+    compared against ``PRE_PR7_BASELINE`` for the acceptance speedup.
+    ``sharded_check_n`` cross-checks the sharded simulator at one size: a
+    window-synchronized run must produce statistics byte-identical to the
+    single-process run.
+    """
+    from repro.sim.cluster import build_cluster
+    from repro.sim.config import fast_sim
+
+    entry: dict = {"horizon": horizon, "seed": seed, "curve": {}}
+    for n in sizes:
+        cluster = build_cluster(n=n, seed=seed, config=fast_sim())
+        t0 = time.perf_counter()
+        cluster.run(until=horizon)
+        elapsed = time.perf_counter() - t0
+        stats = cluster.statistics()
+        entry["curve"][f"n{n}"] = {
+            "n": n,
+            "wall_seconds": elapsed,
+            "executed_events": stats["executed_events"],
+            "delivered_messages": stats["delivered_messages"],
+            "events_per_second": (
+                stats["executed_events"] / elapsed if elapsed else None
+            ),
+            "converged_within_window": cluster.is_converged(),
+        }
+
+    for n in converge_sizes:
+        cluster = build_cluster(n=n, seed=seed, config=fast_sim())
+        t0 = time.perf_counter()
+        converged = cluster.run_until_converged(timeout=6_000.0)
+        elapsed = time.perf_counter() - t0
+        stats = cluster.statistics()
+        entry.setdefault("bootstrap", {})[f"n{n}"] = {
+            "n": n,
+            "converged": converged,
+            "wall_seconds": elapsed,
+            "time_to_converge": cluster.simulator.now,
+            "executed_events": stats["executed_events"],
+        }
+        baseline = PRE_PR7_BASELINE.get(f"bootstrap_n{n}")
+        if baseline and converged and elapsed:
+            entry["bootstrap"][f"n{n}"]["speedup_vs_pre_pr7"] = round(
+                baseline["wall_seconds"] / elapsed, 2
+            )
+            entry["bootstrap"][f"n{n}"]["sim_time_delta_pct"] = round(
+                100.0
+                * (cluster.simulator.now - baseline["time_to_converge"])
+                / baseline["time_to_converge"],
+                3,
+            )
+
+    for n in scaled_fd_sizes:
+        slack = 2 * n
+        cluster = build_cluster(n=n, seed=seed, config=fast_sim(fd_gap_slack=slack))
+        t0 = time.perf_counter()
+        converged = cluster.run_until_converged(timeout=6_000.0)
+        elapsed = time.perf_counter() - t0
+        stats = cluster.statistics()
+        cell = {
+            "n": n,
+            "fd_gap_slack": slack,
+            "converged": converged,
+            "wall_seconds": elapsed,
+            "time_to_converge": cluster.simulator.now,
+            "executed_events": stats["executed_events"],
+            "resets": stats["resets"],
+        }
+        baseline = PRE_PR7_BASELINE.get(f"bootstrap_n{n}_scaled_fd")
+        if baseline and converged and elapsed:
+            cell["speedup_vs_pre_pr7"] = round(
+                baseline["wall_seconds"] / elapsed, 2
+            )
+            cell["sim_time_delta_pct"] = round(
+                100.0
+                * (cluster.simulator.now - baseline["time_to_converge"])
+                / baseline["time_to_converge"],
+                3,
+            )
+        entry.setdefault("bootstrap_scaled_fd", {})[f"n{n}"] = cell
+
+    if sharded_check_n is not None:
+        from repro.sim.sharded import build_sharded_cluster
+
+        config = fast_sim(broadcast_streams="per_source")
+        single = build_cluster(n=sharded_check_n, seed=seed, config=config)
+        single.run(until=horizon)
+        sharded = build_sharded_cluster(
+            n=sharded_check_n, seed=seed, shards=4, config=config
+        )
+        t0 = time.perf_counter()
+        sharded.run(until=horizon)
+        entry["sharded_check"] = {
+            "n": sharded_check_n,
+            "shards": 4,
+            "wall_seconds": time.perf_counter() - t0,
+            "statistics_identical": sharded.statistics() == single.statistics(),
+        }
+
+    baseline = PRE_PR7_BASELINE["scale_window_n128"]
+    current = entry["curve"].get("n128")
+    if current and current["wall_seconds"] and horizon == baseline["horizon"]:
+        entry["speedup_n128_window_vs_pre_pr7"] = round(
+            baseline["wall_seconds"] / current["wall_seconds"], 2
+        )
+    headline = entry.get("bootstrap_scaled_fd", {}).get("n128")
+    if headline and "speedup_vs_pre_pr7" in headline:
+        entry["speedup_n128_bootstrap_vs_pre_pr7"] = headline["speedup_vs_pre_pr7"]
+    entry["all_ok"] = (
+        all(item["converged"] for item in entry.get("bootstrap", {}).values())
+        and all(
+            item["converged"]
+            for item in entry.get("bootstrap_scaled_fd", {}).values()
+        )
+        and entry.get("sharded_check", {}).get("statistics_identical", True)
+    )
+    return entry
+
+
 def bench_scenario_matrix(seeds, workers: int) -> dict:
     """Seed-sweep of the composed scenario library via the parallel runner."""
     t0 = time.perf_counter()
@@ -337,7 +514,7 @@ def bench_scenario_matrix(seeds, workers: int) -> dict:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="smoke run, <60s")
-    parser.add_argument("--tag", default="pr5", help="suffix of BENCH_<tag>.json")
+    parser.add_argument("--tag", default="pr7", help="suffix of BENCH_<tag>.json")
     parser.add_argument("--output", default=None, help="explicit output path")
     parser.add_argument("--workers", type=int, default=4, help="matrix sweep workers")
     parser.add_argument(
@@ -374,6 +551,7 @@ def main(argv=None) -> int:
         "audit_sweep",
         "environment_sweep",
         "matrix_throughput",
+        "scale_curve",
     } | {f"event_throughput_{n}" for n in (100_000, 200_000)} \
       | {f"bootstrap_n{n}" for n in (4, 8, 16)} \
       | {f"steady_state_n{n}" for n in (8, 16)}
@@ -440,6 +618,17 @@ def main(argv=None) -> int:
         results["benchmarks"]["matrix_throughput"] = bench_matrix_throughput(
             quick=args.quick
         )
+
+    if want("scale_curve"):
+        print("[bench] scale_curve ...", flush=True)
+        results["benchmarks"]["scale_curve"] = bench_scale_curve(
+            sizes=[24, 48] if args.quick else [24, 48, 128, 256],
+            seed=89,
+            converge_sizes=[24] if args.quick else [24, 48],
+            scaled_fd_sizes=[128],
+            sharded_check_n=24 if args.quick else 48,
+        )
+        results["seed_baseline"]["pre_pr7"] = PRE_PR7_BASELINE
 
     if args.only is not None and not results["benchmarks"]:
         # Belt over the name-validation braces: if the known-entries set ever

@@ -190,7 +190,96 @@ def n24_cases(
     )
 
 
-TIERS = {"n24": n24_cases}
+def n128_cases(
+    convergence_budget: float = 120.0,
+    corrupt_at: float = 20.0,
+) -> List[AuditCase]:
+    """The scale tier: ``n=128`` full-state corruption on a coherent start.
+
+    Only reachable with the failure detector's gap slack scaled to ``2n``
+    (``fd_gap_slack=256``): with the default slack the heartbeat-count
+    ramp's spread at this size turns ordinary staggering into perpetual
+    suspicion churn, the cluster-wide no-reconfiguration windows never
+    align, and *any* disturbance — even a converged system left alone —
+    degenerates into an endless reset storm (a probe with default slack
+    was still unconverged after 600 time units and 76k resets).  With the
+    scaled slack the same system is stable, and recovery from the paper's
+    full transient-fault model — 40% of nodes scrambled field-by-field
+    *and* stale/garbled packets stuffed into in-flight channels (the
+    ``default`` profile) — completes within a few time units: the global
+    reset it triggers reconfigures as fast as a (slack-scaled) cold
+    bootstrap, which the PR 7 fast paths made cheap.  The runs exercise
+    exactly those paths: garbled fulls break delta chains (fallback +
+    full-vector repair), corruption flips the convergence ledger's dirty
+    sets, and the per-event cost rides the incremental predicate.  One
+    static and one dynamic adversary keep the tier tractable: at this
+    size every run executes hundreds of thousands of events even with
+    the warm prefix shared.
+    """
+    from repro.sim.config import coherent_start
+
+    return build_cases(
+        schedulers=["uniform", "crash_recovery"],
+        corruption_seeds=[0],
+        n=128,
+        config=coherent_start(fd_gap_slack=256),
+        profiles=["default", "channel_only"],
+        corrupt_at=corrupt_at,
+        convergence_budget=convergence_budget,
+        # 0.2-unit tracker cadence (= fast_sim's min link delay): exact
+        # per-event tracking is a ~300 us/event monitor tax at this size.
+        convergence_poll=0.2,
+    )
+
+
+TIERS = {"n24": n24_cases, "n128": n128_cases}
+
+
+def _scale_smoke(n: int, horizon: float, output: str | None) -> int:
+    """Soft large-topology smoke: a coherent n-processor window (``--scale-smoke``).
+
+    Builds the full cluster (lazy channels keep the ~n^2 link space
+    virtual), runs ``horizon`` sim-units and reports event counts, wall
+    clock and whether the ledger still sees the pre-installed configuration
+    as converged.  Soft by design — it exercises construction, the delta
+    gossip paths and the incremental ledger at sizes (n=512) where a
+    certification run would be too slow for CI, and only fails on a crash
+    or a completely dead cluster.
+    """
+    import time as _time
+
+    from repro.sim.cluster import build_cluster
+    from repro.sim.config import coherent_start
+
+    t0 = _time.perf_counter()
+    # Slack scaled to 2n: without it, suspicion churn at these sizes turns
+    # the window into a reset storm and the event count measures the storm,
+    # not steady-state gossip throughput.
+    cluster = build_cluster(n=n, seed=0, config=coherent_start(fd_gap_slack=2 * n))
+    built = _time.perf_counter() - t0
+    t0 = _time.perf_counter()
+    cluster.run(until=horizon)
+    ran = _time.perf_counter() - t0
+    stats = cluster.statistics()
+    report = {
+        "n": n,
+        "horizon": horizon,
+        "build_seconds": round(built, 3),
+        "run_seconds": round(ran, 3),
+        "executed_events": stats["executed_events"],
+        "delivered_messages": stats["delivered_messages"],
+        "converged": cluster.is_converged(),
+        "channels_materialized": len(cluster.simulator.network._channels),
+        "channels_possible": n * (n - 1),
+    }
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if output:
+        Path(output).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {output}")
+    if stats["executed_events"] <= 0:
+        print(f"[audit] scale smoke: no events executed at n={n}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _render(report: dict) -> str:
@@ -301,7 +390,23 @@ def main(argv=None) -> int:
         default=None,
         choices=sorted(TIERS),
         help="run a named matrix tier (n24: 24 processors, paper_faithful "
-        "config, two dynamic adversaries, corruption at t=120)",
+        "config, two dynamic adversaries, corruption at t=120; n128: 128 "
+        "processors, coherent start, light corruption at t=60)",
+    )
+    parser.add_argument(
+        "--scale-smoke",
+        type=int,
+        default=None,
+        metavar="N",
+        help="soft large-topology smoke: build a coherent N-processor "
+        "cluster, run a short window, report events/wall/convergence "
+        "(n=512 in CI; fails only on a dead cluster)",
+    )
+    parser.add_argument(
+        "--smoke-horizon",
+        type=float,
+        default=2.0,
+        help="sim-time window of --scale-smoke (default: 2.0)",
     )
     parser.add_argument(
         "--cold",
@@ -337,6 +442,9 @@ def main(argv=None) -> int:
 
     if args.demo_shrink:
         return _demo_shrink(args.output)
+
+    if args.scale_smoke is not None:
+        return _scale_smoke(args.scale_smoke, args.smoke_horizon, args.output)
 
     if args.profile_grid:
         schedulers = (

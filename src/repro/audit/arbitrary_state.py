@@ -110,6 +110,24 @@ PROFILES: Dict[str, CorruptionProfile] = {
         corrupt_services=False,
         corrupt_failure_detector=False,
     ),
+    # Channel-only corruption: every node's state is left intact and only
+    # in-flight packets are replaced with stale/garbled payloads — the
+    # paper's bounded channel adversary (O(N^2 * cap) stale messages) in
+    # isolation.  The large-n audit tier runs it alongside ``default`` to
+    # separate the two recovery mechanisms: stale-packet absorption (no
+    # reset needed) vs the global reset that node-state corruption
+    # triggers.  Note both are only gateable at n >= 128 with the failure
+    # detector's gap slack scaled to ~2n (``fd_gap_slack``); with the
+    # default slack, suspicion churn makes *any* disturbance at that size
+    # an endless reset storm.
+    "channel_only": CorruptionProfile(
+        node_fraction=0.0,
+        field_probability=0.0,
+        channel_fraction=0.25,
+        channel_fill=0.5,
+        corrupt_services=False,
+        corrupt_failure_detector=False,
+    ),
 }
 
 
@@ -487,11 +505,16 @@ def generate_plan(
         return []
     shuffled = list(alive)
     rng.shuffle(shuffled)
-    selected = sorted(
-        shuffled[: max(1, int(len(shuffled) * profile.node_fraction))],
-        key=lambda node: node.pid,
-    )
-    anchor_pid = selected[0].pid
+    if profile.node_fraction <= 0.0:
+        # Channel-only profiles corrupt no node state at all; the historical
+        # "at least one node" floor applies only when nodes are in scope.
+        selected = []
+    else:
+        selected = sorted(
+            shuffled[: max(1, int(len(shuffled) * profile.node_fraction))],
+            key=lambda node: node.pid,
+        )
+    anchor_pid = selected[0].pid if selected else None
     atoms: List[CorruptionAtom] = []
     for node in selected:
         atoms.extend(

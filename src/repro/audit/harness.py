@@ -122,6 +122,14 @@ class AuditCase:
     config: str = "fast_sim"
     corrupt_at: float = 30.0
     convergence_budget: float = 6_000.0
+    #: Sim-time cadence for the run's ConvergenceTracker; 0.0 = evaluate
+    #: after every event (exact transition times — the small-n default).
+    #: Large-n tiers set this: at n=128 the per-event predicate is a
+    #: ~300 us/event monitor tax, and a 0.2-unit cadence only coarsens
+    #: the reported stabilization times by that interval.  Measurement
+    #: cadence only — the event trajectory is identical either way, so
+    #: it is deliberately NOT part of the case name or prefix key.
+    convergence_poll: float = 0.0
     profile: Any = DEFAULT_PROFILE
     invariants: Tuple[probes.Invariant, ...] = ()
     scheduler_params: Tuple[Tuple[str, Any], ...] = ()
@@ -263,6 +271,7 @@ class AuditCase:
             ),
             invariants=invariants,
             track_convergence=True,
+            convergence_poll=self.convergence_poll,
         )
 
 

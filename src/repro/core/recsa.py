@@ -41,6 +41,7 @@ few places — see DESIGN.md):
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
@@ -72,6 +73,18 @@ SendManyFn = Callable[[List[Tuple[ProcessId, Any]]], Any]
 #: ``1`` disables change detection entirely (the seed behaviour).
 DEFAULT_GOSSIP_REFRESH_INTERVAL = 5
 
+#: Delta-gossip wire discipline (see :meth:`RecSA._broadcast`): every
+#: ``FULL_RESEND_PERIOD``-th actual send to a peer is an unconditional full
+#: vector, bounding how long a silently diverged copy can survive on the
+#: compact paths; receivers re-derive the digest of their stored copy from
+#: scratch every ``DIGEST_VERIFY_PERIOD``-th compact receipt (repairing
+#: arbitrary corruption of the stored arrays in bounded time); a sender that
+#: has re-sent the same state version ``ESCALATION_THRESHOLD`` times without
+#: the peer's echo reflecting it falls back to a full vector.
+FULL_RESEND_PERIOD = 4
+DIGEST_VERIFY_PERIOD = 4
+ESCALATION_THRESHOLD = 2
+
 
 @dataclass(frozen=True)
 class EchoTriple:
@@ -98,6 +111,84 @@ class RecSAMessage:
     prp: Proposal
     all_flag: bool
     echo: Optional[EchoTriple]
+    #: Delta-gossip chain seed (trailing defaults keep every historical
+    #: constructor call — including forged stale messages — valid; a message
+    #: without them simply does not establish a delta chain).
+    version: Optional[int] = None
+    digest: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class RecSADelta:
+    """Compact gossip: only the core fields that changed since the last send.
+
+    ``changes`` is a tuple of ``(field_name, absolute_value)`` pairs over the
+    message core (``fd``/``part``/``config``/``prp``/``all_flag``), computed
+    against the *base*: the core the sender last materialized to this peer.
+    ``base_digest`` is the CRC of that base and ``digest`` the CRC of the
+    sender's entire new core.  A delta is applied only when the receiver's
+    stored copy provably equals the base (chain intact, or base digest
+    matches from scratch) — so the stored copy is always a *complete* core
+    the sender once held, never a hybrid of two versions.  A delta whose
+    base cannot be verified (reordered burst, lost chain, corrupted copy)
+    is dropped; the sender repairs with a full vector within a bounded
+    number of rounds (escalation or the periodic full resend).
+    """
+
+    sender: ProcessId
+    version: int
+    base_version: int
+    base_digest: int
+    changes: Tuple[Tuple[str, Any], ...]
+    digest: int
+    echo: Optional[EchoTriple]
+
+
+@dataclass(frozen=True)
+class RecSADigest:
+    """Compact periodic refresh: nothing changed, here is proof.
+
+    Carries the per-peer ``echo`` (which changes independently of the core)
+    plus the core's version and digest so the receiver can confirm its copy
+    is current — or discover it is not and force the full-vector fallback.
+    """
+
+    sender: ProcessId
+    version: int
+    digest: int
+    echo: Optional[EchoTriple]
+
+
+def _canonical_core(core: Tuple[Any, ...]) -> Tuple[Any, ...]:
+    trusted, part, config, prp, all_flag = core
+    if config is BOTTOM:
+        config_c: Any = "<bottom>"
+    elif config is NOT_PARTICIPANT:
+        config_c = "<not-participant>"
+    else:
+        config_c = tuple(sorted(config))
+    members = None if prp.members is None else tuple(sorted(prp.members))
+    return (
+        tuple(sorted(trusted)),
+        tuple(sorted(part)),
+        config_c,
+        (prp.phase.value, members),
+        bool(all_flag),
+    )
+
+
+def compute_core_digest(core: Tuple[Any, ...]) -> int:
+    """CRC32 over the canonical form of a broadcast core.
+
+    A checksum, not a cryptographic commitment: the adversary model for the
+    digest path is transient faults (lost packets, corrupted state), not an
+    equivocating sender — Byzantine senders are modelled by the interceptor
+    layer, and honest-node invariants never depend on a traitor's digests.
+    """
+    return zlib.crc32(repr(_canonical_core(core)).encode("utf-8"))
+
+#: Field order of the broadcast core, aligned with the core-key tuple.
+_CORE_FIELDS = ("fd", "part", "config", "prp", "all_flag")
 
 
 class RecSA:
@@ -129,12 +220,14 @@ class RecSA:
         initial_config: Any = None,
         send_many: Optional[SendManyFn] = None,
         gossip_refresh_interval: int = DEFAULT_GOSSIP_REFRESH_INTERVAL,
+        gossip_deltas: bool = True,
     ) -> None:
         self.pid = pid
         self.fd_provider = fd_provider
         self.send = send
         self.send_many = send_many
         self.gossip_refresh_interval = max(1, int(gossip_refresh_interval))
+        self.gossip_deltas = bool(gossip_deltas)
 
         # Replicated arrays (own entry + most recently received per peer).
         self.config: Dict[ProcessId, Any] = {}
@@ -156,6 +249,21 @@ class RecSA:
         self._sent_echo: Dict[ProcessId, Optional[EchoTriple]] = {}
         self._rounds_since_sent: Dict[ProcessId, int] = {}
 
+        # Delta/digest wire discipline (sender side): the core last shipped
+        # to each peer in materialized form (full or delta — what we believe
+        # the peer's copy of us equals), the countdown to the next
+        # unconditional full resend, and the run of same-version sends the
+        # peer has not echoed (escalation to full).
+        self._sent_core: Dict[ProcessId, Any] = {}
+        self._sent_digest: Dict[ProcessId, int] = {}
+        self._full_countdown: Dict[ProcessId, int] = {}
+        self._unacked_sends: Dict[ProcessId, int] = {}
+        self._digest_cache: Tuple[int, int] = (-1, 0)
+        # Receiver side: per-sender (version, digest) of the last verified
+        # core, plus the countdown to the next from-scratch digest check.
+        self._gossip_chain: Dict[ProcessId, Tuple[int, int]] = {}
+        self._digest_verify_countdown: Dict[ProcessId, int] = {}
+
         # Diagnostics / experiment counters.
         self.reset_count = 0
         self.install_count = 0
@@ -163,6 +271,10 @@ class RecSA:
         self.estab_rejected = 0
         self.broadcasts_sent = 0
         self.broadcasts_skipped = 0
+        self.deltas_sent = 0
+        self.digests_sent = 0
+        self.fulls_sent = 0
+        self.delta_fallbacks = 0
         self.stale_detections: Dict[StaleInfoType, int] = {t: 0 for t in StaleInfoType}
 
         # Boot (the paper's line 31 interrupt): every entry defaults to
@@ -180,7 +292,14 @@ class RecSA:
     # ------------------------------------------------------------------
     def trusted(self) -> FrozenSet[ProcessId]:
         """The owner's current failure-detector view ``FD[i]``."""
-        view = frozenset(self.fd_provider()) | {self.pid}
+        view = self.fd_provider()
+        # The (N, Theta) detector already returns a frozenset containing the
+        # owner; reuse it instead of rebuilding an O(n) copy on every call
+        # (this is on the path of every no_reco()/participants() query).
+        if not isinstance(view, frozenset):
+            view = frozenset(view)
+        if self.pid not in view:
+            view = view | {self.pid}
         self.fd[self.pid] = view
         return view
 
@@ -433,6 +552,11 @@ class RecSA:
                 self.config[pid] = NOT_PARTICIPANT
                 self.prp[pid] = DEFAULT_PROPOSAL
                 self.all_flags[pid] = False
+                # Our stored copy of this peer's core was just mutated
+                # locally; a future delta from it would verify against state
+                # it never sent.  Drop the chain so the next compact receipt
+                # re-verifies (or forces the full-vector fallback).
+                self._gossip_chain.pop(pid, None)
         for pid in list(self.prp):
             if pid == self.pid:
                 continue
@@ -444,6 +568,12 @@ class RecSA:
                 self._sent_version.pop(pid, None)
                 self._sent_echo.pop(pid, None)
                 self._rounds_since_sent.pop(pid, None)
+                self._sent_core.pop(pid, None)
+                self._sent_digest.pop(pid, None)
+                self._full_countdown.pop(pid, None)
+                self._unacked_sends.pop(pid, None)
+                self._gossip_chain.pop(pid, None)
+                self._digest_verify_countdown.pop(pid, None)
 
     # -- line 26: brute-force stabilization -----------------------------------
     def _brute_force_step(
@@ -599,8 +729,10 @@ class RecSA:
             self._last_core_key = core_key
         version = self._state_version
         refresh = self.gossip_refresh_interval
+        deltas = self.gossip_deltas
+        digest = self._core_digest(version, core_key) if deltas else None
 
-        outgoing: List[Tuple[ProcessId, RecSAMessage]] = []
+        outgoing: List[Tuple[ProcessId, Any]] = []
         for pid in trusted:
             if pid == self.pid:
                 continue
@@ -612,24 +744,23 @@ class RecSA:
                     all_flag=bool(self.all_flags.get(pid, False)),
                 )
             rounds = self._rounds_since_sent.get(pid, refresh)
+            echoed = self._peer_echoed(pid, part, with_all=True)
+            if echoed:
+                self._unacked_sends.pop(pid, None)
             if (
                 refresh > 1
                 and rounds + 1 < refresh
                 and self._sent_version.get(pid) == version
                 and self._sent_echo.get(pid) == echo
-                and self._peer_echoed(pid, part, with_all=True)
+                and echoed
             ):
                 self._rounds_since_sent[pid] = rounds + 1
                 self.broadcasts_skipped += 1
                 continue
-            message = RecSAMessage(
-                sender=self.pid,
-                fd=trusted,
-                part=part,
-                config=own_config,
-                prp=own_prp,
-                all_flag=own_all,
-                echo=echo,
+            message = (
+                self._compose(pid, version, core_key, digest, echo, echoed)
+                if deltas
+                else self._full(version, core_key, None, echo)
             )
             outgoing.append((pid, message))
             self._sent_version[pid] = version
@@ -644,9 +775,108 @@ class RecSA:
                 for pid, message in outgoing:
                     self.send(pid, message)
 
+    def _full(
+        self,
+        version: int,
+        core_key: Tuple[Any, ...],
+        digest: Optional[int],
+        echo: Optional[EchoTriple],
+    ) -> RecSAMessage:
+        trusted, part, own_config, own_prp, own_all = core_key
+        return RecSAMessage(
+            sender=self.pid,
+            fd=trusted,
+            part=part,
+            config=own_config,
+            prp=own_prp,
+            all_flag=own_all,
+            echo=echo,
+            version=version,
+            digest=digest,
+        )
+
+    def _compose(
+        self,
+        pid: ProcessId,
+        version: int,
+        core_key: Tuple[Any, ...],
+        digest: int,
+        echo: Optional[EchoTriple],
+        echoed: bool,
+    ) -> Any:
+        """Pick the cheapest sound wire form for one peer (deltas enabled).
+
+        Full vector when: we have never materialized state to this peer, the
+        periodic full-resend countdown expired, or the peer has repeatedly
+        failed to echo the current version (its copy — or its chain — is
+        broken in a way deltas cannot repair).  Digest when the core is
+        exactly what we last materialized (pure refresh / echo update).
+        Delta of the changed fields otherwise.
+        """
+        sent_core = self._sent_core.get(pid)
+        unacked = self._unacked_sends.get(pid, 0)
+        if not echoed and self._sent_version.get(pid) == version:
+            self._unacked_sends[pid] = unacked + 1
+        else:
+            self._unacked_sends.pop(pid, None)
+            unacked = 0
+        countdown = self._full_countdown.get(pid, 0)
+        if sent_core is None or unacked >= ESCALATION_THRESHOLD or countdown <= 1:
+            self._sent_core[pid] = core_key
+            self._sent_digest[pid] = digest
+            self._full_countdown[pid] = FULL_RESEND_PERIOD
+            self.fulls_sent += 1
+            return self._full(version, core_key, digest, echo)
+        self._full_countdown[pid] = countdown - 1
+        if core_key == sent_core:
+            self.digests_sent += 1
+            return RecSADigest(
+                sender=self.pid, version=version, digest=digest, echo=echo
+            )
+        base_version = self._sent_version.get(pid, -1)
+        base_digest = self._sent_digest.get(pid, 0)
+        changes = tuple(
+            (name, new)
+            for name, old, new in zip(_CORE_FIELDS, sent_core, core_key)
+            if old is not new and old != new
+        )
+        self._sent_core[pid] = core_key
+        self._sent_digest[pid] = digest
+        self.deltas_sent += 1
+        return RecSADelta(
+            sender=self.pid,
+            version=version,
+            base_version=base_version,
+            base_digest=base_digest,
+            changes=changes,
+            digest=digest,
+            echo=echo,
+        )
+
+    def _core_digest(self, version: int, core_key: Tuple[Any, ...]) -> int:
+        cached_version, cached = self._digest_cache
+        if cached_version == version:
+            return cached
+        digest = compute_core_digest(core_key)
+        self._digest_cache = (version, digest)
+        return digest
+
     # ------------------------------------------------------------------
     # Message receipt (line 30)
     # ------------------------------------------------------------------
+    def dispatch(self, sender: ProcessId, message: Any) -> None:
+        """Route any recSA gossip form (full, delta, digest) to its handler.
+
+        Convenience for harnesses that wire ``RecSA`` directly to a bus;
+        the composed scheme dispatches by type itself.
+        """
+        if isinstance(message, RecSAMessage):
+            self.on_message(sender, message)
+        elif isinstance(message, RecSADelta):
+            self.on_delta(sender, message)
+        elif isinstance(message, RecSADigest):
+            self.on_digest(sender, message)
+
     def on_message(self, sender: ProcessId, message: RecSAMessage) -> None:
         """Store the peer's state (the paper's ``upon receive`` handler)."""
         if sender == self.pid:
@@ -658,6 +888,93 @@ class RecSA:
         self.all_flags[sender] = bool(message.all_flag)
         if message.echo is not None:
             self.echo[sender] = message.echo
+        # A full vector (re)seeds the delta chain; messages without chain
+        # metadata (old constructors, forged stale packets) break it, so
+        # later compact receipts must re-verify against actual state.
+        if message.version is not None and message.digest is not None:
+            self._gossip_chain[sender] = (message.version, message.digest)
+            self._digest_verify_countdown[sender] = DIGEST_VERIFY_PERIOD
+        else:
+            self._gossip_chain.pop(sender, None)
+
+    def on_delta(self, sender: ProcessId, delta: RecSADelta) -> None:
+        """Apply a changed-fields delta to the stored copy of *sender*.
+
+        A delta is sound only against its base: the exact core the sender
+        last materialized to us.  We apply it when the stored copy provably
+        equals that base — the chain is intact (base version matches, with a
+        from-scratch digest check every ``DIGEST_VERIFY_PERIOD``-th compact
+        receipt) — and drop it otherwise, counting a fallback.  Dropping
+        matters: a delta applied over the *wrong* base (a reordered burst
+        put a newer delta ahead of the send that established its base, or
+        the copy was corrupted) would leave a hybrid core no process ever
+        held.  Keeping the stale-but-complete copy instead preserves the
+        full-vector path's invariant — stored state is always some core the
+        sender actually broadcast — and the sender repairs via escalation
+        or the periodic full resend.  The echo rides outside the core and
+        is applied either way (full vectors overwrite it unconditionally
+        too).
+        """
+        if sender == self.pid:
+            return
+        if delta.echo is not None:
+            self.echo[sender] = delta.echo
+        chain = self._gossip_chain.get(sender)
+        countdown = self._digest_verify_countdown.get(sender, 1) - 1
+        if chain is not None and chain[0] == delta.base_version and countdown > 0:
+            self._digest_verify_countdown[sender] = countdown
+        elif self._stored_core_digest(sender) == delta.base_digest:
+            self._digest_verify_countdown[sender] = DIGEST_VERIFY_PERIOD
+        else:
+            self._gossip_chain.pop(sender, None)
+            self.delta_fallbacks += 1
+            return
+        for name, value in delta.changes:
+            if name == "fd":
+                self.fd[sender] = frozenset(value)
+            elif name == "part":
+                self.part[sender] = frozenset(value)
+            elif name == "config":
+                self.config[sender] = value
+            elif name == "prp":
+                self.prp[sender] = value
+            elif name == "all_flag":
+                self.all_flags[sender] = bool(value)
+        self._gossip_chain[sender] = (delta.version, delta.digest)
+
+    def on_digest(self, sender: ProcessId, message: RecSADigest) -> None:
+        """Process a compact refresh: update the echo, audit the chain."""
+        if sender == self.pid:
+            return
+        if message.echo is not None:
+            self.echo[sender] = message.echo
+        chain = self._gossip_chain.get(sender)
+        countdown = self._digest_verify_countdown.get(sender, 1) - 1
+        if (
+            chain is not None
+            and chain == (message.version, message.digest)
+            and countdown > 0
+        ):
+            self._digest_verify_countdown[sender] = countdown
+            return
+        if self._stored_core_digest(sender) == message.digest:
+            self._gossip_chain[sender] = (message.version, message.digest)
+            self._digest_verify_countdown[sender] = DIGEST_VERIFY_PERIOD
+        else:
+            self._gossip_chain.pop(sender, None)
+            self.delta_fallbacks += 1
+
+    def _stored_core_digest(self, sender: ProcessId) -> int:
+        """Digest of our stored copy of *sender*'s broadcast core."""
+        return compute_core_digest(
+            (
+                self.fd.get(sender, frozenset()),
+                self.part.get(sender, frozenset()),
+                self.config.get(sender, NOT_PARTICIPANT),
+                self.prp.get(sender, DEFAULT_PROPOSAL),
+                bool(self.all_flags.get(sender, False)),
+            )
+        )
 
     # ------------------------------------------------------------------
     # Diagnostics

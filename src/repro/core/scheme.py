@@ -32,7 +32,7 @@ from repro.core.joining import (
 )
 from repro.core.prediction import PredictionPolicy
 from repro.core.recma import RecMA, RecMAMessage
-from repro.core.recsa import RecSA, RecSAMessage
+from repro.core.recsa import RecSA, RecSADelta, RecSADigest, RecSAMessage
 from repro.core.stale import is_real_config
 
 FdProvider = Callable[[], FrozenSet[ProcessId]]
@@ -56,6 +56,7 @@ class ReconfigurationScheme:
         state_resetter: Optional[StateResetter] = None,
         send_many: Optional[SendManyFn] = None,
         gossip_refresh_interval: Optional[int] = None,
+        gossip_deltas: Optional[bool] = None,
     ) -> None:
         self.pid = pid
         self.fd_provider = fd_provider
@@ -64,6 +65,8 @@ class ReconfigurationScheme:
         if gossip_refresh_interval is not None:
             recsa_kwargs["gossip_refresh_interval"] = gossip_refresh_interval
             recma_kwargs["gossip_refresh_interval"] = gossip_refresh_interval
+        if gossip_deltas is not None:
+            recsa_kwargs["gossip_deltas"] = gossip_deltas
         self.recsa = RecSA(
             pid=pid,
             fd_provider=fd_provider,
@@ -133,6 +136,12 @@ class ReconfigurationScheme:
         """Dispatch a received scheme message; returns True when handled."""
         if isinstance(message, RecSAMessage):
             self.recsa.on_message(sender, message)
+            return True
+        if isinstance(message, RecSADelta):
+            self.recsa.on_delta(sender, message)
+            return True
+        if isinstance(message, RecSADigest):
+            self.recsa.on_digest(sender, message)
             return True
         if isinstance(message, RecMAMessage):
             self.recma.on_message(sender, message)

@@ -20,10 +20,56 @@ The detector exposes:
 
 from __future__ import annotations
 
+from collections.abc import MutableMapping
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from repro.common.types import ProcessId
+
+
+class _CountsView(MutableMapping):
+    """Keyed, writable view over the offset-encoded heartbeat vector.
+
+    The detector stores each processor's count as ``raw[pid] + shift`` so a
+    heartbeat can "increment everyone else" by bumping the single shared
+    ``shift`` in O(1) instead of walking the vector (Θ(n) per received
+    token, the second-hottest cost of an n=128 bootstrap).  This view keeps
+    the public ``counts`` surface a real mapping of *effective* counts:
+    reads decode, writes encode, so fault-injection atoms that assign
+    ``counts[pid] = value`` and diagnostics that copy the vector behave
+    exactly as they did when ``counts`` was a plain dict — including the
+    seed behaviour that a direct external write does *not* invalidate the
+    ``trusted()`` cache (the corrupted value becomes visible at the next
+    vector update, as before).
+    """
+
+    __slots__ = ("_fd",)
+
+    def __init__(self, fd: "NThetaFailureDetector") -> None:
+        self._fd = fd
+
+    def __getitem__(self, pid: ProcessId) -> int:
+        fd = self._fd
+        return fd._raw[pid] + fd._shift
+
+    def __setitem__(self, pid: ProcessId, value: int) -> None:
+        fd = self._fd
+        fd._raw[pid] = value - fd._shift
+
+    def __delitem__(self, pid: ProcessId) -> None:
+        del self._fd._raw[pid]
+
+    def __iter__(self) -> Iterator[ProcessId]:
+        return iter(self._fd._raw)
+
+    def __len__(self) -> int:
+        return len(self._fd._raw)
+
+    def __contains__(self, pid: object) -> bool:
+        return pid in self._fd._raw
+
+    def __repr__(self) -> str:
+        return f"_CountsView({dict(self)!r})"
 
 
 @dataclass(frozen=True)
@@ -83,8 +129,14 @@ class NThetaFailureDetector:
         self.upper_bound_n = upper_bound_n
         self.gap_factor = gap_factor
         self.gap_slack = gap_slack
-        # The paper's nonCrashed heartbeat-count vector.
-        self.counts: Dict[ProcessId, int] = {}
+        # The paper's nonCrashed heartbeat-count vector, offset-encoded:
+        # the effective count of ``pid`` is ``_raw[pid] + _shift``.  A
+        # heartbeat ages every other processor by bumping ``_shift`` once
+        # (O(1)) instead of incrementing each entry (Θ(n)); ``counts`` is a
+        # mapping view presenting the effective values.
+        self._raw: Dict[ProcessId, int] = {}
+        self._shift = 0
+        self.counts: MutableMapping = _CountsView(self)
         self.heartbeats_received = 0
         # Anti-inflation clamp state: length of the current run of
         # heartbeats from a sender that was already the freshest entry.
@@ -119,26 +171,28 @@ class NThetaFailureDetector:
         if sender == self.pid:
             return
         self.heartbeats_received += 1
-        if self.counts.get(sender) == 0:
+        raw = self._raw
+        entry = raw.get(sender)
+        if entry is not None and entry + self._shift == 0:
             self._zero_streak += 1
             if self._zero_streak % self.INFLATION_CLAMP != 0:
                 return
         else:
             self._zero_streak = 0
         self._counts_version += 1
-        for other in self.counts:
-            if other != sender:
-                self.counts[other] += 1
-        self.counts[sender] = 0
+        # Age everyone by one through the shared shift, then pin the sender
+        # back to an effective count of zero — O(1) for any vector size.
+        self._shift += 1
+        raw[sender] = -self._shift
 
     def forget(self, pid: ProcessId) -> None:
         """Drop a processor from the vector (used when links are torn down)."""
         self._counts_version += 1
-        self.counts.pop(pid, None)
+        self._raw.pop(pid, None)
 
     def known(self) -> FrozenSet[ProcessId]:
         """Every processor that has ever exchanged a token with the owner."""
-        return frozenset(self.counts) | {self.pid}
+        return frozenset(self._raw) | {self.pid}
 
     # -------------------------------------------------------------- ranking
     def ranked(self) -> List[Tuple[ProcessId, int]]:
@@ -146,7 +200,11 @@ class NThetaFailureDetector:
 
         Ties are broken by identifier so the ranking is deterministic.
         """
-        return sorted(self.counts.items(), key=lambda item: (item[1], item[0]))
+        shift = self._shift
+        return sorted(
+            ((pid, raw + shift) for pid, raw in self._raw.items()),
+            key=lambda item: (item[1], item[0]),
+        )
 
     def estimate_active(self) -> int:
         """Gap-based estimate ``ni`` of the number of active processors.
@@ -210,7 +268,7 @@ class NThetaFailureDetector:
 
     def suspects(self) -> FrozenSet[ProcessId]:
         """Processors known to the detector but not currently trusted."""
-        return frozenset(self.counts) - self.trusted()
+        return frozenset(self._raw) - self.trusted()
 
     def view(self) -> FailureDetectorView:
         """Immutable snapshot used inside protocol messages (``FD[i]``)."""
@@ -218,5 +276,6 @@ class NThetaFailureDetector:
 
     # ---------------------------------------------------------- diagnostics
     def snapshot_counts(self) -> Dict[ProcessId, int]:
-        """Copy of the raw heartbeat-count vector (for tests and traces)."""
-        return dict(self.counts)
+        """Copy of the effective heartbeat-count vector (for tests/traces)."""
+        shift = self._shift
+        return {pid: raw + shift for pid, raw in self._raw.items()}

@@ -99,7 +99,10 @@ def prepare(spec_or_name: Union[str, ScenarioSpec], seed: int = 0) -> ScenarioRu
     tracker: Optional[ConvergenceTracker] = None
     if spec.track_convergence:
         tracker = ConvergenceTracker(
-            cluster.simulator, cluster.is_converged, name="cluster_converged"
+            cluster.simulator,
+            cluster.is_converged,
+            name="cluster_converged",
+            poll_interval=spec.convergence_poll,
         )
     for workload in spec.workloads:
         workload.install(cluster)

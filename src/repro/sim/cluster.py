@@ -53,6 +53,145 @@ class NodeService(Protocol):
         ...
 
 
+#: Ledger entry for an alive node that is not (yet) a participant.
+_NON_PARTICIPANT_ENTRY = "non-participant"
+#: Ledger entry for a participant whose own config slot is not a real
+#: configuration (⊥ or corrupted) — convergence is impossible while any exist.
+_BAD_CONFIG_ENTRY = "bad-config"
+
+
+class ConvergenceLedger:
+    """Incremental convergence tracking: O(changed nodes) per check.
+
+    ``Cluster.is_converged`` used to re-scan every node on every evaluation —
+    and ``run_until_converged`` evaluates it as a predicate throughout the
+    run, making the scan Θ(n) per event and the dominant cost of large
+    bootstraps (61% of an n=128 profile).  The ledger replaces the scan with
+    a *dirty set* plus counters: every event that can change a node's
+    convergence contribution marks that node (from ``ClusterNode.on_timer`` /
+    ``on_receive`` / ``crash`` / ``on_start``), and a check only recomputes
+    the marked nodes' contributions, folding the differences into four
+    aggregates:
+
+    * ``participants`` — alive participants,
+    * ``bad_config`` — participants whose own config slot is not real,
+    * ``unstable`` — participants whose ``no_reco()`` is currently false,
+    * ``config_counts`` — multiset of the participants' real configs.
+
+    Convergence ⇔ ``participants > 0 ∧ bad_config == 0 ∧ unstable == 0 ∧
+    len(config_counts) == 1`` — exactly the predicate the full scan computes,
+    because each node's contribution depends only on that node's local state,
+    and local state only changes inside the marked entry points (or through
+    out-of-band mutation, covered by :meth:`mark_all` at every
+    ``Cluster.run``/``run_until`` entry and by the fault injector's explicit
+    invalidation).  ``ClusterConfig.convergence_oracle_checks`` cross-checks
+    every answer against the retained scan oracle.
+    """
+
+    __slots__ = (
+        "_cluster",
+        "_dirty",
+        "_entries",
+        "_participants",
+        "_bad_config",
+        "_unstable",
+        "_config_counts",
+    )
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self._cluster = cluster
+        self._dirty: set = set()
+        self._entries: Dict[ProcessId, Any] = {}
+        self._participants = 0
+        self._bad_config = 0
+        self._unstable = 0
+        self._config_counts: Dict[Any, int] = {}
+
+    def mark(self, pid: ProcessId) -> None:
+        """Record that *pid*'s convergence contribution may have changed."""
+        self._dirty.add(pid)
+
+    def mark_all(self) -> None:
+        """Mark every known node (out-of-band mutations, run entry)."""
+        self._dirty.update(self._cluster.nodes)
+
+    def refresh(self) -> None:
+        """Fold every dirty node's (re)computed contribution into the counters."""
+        dirty = self._dirty
+        if not dirty:
+            return
+        nodes = self._cluster.nodes
+        entries = self._entries
+        for pid in dirty:
+            node = nodes.get(pid)
+            new = None if node is None else self._contribution(node)
+            old = entries.get(pid)
+            if new == old:
+                continue
+            if old is not None:
+                self._account(old, -1)
+            if new is None:
+                del entries[pid]
+            else:
+                entries[pid] = new
+                self._account(new, +1)
+        dirty.clear()
+
+    def converged(self) -> bool:
+        """The aggregate predicate (callers must :meth:`refresh` first)."""
+        return (
+            self._participants > 0
+            and self._bad_config == 0
+            and self._unstable == 0
+            and len(self._config_counts) == 1
+        )
+
+    def summary(self) -> tuple:
+        """Mergeable counters ``(participants, bad, unstable, configs)``.
+
+        Refreshes first.  The sharded coordinator folds one summary per
+        shard: convergence of the whole system ⇔ summed participants > 0,
+        summed bad and unstable are zero, and the union of the distinct
+        config values has size one.
+        """
+        self.refresh()
+        return (
+            self._participants,
+            self._bad_config,
+            self._unstable,
+            tuple(self._config_counts),
+        )
+
+    @staticmethod
+    def _contribution(node: "ClusterNode") -> Any:
+        if not node.started or node.crashed:
+            return None
+        scheme = node.scheme
+        if not scheme.is_participant():
+            return _NON_PARTICIPANT_ENTRY
+        value = node.recsa.config.get(node.pid)
+        if not is_real_config(value):
+            return _BAD_CONFIG_ENTRY
+        return (value, scheme.no_reco())
+
+    def _account(self, entry: Any, sign: int) -> None:
+        if entry == _NON_PARTICIPANT_ENTRY:
+            return
+        self._participants += sign
+        if entry == _BAD_CONFIG_ENTRY:
+            self._bad_config += sign
+            return
+        value, stable = entry
+        if not stable:
+            self._unstable += sign
+        counts = self._config_counts
+        total = counts.get(value, 0) + sign
+        if total:
+            counts[value] = total
+        else:
+            del counts[value]
+
+
 class ClusterNode(Process):
     """A simulated processor running the full reconfiguration stack."""
 
@@ -74,8 +213,14 @@ class ClusterNode(Process):
         #: Out-of-band knobs read by stack-profile policies (e.g. the default
         #: ``vs_smr`` evalConfig reads ``control["reconfigure"]``).
         self.control: Dict[str, Any] = {}
+        #: ``ConvergenceLedger.mark`` of the owning cluster (installed by
+        #: ``Cluster.add_node``); ``None`` for nodes driven outside a cluster.
+        self._converge_mark: Optional[Callable[[ProcessId], None]] = None
+        fd_kwargs: Dict[str, Any] = {}
+        if config.fd_gap_slack is not None:
+            fd_kwargs["gap_slack"] = config.fd_gap_slack
         self.failure_detector = NThetaFailureDetector(
-            pid=pid, upper_bound_n=config.upper_bound_n
+            pid=pid, upper_bound_n=config.upper_bound_n, **fd_kwargs
         )
         self.heartbeat = HeartbeatService(
             pid=pid,
@@ -94,6 +239,7 @@ class ClusterNode(Process):
             admission_policy=config.admission_policy,
             send_many=self._send_raw_many,
             gossip_refresh_interval=config.gossip_refresh_interval,
+            gossip_deltas=config.gossip_deltas,
         )
         self.services: List[Any] = []
         self.service_map: Dict[str, Any] = {}
@@ -161,16 +307,34 @@ class ClusterNode(Process):
     # Process hooks
     # ------------------------------------------------------------------
     def on_start(self) -> None:
+        mark = self._converge_mark
+        if mark is not None:
+            mark(self.pid)
         for peer in self._initial_peers:
             self.heartbeat.add_peer(peer)
 
     def on_timer(self) -> None:
+        mark = self._converge_mark
+        if mark is not None:
+            mark(self.pid)
         self.heartbeat.on_timer()
         self.scheme.step()
         for hook in self._timer_hooks:
             hook()
 
+    def crash(self) -> None:
+        mark = self._converge_mark
+        if mark is not None:
+            mark(self.pid)
+        super().crash()
+
     def on_receive(self, sender: ProcessId, payload: Any) -> None:
+        # Any receipt can move this node's convergence contribution: protocol
+        # gossip mutates the replicated arrays, and even a bare heartbeat
+        # token shifts the failure detector, hence trusted() and no_reco().
+        mark = self._converge_mark
+        if mark is not None:
+            mark(self.pid)
         # A packet from an unknown peer is the "connection signal": create the
         # link (which starts the snap-stabilizing cleaning handshake).
         if sender not in self.heartbeat.links and sender != self.pid:
@@ -230,6 +394,9 @@ class Cluster:
         #: workloads (e.g. what a corruption workload actually injected); the
         #: scenario runner copies them into the result dictionary.
         self.workload_reports: List[Dict[str, Any]] = []
+        #: Incremental convergence state (see :class:`ConvergenceLedger`).
+        self.convergence_ledger = ConvergenceLedger(self)
+        self._poll_interval = config.poll_interval()
 
     @property
     def environment(self):
@@ -280,6 +447,8 @@ class Cluster:
             prediction_policy=prediction_policy,
         )
         self.nodes[pid] = node
+        node._converge_mark = self.convergence_ledger.mark
+        self.convergence_ledger.mark(pid)
         self.simulator.add_process(node)
         return node
 
@@ -326,38 +495,96 @@ class Cluster:
         """The single configuration every alive participant holds, if any.
 
         Returns ``None`` when participants disagree, some hold ``⊥``, or
-        there are no participants at all.
+        there are no participants at all.  Single pass with early exit —
+        the predicate over each node is pure, so bailing at the first
+        non-real or disagreeing config returns the same answer the old
+        two-scan (participants list + throwaway config set) version did.
         """
-        configs = set()
-        participants = self.participants()
-        if not participants:
-            return None
-        for node in participants:
+        agreed = None
+        for node in self.nodes.values():
+            if not node.started or node.crashed or not node.scheme.is_participant():
+                continue
             value = node.recsa.config.get(node.pid)
             if not is_real_config(value):
                 return None
-            configs.add(value)
-        if len(configs) != 1:
-            return None
-        return next(iter(configs))
+            if agreed is None:
+                agreed = value
+            elif value != agreed:
+                return None
+        return agreed
 
     def is_converged(self) -> bool:
-        """True when all alive participants agree and report stability."""
-        config = self.agreed_configuration()
-        if config is None:
-            return False
-        return all(node.scheme.no_reco() for node in self.participants())
+        """True when all alive participants agree and report stability.
+
+        Answered by the :class:`ConvergenceLedger` in O(nodes touched since
+        the last check) instead of a full-cluster scan — this is evaluated as
+        a predicate throughout ``run_until_converged``, where the scan was
+        Θ(n) per event.  ``ClusterConfig.convergence_oracle_checks`` makes
+        every answer cross-check against :meth:`is_converged_scan` (the
+        retained oracle) and raise on divergence.
+        """
+        ledger = self.convergence_ledger
+        ledger.refresh()
+        result = ledger.converged()
+        if self.config.convergence_oracle_checks:
+            oracle = self.is_converged_scan()
+            if oracle != result:
+                raise SimulationError(
+                    f"convergence ledger diverged from the scan oracle at "
+                    f"t={self.simulator.now}: ledger={result}, scan={oracle}"
+                )
+        return result
+
+    def is_converged_scan(self) -> bool:
+        """The full-scan convergence oracle (single pass, early exit)."""
+        agreed = None
+        found = False
+        for node in self.nodes.values():
+            if not node.started or node.crashed:
+                continue
+            scheme = node.scheme
+            if not scheme.is_participant():
+                continue
+            value = node.recsa.config.get(node.pid)
+            if not is_real_config(value):
+                return False
+            if found:
+                if value != agreed:
+                    return False
+            else:
+                agreed = value
+                found = True
+            if not scheme.no_reco():
+                return False
+        return found
 
     def all_nodes_participating(self) -> bool:
         """True when every alive node has become a participant."""
         alive = self.alive_nodes()
         return bool(alive) and all(node.scheme.is_participant() for node in alive)
 
+    def invalidate_convergence(self, pid: Optional[ProcessId] = None) -> None:
+        """Mark convergence state stale after out-of-band node mutation.
+
+        Fault injectors, corruption workloads and tests that mutate node
+        state directly (instead of through the node's own event hooks) must
+        call this so the incremental ledger re-examines the touched node
+        (or, with no *pid*, every node) at the next check.
+        """
+        if pid is None:
+            self.convergence_ledger.mark_all()
+        else:
+            self.convergence_ledger.mark(pid)
+
     # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------
     def run(self, until: float) -> None:
         """Advance the simulation until simulated time *until*."""
+        # Anything may have been mutated out-of-band since the last run
+        # (tests poking node state between calls); re-examine every node at
+        # the next convergence check.
+        self.convergence_ledger.mark_all()
         self.simulator.run(until=until)
 
     def run_until_converged(self, timeout: float = 2_000.0) -> bool:
@@ -374,9 +601,19 @@ class Cluster:
 
         Unlike :meth:`Simulator.run_until`, whose ``timeout`` is an absolute
         clock deadline, the cluster-level *timeout* is relative to ``now``.
+
+        The predicate is polled on a simulated-time cadence
+        (``ClusterConfig.convergence_poll_interval``; by default the minimum
+        event spacing — the smaller of the step interval and the minimum
+        link delay) rather than after every executed event, so a detected
+        flip moves by at most one poll interval while dense event bursts pay
+        one evaluation per interval.
         """
+        self.convergence_ledger.mark_all()
         return self.simulator.run_until(
-            predicate, timeout=self.simulator.now + timeout
+            predicate,
+            timeout=self.simulator.now + timeout,
+            poll_interval=self._poll_interval,
         )
 
     # ------------------------------------------------------------------
@@ -451,7 +688,11 @@ def build_cluster(
         stack=stack,
     )
     resolved = base.resolve(n)
-    simulator = Simulator(seed=seed, channel_config=resolved.channel)
+    simulator = Simulator(
+        seed=seed,
+        channel_config=resolved.channel,
+        broadcast_streams=resolved.broadcast_streams,
+    )
     cluster = Cluster(simulator=simulator, config=resolved)
     pids = list(range(n))
     initial = make_config(pids) if resolved.coherent_start else BOTTOM

@@ -75,6 +75,55 @@ class ClusterConfig:
     gossip_refresh_interval: Optional[int] = None
     heartbeat_resend_interval: int = 3
     stack: Any = "bare"  # str (registry name) or StackProfile
+    #: Sim-time cadence at which :meth:`Cluster.run_until` re-evaluates its
+    #: predicate.  ``None`` derives the minimum event spacing (the smaller of
+    #: the step interval and the minimum link delay); ``0.0`` restores the
+    #: seed behaviour of evaluating after every executed event.
+    convergence_poll_interval: Optional[float] = None
+    #: Cross-check every incremental ``is_converged`` answer against the full
+    #: scan oracle (tests only; raises on divergence).
+    convergence_oracle_checks: bool = False
+    #: recSA gossip wire discipline: when True, steady-state re-broadcasts
+    #: travel as (version, changed-entries) deltas and compact digest
+    #: refreshes, falling back to full vectors on digest mismatch.  Off by
+    #: default: in a discrete-event simulator the compact forms do not
+    #: reduce the event count (one packet either way), so they buy no
+    #: wall-clock — but a dropped-delta repair window (a few rounds of
+    #: bounded staleness after a receiver-side wipe) perturbs the chaotic
+    #: churn regime at n >= 48 enough to move first-convergence times by
+    #: orders of magnitude in either direction.  Full vectors keep every
+    #: trajectory byte-identical to the seed.  Enable for wire-level
+    #: realism (the counters expose the full/delta/digest mix and the
+    #: bytes-on-wire savings) or in dedicated tiers that pin their own
+    #: baselines.
+    gossip_deltas: bool = False
+    #: Broadcast-burst RNG streams: ``"shared"`` (seed behaviour — one global
+    #: stream consumed in send order) or ``"per_source"`` (one stream per
+    #: sending processor, required by the sharded simulator where no global
+    #: send order exists).
+    broadcast_streams: str = "shared"
+    #: (N, Theta) failure-detector suspicion slack.  ``None`` keeps the
+    #: detector's default (16) — calibrated for n <= 32, where the
+    #: heartbeat-count ramp is narrow.  The ramp's spread grows with n (a
+    #: peer's count between its own heartbeats is proportional to the
+    #: number of chattering peers), so at n >= 48 the default slack turns
+    #: ordinary staggering into suspicion churn: trust flaps forever and
+    #: the cluster-wide stability windows that define convergence become
+    #: astronomically rare (n=48 first converges at t~1041; n=128 never).
+    #: Setting slack ~ 2n restores stable full trust — an n=128 cold
+    #: bootstrap converges at t~5 — at the cost of slower crash suspicion.
+    #: Deliberately opt-in: auto-scaling it would change the seed's
+    #: trajectories at every size.
+    fd_gap_slack: Optional[int] = None
+
+    def poll_interval(self) -> float:
+        """The effective :meth:`Cluster.run_until` predicate-poll cadence."""
+        if self.convergence_poll_interval is not None:
+            return self.convergence_poll_interval
+        min_delay = self.channel.min_delay if self.channel is not None else 0.0
+        if min_delay > 0.0:
+            return min(self.step_interval, min_delay)
+        return 0.1 * self.step_interval
 
     def resolve(self, n: int) -> "ClusterConfig":
         """Return a fully concrete copy for an initial cluster of *n* nodes."""

@@ -18,6 +18,7 @@ drive.
 from __future__ import annotations
 
 import random
+from collections.abc import MutableMapping
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -195,13 +196,21 @@ class FaultInjector:
             return False
         if atom.kind == "attr":
             self.corrupt_attribute(target, atom.key, atom.value)
-            return True
-        if atom.kind == "entry":
-            if not isinstance(target, dict):
+        elif atom.kind == "entry":
+            # MutableMapping (not just dict): the failure detector's
+            # ``counts`` is an offset-encoded mapping view, and its entries
+            # remain a legitimate corruption surface.
+            if not isinstance(target, (dict, MutableMapping)):
                 return False
             self.corrupt_mapping_entry(target, atom.key, atom.value)
-            return True
-        raise SimulationError(f"unknown corruption-atom kind {atom.kind!r}")
+        else:
+            raise SimulationError(f"unknown corruption-atom kind {atom.kind!r}")
+        # State was mutated behind the node's back: the incremental
+        # convergence ledger must re-examine this node at the next check.
+        invalidate = getattr(cluster, "invalidate_convergence", None)
+        if invalidate is not None:
+            invalidate(atom.pid)
+        return True
 
     def apply_plan(
         self, cluster: Any, atoms: Iterable[CorruptionAtom]

@@ -134,12 +134,27 @@ class ConvergenceTracker:
     true — i.e. the start of the suffix during which the predicate held
     continuously until the end of the run.  This matches the paper's notion
     of an execution suffix belonging to the set of legal executions.
+
+    ``poll_interval`` > 0 samples the predicate on that sim-time cadence
+    instead of after every executed event: every recorded transition time
+    coarsens by at most one interval, in exchange for dropping the
+    per-event predicate cost (prohibitive for large topologies, where a
+    dense event stream pays the cluster-wide predicate hundreds of
+    thousands of times per simulated unit).
     """
 
-    def __init__(self, simulator: Simulator, predicate: Callable[[], bool], name: str = "") -> None:
+    def __init__(
+        self,
+        simulator: Simulator,
+        predicate: Callable[[], bool],
+        name: str = "",
+        poll_interval: float = 0.0,
+    ) -> None:
         self.simulator = simulator
         self.predicate = predicate
         self.name = name or "convergence"
+        self.poll_interval = poll_interval
+        self._next_poll = 0.0
         self.first_true_time: Optional[float] = None
         self.first_true_event: Optional[int] = None
         self.last_transition_time: Optional[float] = None
@@ -149,6 +164,20 @@ class ConvergenceTracker:
         simulator.add_post_step_hook(self._observe)
 
     def _observe(self, simulator: Simulator) -> None:
+        if self.poll_interval > 0.0:
+            if simulator.now < self._next_poll:
+                return
+            self._next_poll = simulator.now + self.poll_interval
+        self.flush()
+
+    def flush(self) -> None:
+        """Evaluate the predicate now, regardless of the poll cadence.
+
+        Called on every sample, and again by :meth:`summary` so a throttled
+        tracker's final verdict reflects the end-of-run state rather than
+        the last scheduled sample (a run routinely ends mid-interval).
+        """
+        simulator = self.simulator
         holds = bool(self.predicate())
         if holds and not self.currently_true:
             self.transition_count += 1
@@ -175,6 +204,7 @@ class ConvergenceTracker:
 
     def summary(self) -> Dict[str, Any]:
         """Dictionary summary used by the benchmark reporting helpers."""
+        self.flush()
         return {
             "name": self.name,
             "converged": self.currently_true,

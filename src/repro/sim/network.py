@@ -124,6 +124,7 @@ class Channel:
         "source",
         "destination",
         "config",
+        "_seed",
         "_rng",
         "_in_flight",
         "_totals",
@@ -144,7 +145,15 @@ class Channel:
         self.source = source
         self.destination = destination
         self.config = config
-        self._rng = make_rng(seed, "channel", source, destination)
+        self._seed = seed
+        # The per-channel RNG is materialized on first draw: a Mersenne
+        # Twister carries ~2.5 KB of state, and at n=512 the fabric holds
+        # ~262k directed channels — most of which only ever see broadcast
+        # traffic, whose draws come from the burst stream instead.  Lazy
+        # construction changes no stream: ``make_rng`` is a pure function of
+        # (seed, "channel", source, destination), so the first draw sees the
+        # exact sequence the eager constructor produced.
+        self._rng: Optional[Any] = None
         self._in_flight: Dict[int, Packet] = {}
         self._totals = totals if totals is not None else NetworkCounters()
         self.sent_count = 0
@@ -180,7 +189,7 @@ class Channel:
             totals.dropped += 1
             return []
         if rng is None:
-            rng = self._rng
+            rng = self._rng or self._materialize_rng()
         loss = self.config.loss_probability
         if loss and rng.random() < loss:
             self.dropped_count += 1
@@ -243,7 +252,14 @@ class Channel:
         lo, hi = self.config.min_delay, self.config.max_delay
         if hi <= lo:
             return lo
-        return (rng or self._rng).uniform(lo, hi)
+        if rng is None:
+            rng = self._rng or self._materialize_rng()
+        return rng.uniform(lo, hi)
+
+    def _materialize_rng(self) -> Any:
+        rng = make_rng(self._seed, "channel", self.source, self.destination)
+        self._rng = rng
+        return rng
 
 
 class Network:
@@ -263,7 +279,13 @@ class Network:
         default_config: Optional[ChannelConfig] = None,
         seed: int = 0,
         environment: Optional[NetworkEnvironment] = None,
+        broadcast_streams: str = "shared",
     ) -> None:
+        if broadcast_streams not in ("shared", "per_source"):
+            raise SimulationError(
+                f"broadcast_streams must be 'shared' or 'per_source', "
+                f"got {broadcast_streams!r}"
+            )
         self._default_config = default_config or ChannelConfig()
         self._seed = seed
         self._channels: Dict[Tuple[ProcessId, ProcessId], Channel] = {}
@@ -279,11 +301,18 @@ class Network:
             Callable[[List[Tuple[Channel, Packet, float]]], None]
         ] = None
         self._totals = NetworkCounters()
-        # Dedicated stream for batched broadcasts: every delay of a
-        # ``send_many`` burst is drawn from this one RNG, which keeps the
-        # burst deterministic while touching a single generator instead of
-        # one per destination channel.
+        # Dedicated stream(s) for batched broadcasts: every delay of a
+        # ``send_many`` burst is drawn from one RNG, which keeps the burst
+        # deterministic while touching a single generator instead of one per
+        # destination channel.  ``"shared"`` uses a single global stream
+        # consumed in send order (the historical behaviour); ``"per_source"``
+        # derives one stream per sending processor, so a burst's draws depend
+        # only on that sender's own broadcast history — the property the
+        # sharded simulator needs, since no global send order exists across
+        # shards.
+        self.broadcast_streams = broadcast_streams
         self._broadcast_rng = make_rng(seed, "broadcast")
+        self._broadcast_rngs: Dict[ProcessId, Any] = {}
 
     def bind_scheduler(
         self,
@@ -404,7 +433,14 @@ class Network:
             raise SimulationError("network is not bound to a simulator")
         environment = self.environment
         blocked = environment._blocked
-        rng = self._broadcast_rng
+        if self.broadcast_streams == "shared":
+            rng = self._broadcast_rng
+        else:
+            rng = self._broadcast_rngs.get(source)
+            if rng is None:
+                rng = self._broadcast_rngs[source] = make_rng(
+                    self._seed, "broadcast", source
+                )
         batch: List[Tuple[Channel, Packet, float]] = []
         accepted = 0
         for destination, payload in payloads:

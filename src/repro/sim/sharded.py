@@ -1,0 +1,545 @@
+"""Sharded simulation: partition the cluster across workers, sync by windows.
+
+A single :class:`~repro.sim.simulator.Simulator` executes every event of an
+n-node system on one core.  At n=128 and beyond, the event rate grows ~n² (a
+gossip burst per node per step) and the bootstrap becomes minutes of wall
+clock on the single event loop.  This module splits the node set across
+*shards* — each a full ``Simulator`` + :class:`~repro.sim.cluster.Cluster`
+holding only its own processors — and runs them under **conservative
+time-window synchronization**:
+
+* The *lookahead* is the minimum link delay ``W``: any packet sent at time
+  ``t`` arrives no earlier than ``t + W``.
+* Every shard runs one window ``(T, T + W]`` to completion independently.
+  A packet addressed to a remote processor is **split in two**: the source
+  shard keeps the channel bookkeeping (capacity, loss, duplication, delay
+  draws, counters — all the state the sender's own behaviour depends on) and
+  executes the capacity-release half at the arrival instant, while a plain
+  ``(arrival, source, destination, payload)`` record travels to the owning
+  shard at the next barrier and delivers there.  Because every arrival lies
+  strictly beyond the barrier that ships it, no shard ever receives an event
+  in its past — the classic conservative-synchronization invariant.
+* At each barrier the coordinator exchanges the accumulated cross-shard
+  records and (optionally) polls global convergence by merging the shards'
+  :class:`~repro.sim.cluster.ConvergenceLedger` counters.
+
+Equivalence to the single-process run
+-------------------------------------
+Every random stream consumed on the hot path is *pure per channel or per
+process*: ``make_rng(seed, "channel", src, dst)`` for point-to-point sends,
+``make_rng(seed, "process", pid)`` for process steps, and — required for
+sharding — ``broadcast_streams="per_source"`` so a burst's delay draws depend
+only on the sender's own history, not on a global send order that does not
+exist across shards.  Each directed channel lives on exactly one shard (the
+source's), so its draw sequence is identical to the single-process run, and
+therefore so are all deliveries, protocol decisions and statistics.  The one
+systematic difference is event accounting: a cross-shard packet executes two
+events (capacity-release + remote delivery) where the single loop executes
+one, so :meth:`ShardedCluster.statistics` subtracts the executed remote
+deliveries.  The pinned equivalence (``tests/test_sharded.py``) is exact for
+runs to a fixed horizon against a single-process cluster built with
+``broadcast_streams="per_source"``.
+
+Modes
+-----
+``serial``
+    All shards in this process, windows run round-robin.  Deterministic,
+    debuggable, and the reference for the equivalence tests; also what
+    :meth:`ShardedCluster.checkpoint` snapshots (via
+    :class:`~repro.sim.snapshot.SimSnapshot`, one capture per shard).
+``fork``
+    One OS process per shard (``multiprocessing`` fork context): workers
+    keep their shard resident and exchange only the per-window record lists
+    and ledger summaries over pipes, so the per-barrier IPC cost is bytes,
+    not state.  Requires a platform with ``fork()``.
+
+Scope: the sharded driver covers the scale workloads (bootstrap, churnless
+convergence, fixed-horizon soak).  Fault injection, Byzantine interceptors
+and partition programs remain single-process features — they mutate state
+out-of-band across the whole cluster, which has no meaning inside one shard.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.errors import SimulationError
+from repro.common.types import BOTTOM, ProcessId, make_config
+from repro.sim.cluster import Cluster
+from repro.sim.config import ClusterConfig
+from repro.sim.network import ChannelConfig, Packet
+from repro.sim.simulator import Simulator
+
+#: A packet crossing shards: ``(arrival_time, source, destination, payload)``.
+CrossRecord = Tuple[float, ProcessId, ProcessId, Any]
+
+
+class ShardSimulator(Simulator):
+    """A :class:`Simulator` owning a subset of the processors.
+
+    Deliveries to owned processors follow the normal path.  A delivery to a
+    remote processor is split at *send* time: the arrival instant and payload
+    go to :attr:`outbox` for the next barrier exchange, and a local
+    capacity-release event fires at the arrival instant so the channel's
+    in-flight accounting (and the network's ``delivered`` counter) evolve
+    exactly as on the single event loop.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        channel_config: Optional[ChannelConfig],
+        owned: Iterable[ProcessId],
+        broadcast_streams: str = "per_source",
+    ) -> None:
+        if broadcast_streams != "per_source":
+            raise SimulationError(
+                "sharded simulation requires broadcast_streams='per_source': "
+                "a shared broadcast stream implies a global send order that "
+                "does not exist across shards"
+            )
+        super().__init__(
+            seed=seed,
+            channel_config=channel_config,
+            broadcast_streams=broadcast_streams,
+        )
+        self.owned: FrozenSet[ProcessId] = frozenset(owned)
+        self.outbox: List[CrossRecord] = []
+        self.cross_sent = 0
+        self.cross_received = 0
+        #: Executed remote-delivery halves; each has a matching executed
+        #: capacity-release half on the source shard, so the pair counts two
+        #: events where the single-process run counts one.
+        self.cross_executed = 0
+
+    # ------------------------------------------------------- delivery split
+    def _schedule_delivery(self, channel: Any, packet: Packet, delay: float) -> None:
+        if packet.destination in self.owned:
+            Simulator._schedule_delivery(self, channel, packet, delay)
+            return
+        arrival = self._arrival(self.now, delay, channel.config.delay_quantum)
+        self.outbox.append((arrival, packet.source, packet.destination, packet.payload))
+        self.cross_sent += 1
+        self.events.schedule(
+            arrival, self._complete_remote, label="deliver", args=(channel, packet)
+        )
+
+    def _schedule_deliveries(self, batch: Iterable[Any]) -> None:
+        owned = self.owned
+        local: List[Any] = []
+        for channel, packet, delay in batch:
+            if packet.destination in owned:
+                local.append((channel, packet, delay))
+            else:
+                self._schedule_delivery(channel, packet, delay)
+        if local:
+            Simulator._schedule_deliveries(self, local)
+
+    def _complete_remote(self, channel: Any, packet: Packet) -> None:
+        channel.complete_delivery(packet)
+
+    def _deliver_remote(self, source: ProcessId, destination: ProcessId, payload: Any) -> None:
+        self.cross_executed += 1
+        process = self.processes.get(destination)
+        if process is None or process.crashed or not process.started:
+            return
+        self.delivered_messages += 1
+        process.deliver(source, payload)
+
+    def inject(self, records: Iterable[CrossRecord]) -> None:
+        """Register cross-shard records shipped to this shard at a barrier."""
+        for arrival, source, destination, payload in records:
+            if arrival < self.now:
+                raise SimulationError(
+                    f"cross-shard record arriving at {arrival} is in shard "
+                    f"past (now={self.now}); a link is faster than the "
+                    f"synchronization window"
+                )
+            self.cross_received += 1
+            self.events.schedule(
+                arrival,
+                self._deliver_remote,
+                label="deliver",
+                args=(source, destination, payload),
+            )
+
+
+class _Shard:
+    """One shard: a :class:`ShardSimulator` plus a cluster of its own nodes."""
+
+    def __init__(
+        self, n: int, seed: int, owned: Sequence[ProcessId], config: ClusterConfig
+    ) -> None:
+        self.simulator = ShardSimulator(
+            seed=seed,
+            channel_config=config.channel,
+            owned=owned,
+            broadcast_streams=config.broadcast_streams,
+        )
+        self.cluster = Cluster(simulator=self.simulator, config=config)
+        pids = list(range(n))
+        initial = make_config(pids) if config.coherent_start else BOTTOM
+        for pid in owned:
+            self.cluster.add_node(pid, initial_config=initial, peers=pids)
+
+    @classmethod
+    def from_cluster(cls, cluster: Cluster) -> "_Shard":
+        """Wrap a restored shard cluster (checkpoint path) without rebuilding."""
+        shard = cls.__new__(cls)
+        shard.cluster = cluster
+        shard.simulator = cluster.simulator  # type: ignore[assignment]
+        return shard
+
+    def run(self, target: float) -> None:
+        self.simulator.run(until=target)
+
+    def inject(self, records: Iterable[CrossRecord]) -> None:
+        self.simulator.inject(records)
+
+    def drain_outbox(self) -> List[CrossRecord]:
+        out = self.simulator.outbox
+        self.simulator.outbox = []
+        return out
+
+    def convergence_summary(self) -> Tuple[int, int, int, Tuple[Any, ...]]:
+        return self.cluster.convergence_ledger.summary()
+
+    def statistics_parts(self) -> Dict[str, Any]:
+        sim = self.simulator
+        cluster_stats = self.cluster.statistics()
+        parts = {
+            "executed_events": sim.executed_events,
+            "cross_executed": sim.cross_executed,
+            "delivered_messages": sim.delivered_messages,
+            "processes": len(sim.processes),
+            "active": len(sim.active_processes()),
+            "net": sim.network.statistics(),
+        }
+        for key in _CLUSTER_SUM_KEYS:
+            parts[key] = cluster_stats[key]
+        return parts
+
+
+#: Cluster-level counters that aggregate across shards by plain summation.
+_CLUSTER_SUM_KEYS = (
+    "resets",
+    "installs",
+    "recma_triggers",
+    "participants",
+    "recsa_broadcasts_sent",
+    "recsa_broadcasts_skipped",
+    "recma_broadcasts_sent",
+    "recma_broadcasts_skipped",
+)
+
+
+def _shard_worker(conn: Any, n: int, seed: int, owned: Sequence[ProcessId], config: ClusterConfig) -> None:
+    """Worker loop of one forked shard process (state stays resident here)."""
+    shard = _Shard(n=n, seed=seed, owned=owned, config=config)
+    try:
+        while True:
+            command = conn.recv()
+            op = command[0]
+            if op == "run":
+                target, incoming = command[1], command[2]
+                shard.inject(incoming)
+                shard.run(target)
+                conn.send((shard.drain_outbox(), shard.convergence_summary()))
+            elif op == "summary":
+                conn.send(shard.convergence_summary())
+            elif op == "stats":
+                conn.send(shard.statistics_parts())
+            elif op == "crash":
+                conn.send(shard.cluster.try_crash(command[1]))
+            elif op == "stop":
+                break
+            else:  # pragma: no cover - protocol misuse guard
+                raise SimulationError(f"unknown shard command {op!r}")
+    except EOFError:  # pragma: no cover - parent died; exit quietly
+        pass
+    finally:
+        conn.close()
+
+
+class ShardedCluster:
+    """Coordinator of a cluster partitioned across shard simulators.
+
+    The public surface mirrors the scale-relevant subset of
+    :class:`~repro.sim.cluster.Cluster`: :meth:`run`,
+    :meth:`run_until_converged`, :meth:`is_converged`, :meth:`statistics`,
+    :meth:`crash`.  Time only advances in multiples of the synchronization
+    window (the minimum link delay), and convergence is polled at barriers —
+    so a detected convergence instant may trail the single-process detection
+    by at most one window.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        seed: int = 0,
+        shards: int = 2,
+        mode: str = "serial",
+        config: Optional[ClusterConfig] = None,
+        *,
+        channel_config: Optional[ChannelConfig] = None,
+        channel_capacity: Optional[int] = None,
+        step_interval: Optional[float] = None,
+        coherent_start: Optional[bool] = None,
+        stack: Optional[str] = None,
+    ) -> None:
+        if n < 1:
+            raise ValueError("a cluster needs at least one node")
+        if mode not in ("serial", "fork"):
+            raise SimulationError(f"mode must be 'serial' or 'fork', got {mode!r}")
+        base = config if config is not None else ClusterConfig()
+        base = base.with_overrides(
+            channel=channel_config,
+            channel_capacity=channel_capacity,
+            step_interval=step_interval,
+            coherent_start=coherent_start,
+            stack=stack,
+            broadcast_streams="per_source",
+        )
+        resolved = base.resolve(n)
+        window = resolved.channel.min_delay if resolved.channel else 0.0
+        if window <= 0.0:
+            raise SimulationError(
+                "sharded simulation requires a positive minimum link delay "
+                "(the conservative lookahead window)"
+            )
+        self.n = n
+        self.seed = seed
+        self.config = resolved
+        self.window = window
+        self.mode = mode
+        self.now = 0.0
+        shard_count = max(1, min(shards, n))
+        pids = list(range(n))
+        # Contiguous, near-equal blocks; deterministic in (n, shards).
+        size, extra = divmod(n, shard_count)
+        self._assignment: List[List[ProcessId]] = []
+        cursor = 0
+        for index in range(shard_count):
+            block = size + (1 if index < extra else 0)
+            self._assignment.append(pids[cursor : cursor + block])
+            cursor += block
+        self._owner: Dict[ProcessId, int] = {
+            pid: index for index, block in enumerate(self._assignment) for pid in block
+        }
+        self._pending: List[List[CrossRecord]] = [[] for _ in self._assignment]
+        self._shards: List[_Shard] = []
+        self._conns: List[Any] = []
+        self._workers: List[Any] = []
+        if mode == "serial":
+            self._shards = [
+                _Shard(n=n, seed=seed, owned=block, config=resolved)
+                for block in self._assignment
+            ]
+        else:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+                raise SimulationError(
+                    "mode='fork' requires a platform with fork(); use 'serial'"
+                ) from exc
+            for block in self._assignment:
+                parent_conn, child_conn = context.Pipe()
+                worker = context.Process(
+                    target=_shard_worker,
+                    args=(child_conn, n, seed, block, resolved),
+                    daemon=True,
+                )
+                worker.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._workers.append(worker)
+
+    # ----------------------------------------------------------- lifecycle
+    @property
+    def shards(self) -> int:
+        return len(self._assignment)
+
+    def close(self) -> None:
+        """Stop fork workers (no-op in serial mode); idempotent."""
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+                conn.close()
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+        for worker in self._workers:
+            worker.join(timeout=10)
+        self._conns = []
+        self._workers = []
+
+    def __enter__(self) -> "ShardedCluster":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- windows
+    def _window(self, target: float) -> List[Tuple[int, int, int, Tuple[Any, ...]]]:
+        """Run every shard to *target*, exchange records, return summaries."""
+        summaries: List[Tuple[int, int, int, Tuple[Any, ...]]] = []
+        outboxes: List[List[CrossRecord]] = []
+        if self.mode == "serial":
+            for index, shard in enumerate(self._shards):
+                shard.inject(self._pending[index])
+                self._pending[index] = []
+                shard.run(target)
+                outboxes.append(shard.drain_outbox())
+                summaries.append(shard.convergence_summary())
+        else:
+            for index, conn in enumerate(self._conns):
+                conn.send(("run", target, self._pending[index]))
+                self._pending[index] = []
+            for conn in self._conns:
+                outbox, summary = conn.recv()
+                outboxes.append(outbox)
+                summaries.append(summary)
+        owner = self._owner
+        pending = self._pending
+        for outbox in outboxes:
+            for record in outbox:
+                index = owner.get(record[2])
+                if index is None:
+                    raise SimulationError(
+                        f"cross-shard packet addressed to unknown pid {record[2]!r}"
+                    )
+                pending[index].append(record)
+        self.now = target
+        return summaries
+
+    @staticmethod
+    def _merge(summaries: Iterable[Tuple[int, int, int, Tuple[Any, ...]]]) -> bool:
+        participants = bad = unstable = 0
+        configs: set = set()
+        for shard_participants, shard_bad, shard_unstable, shard_configs in summaries:
+            participants += shard_participants
+            bad += shard_bad
+            unstable += shard_unstable
+            configs.update(shard_configs)
+        return participants > 0 and bad == 0 and unstable == 0 and len(configs) == 1
+
+    # ------------------------------------------------------------- running
+    def run(self, until: float) -> None:
+        """Advance all shards to simulated time *until* (barrier-stepped)."""
+        while self.now < until:
+            self._window(min(self.now + self.window, until))
+
+    def run_until_converged(self, timeout: float = 2_000.0) -> bool:
+        """Run until the merged ledgers report convergence (barrier cadence).
+
+        *timeout* is a budget of simulated time from the current instant,
+        matching :meth:`Cluster.run_until_converged`.
+        """
+        if self.is_converged():
+            return True
+        deadline = self.now + timeout
+        while self.now < deadline:
+            summaries = self._window(min(self.now + self.window, deadline))
+            if self._merge(summaries):
+                return True
+        return False
+
+    def is_converged(self) -> bool:
+        """Merged convergence predicate over every shard's ledger."""
+        if self.mode == "serial":
+            summaries = [shard.convergence_summary() for shard in self._shards]
+        else:
+            for conn in self._conns:
+                conn.send(("summary",))
+            summaries = [conn.recv() for conn in self._conns]
+        return self._merge(summaries)
+
+    def crash(self, pid: ProcessId) -> bool:
+        """Stop-fail *pid* on its owning shard (valid between windows)."""
+        index = self._owner[pid]
+        if self.mode == "serial":
+            return self._shards[index].cluster.try_crash(pid)
+        conn = self._conns[index]
+        conn.send(("crash", pid))
+        return bool(conn.recv())
+
+    # ---------------------------------------------------------- statistics
+    def statistics(self) -> Dict[str, Any]:
+        """Aggregate statistics, matching the single-process dictionary.
+
+        For a fixed-horizon :meth:`run` this is equal — key for key, value
+        for value — to ``Cluster.statistics()`` of a single-process run of
+        the same seed and configuration (with per-source broadcast streams);
+        the cross-shard double-count is subtracted from ``executed_events``.
+        """
+        if self.mode == "serial":
+            parts = [shard.statistics_parts() for shard in self._shards]
+        else:
+            for conn in self._conns:
+                conn.send(("stats",))
+            parts = [conn.recv() for conn in self._conns]
+        stats: Dict[str, Any] = {
+            "time": self.now,
+            "executed_events": sum(p["executed_events"] for p in parts)
+            - sum(p["cross_executed"] for p in parts),
+            "delivered_messages": sum(p["delivered_messages"] for p in parts),
+            "processes": sum(p["processes"] for p in parts),
+            "active": sum(p["active"] for p in parts),
+        }
+        for key in ("sent", "delivered", "dropped", "duplicated"):
+            stats[f"net_{key}"] = sum(p["net"][key] for p in parts)
+        for key in _CLUSTER_SUM_KEYS:
+            stats[key] = sum(p[key] for p in parts)
+        return stats
+
+    # ---------------------------------------------------------- checkpoint
+    def checkpoint(self) -> Dict[str, Any]:
+        """Capture every shard between windows (serial mode).
+
+        Reuses :class:`~repro.sim.snapshot.SimSnapshot` — one capture per
+        shard cluster — so the deep-copy determinism guarantees carry over;
+        :meth:`restore` yields an independent coordinator that continues
+        byte-identically.
+        """
+        if self.mode != "serial":
+            raise SimulationError("checkpoint requires mode='serial'")
+        from repro.sim.snapshot import SimSnapshot
+
+        return {
+            "now": self.now,
+            "pending": [list(records) for records in self._pending],
+            "shards": [SimSnapshot.capture(shard.cluster) for shard in self._shards],
+        }
+
+    def restore(self, checkpoint: Dict[str, Any]) -> "ShardedCluster":
+        """A fresh, independent coordinator resumed from *checkpoint*."""
+        clone = ShardedCluster.__new__(ShardedCluster)
+        clone.n = self.n
+        clone.seed = self.seed
+        clone.config = self.config
+        clone.window = self.window
+        clone.mode = "serial"
+        clone.now = checkpoint["now"]
+        clone._assignment = [list(block) for block in self._assignment]
+        clone._owner = dict(self._owner)
+        clone._pending = [list(records) for records in checkpoint["pending"]]
+        clone._shards = [
+            _Shard.from_cluster(snapshot.restore()) for snapshot in checkpoint["shards"]
+        ]
+        clone._conns = []
+        clone._workers = []
+        return clone
+
+
+def build_sharded_cluster(
+    n: int,
+    seed: int = 0,
+    shards: int = 2,
+    mode: str = "serial",
+    config: Optional[ClusterConfig] = None,
+    **overrides: Any,
+) -> ShardedCluster:
+    """Convenience mirror of :func:`~repro.sim.cluster.build_cluster`."""
+    return ShardedCluster(
+        n=n, seed=seed, shards=shards, mode=mode, config=config, **overrides
+    )

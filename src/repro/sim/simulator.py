@@ -47,11 +47,14 @@ class Simulator:
         seed: int = 0,
         channel_config: Optional[ChannelConfig] = None,
         network: Optional[Network] = None,
+        broadcast_streams: str = "shared",
     ) -> None:
         self.seed = seed
         self.now: float = 0.0
         self.events = EventQueue()
-        self.network = network or Network(default_config=channel_config, seed=seed)
+        self.network = network or Network(
+            default_config=channel_config, seed=seed, broadcast_streams=broadcast_streams
+        )
         self.network.bind_scheduler(self._schedule_delivery, self._schedule_deliveries)
         # The time-varying environment layer ticks through ordinary simulator
         # events: bind this simulator as the environment's timeline (clock +
@@ -269,6 +272,7 @@ class Simulator:
         timeout: float = 10_000.0,
         check_interval: int = 1,
         stop_before: Optional[float] = None,
+        poll_interval: Optional[float] = None,
     ) -> Any:
         """Run until *predicate()* holds or the clock exceeds *timeout*.
 
@@ -278,7 +282,16 @@ class Simulator:
         instant should pass ``simulator.now + budget`` (which is what
         :meth:`repro.sim.cluster.Cluster.run_until` does).
 
-        The predicate is evaluated every *check_interval* executed events.
+        Without *poll_interval* the predicate is evaluated every
+        *check_interval* executed events.  With a positive *poll_interval*
+        the predicate is instead evaluated on a **simulated-time cadence**:
+        whenever the next live event would cross the current poll boundary
+        (so dense event bursts pay one evaluation per interval, not one per
+        event), plus once at each of entry, timeout and queue exhaustion.
+        Because the boundary check happens *before* the crossing event
+        executes, a predicate that became true at time ``t`` is detected at a
+        simulated time at most one poll interval after ``t``.
+
         Returns ``True`` when the predicate became true, ``False`` on timeout
         or event-queue exhaustion — or :data:`PAUSED` (falsy) when
         *stop_before* is set and the next live event lies at or past that
@@ -286,11 +299,28 @@ class Simulator:
         extra predicate evaluation, which is pure and cannot perturb the
         run).
         """
-        counter = 0
         if predicate():
             return True
+        events = self.events
+        if poll_interval is not None and poll_interval > 0.0:
+            next_poll = self.now + poll_interval
+            while True:
+                next_time = events.peek_time()
+                if next_time is None or next_time > timeout:
+                    return predicate()
+                if stop_before is not None and next_time >= stop_before:
+                    return PAUSED
+                if next_time >= next_poll:
+                    if predicate():
+                        return True
+                    # Re-anchor on the upcoming event so idle stretches skip
+                    # straight to the next live instant instead of walking
+                    # empty poll windows one by one.
+                    next_poll = max(next_poll + poll_interval, next_time)
+                self.step()
+        counter = 0
         while True:
-            next_time = self.events.peek_time()
+            next_time = events.peek_time()
             if next_time is None or next_time > timeout:
                 return predicate()
             if stop_before is not None and next_time >= stop_before:

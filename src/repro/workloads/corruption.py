@@ -72,7 +72,16 @@ def corrupt_recsa_state(node: ClusterNode, universe: Sequence[ProcessId], seed: 
         recsa.prp[node.pid] = _random_proposal(rng, targets)
         corrupted += 1
     recsa.all_seen = set(rng.sample(targets, rng.randint(0, len(targets))))
+    _mark_out_of_band_mutation(node)
     return corrupted
+
+
+def _mark_out_of_band_mutation(node: ClusterNode) -> None:
+    """Tell the owning cluster's convergence ledger this node was mutated
+    behind its event hooks (direct state corruption)."""
+    mark = node._converge_mark
+    if mark is not None:
+        mark(node.pid)
 
 
 def corrupt_recma_flags(node: ClusterNode, universe: Sequence[ProcessId], seed: int = 0) -> int:
@@ -87,6 +96,7 @@ def corrupt_recma_flags(node: ClusterNode, universe: Sequence[ProcessId], seed: 
     if rng.random() < 0.5:
         recma.prev_config = None
         corrupted += 1
+    _mark_out_of_band_mutation(node)
     return corrupted
 
 

@@ -83,7 +83,7 @@ class RecSAHarness:
                 initial_config=initial_config,
             )
             self.instances[pid] = instance
-            self.bus.register(pid, instance.on_message)
+            self.bus.register(pid, instance.dispatch)
 
     def __getitem__(self, pid: ProcessId) -> RecSA:
         return self.instances[pid]

@@ -318,7 +318,7 @@ class TestChangeDetectedGossip:
                 gossip_refresh_interval=1,
             )
             instances[pid] = inst
-            bus.register(pid, inst.on_message)
+            bus.register(pid, inst.dispatch)
         for _ in range(8):
             for pid in bus_pids:
                 instances[pid].step()

@@ -1,0 +1,131 @@
+"""Tests of the sharded (multi-shard, window-synchronized) simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.cluster import build_cluster
+from repro.sim.config import ClusterConfig, fast_sim
+from repro.sim.network import ChannelConfig
+from repro.sim.sharded import ShardedCluster, build_sharded_cluster
+
+CHANNEL = ChannelConfig(capacity=8, loss_probability=0.0, min_delay=0.2, max_delay=0.6)
+
+
+def _single(n: int, seed: int, **overrides):
+    config = fast_sim(broadcast_streams="per_source", **overrides)
+    return build_cluster(n=n, seed=seed, config=config, channel_config=CHANNEL)
+
+
+def _sharded(n: int, seed: int, shards: int, mode: str = "serial", **overrides):
+    return ShardedCluster(
+        n=n, seed=seed, shards=shards, mode=mode, channel_config=CHANNEL, **overrides
+    )
+
+
+class TestEquivalence:
+    def test_serial_statistics_byte_identical_to_single_process(self):
+        single = _single(12, seed=41)
+        single.run(until=60.0)
+        expected = single.statistics()
+
+        sharded = _sharded(12, seed=41, shards=3)
+        sharded.run(until=60.0)
+        assert sharded.statistics() == expected
+
+    def test_fork_statistics_byte_identical_to_single_process(self):
+        single = _single(10, seed=17)
+        single.run(until=40.0)
+        expected = single.statistics()
+
+        with _sharded(10, seed=17, shards=2, mode="fork") as sharded:
+            sharded.run(until=40.0)
+            assert sharded.statistics() == expected
+
+    def test_shard_count_does_not_change_statistics(self):
+        results = []
+        for shards in (1, 2, 4):
+            sharded = _sharded(9, seed=5, shards=shards)
+            sharded.run(until=30.0)
+            results.append(sharded.statistics())
+        assert results[0] == results[1] == results[2]
+
+    def test_convergence_matches_single_within_one_window(self):
+        single = _single(8, seed=7)
+        assert single.run_until_converged(timeout=300)
+        t_single = single.simulator.now
+
+        sharded = _sharded(8, seed=7, shards=3)
+        assert sharded.run_until_converged(timeout=300)
+        # Barrier-cadence detection may trail by at most one window.
+        assert sharded.now <= t_single + sharded.window + 1e-9
+
+    def test_sharded_agrees_with_single_on_convergence_config(self):
+        single = _single(8, seed=23)
+        assert single.run_until_converged(timeout=300)
+        sharded = _sharded(8, seed=23, shards=2)
+        assert sharded.run_until_converged(timeout=300)
+        summaries = [shard.convergence_summary() for shard in sharded._shards]
+        configs = {value for summary in summaries for value in summary[3]}
+        assert configs == {single.agreed_configuration()}
+
+
+class TestCheckpoint:
+    def test_checkpoint_restore_continues_byte_identically(self):
+        reference = _sharded(10, seed=31, shards=3)
+        reference.run(until=50.0)
+        expected = reference.statistics()
+
+        original = _sharded(10, seed=31, shards=3)
+        original.run(until=20.0)
+        checkpoint = original.checkpoint()
+        # Perturb the original past the checkpoint; the restore is unaffected.
+        original.run(until=50.0)
+        assert original.statistics() == expected
+
+        resumed = ShardedCluster.restore(original, checkpoint)
+        assert resumed.now == 20.0
+        resumed.run(until=50.0)
+        assert resumed.statistics() == expected
+
+    def test_checkpoint_rejected_in_fork_mode(self):
+        with _sharded(4, seed=1, shards=2, mode="fork") as sharded:
+            with pytest.raises(SimulationError):
+                sharded.checkpoint()
+
+
+class TestGuards:
+    def test_zero_min_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            ShardedCluster(
+                n=4,
+                seed=1,
+                shards=2,
+                channel_config=ChannelConfig(capacity=8, min_delay=0.0, max_delay=0.5),
+            )
+
+    def test_shards_clamped_to_node_count(self):
+        sharded = _sharded(3, seed=1, shards=16)
+        assert sharded.shards == 3
+
+    def test_crash_routes_to_owning_shard(self):
+        sharded = _sharded(6, seed=3, shards=2)
+        sharded.run(until=10.0)
+        assert sharded.crash(5)
+        assert not sharded.crash(5)  # already crashed
+        active = sharded.statistics()["active"]
+        assert active == 5
+
+    def test_builder_mirror(self):
+        sharded = build_sharded_cluster(4, seed=2, shards=2, channel_config=CHANNEL)
+        sharded.run(until=5.0)
+        assert sharded.statistics()["processes"] == 4
+
+    def test_shared_broadcast_stream_rejected(self):
+        from repro.sim.sharded import ShardSimulator
+
+        with pytest.raises(SimulationError):
+            ShardSimulator(
+                seed=1, channel_config=CHANNEL, owned=[0], broadcast_streams="shared"
+            )

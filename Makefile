@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-matrix bench-pytest bench-scale scenarios scenarios-smoke audit-smoke audit-gate audit-baseline audit-byzantine audit-n24 audit-n24-baseline audit-n128 audit-n128-baseline audit-n512-smoke audit-profile-grid audit-shrink-demo
+.PHONY: test bench bench-quick bench-matrix bench-pytest bench-scale bench-loadgen runtime-smoke scenarios scenarios-smoke audit-smoke audit-gate audit-baseline audit-byzantine audit-n24 audit-n24-baseline audit-n128 audit-n128-baseline audit-n512-smoke audit-profile-grid audit-shrink-demo
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -25,6 +25,19 @@ bench-scale:
 # the AUDIT_*.json verdicts so sweep wall-clock is tracked per commit.
 bench-matrix:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --quick --only matrix_throughput --output AUDIT_matrix_timing.json
+
+# Live-runtime CI smoke: boot an n=8 asyncio/UDP cluster on localhost,
+# require bootstrap convergence, kill a node (survivors must evict it),
+# restart it as a joiner (must be re-admitted) — all inside one wall-clock
+# budget.  Exit 1 on any missed milestone.
+runtime-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.runtime --smoke --n 8 --budget 60
+
+# Closed-loop load generator against the live asyncio runtime: K client
+# sessions driving counter increments and SMR commands, with a mid-run
+# kill/recover probe; writes BENCH_pr8.json (throughput + p50/p95/p99).
+bench-loadgen:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.runtime.loadgen --mode both --kill-probe --duration 8 --clients 16 --output BENCH_pr8.json
 
 # The pytest-benchmark experiment suite (E1-E12 + hotpath micro-benches).
 bench-pytest:

@@ -20,10 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, Iterable, Optional
 
+from repro.common.codec import wire_type
 from repro.common.types import Configuration, ProcessId, make_config
 from repro.sim.process import Process
 
 
+@wire_type
 @dataclass(frozen=True)
 class CoherentStartMessage:
     """Gossip of the baseline's ``(sequence, configuration)`` pair."""

@@ -1,0 +1,321 @@
+"""Wire codec: a self-describing encoding for every protocol message.
+
+The discrete-event simulator passes Python objects between processes by
+reference, so the protocol layers never needed a wire format.  The real
+runtime backend (:mod:`repro.runtime`) sends the same messages over UDP
+sockets, which requires every wire dataclass — recSA cores and deltas, recMA
+flags, data-link tokens, reliable-broadcast packets, counter/label gossip,
+VS state records, SMR commands — to survive an encode→decode round trip.
+
+Design
+------
+* **Wire-type registry.**  Each message dataclass registers itself with the
+  :func:`wire_type` decorator at definition site (the registry maps a stable
+  wire name to the class and back).  Sentinel singletons (``⊥``,
+  ``NOT_PARTICIPANT``) and enums (``Phase``, ``VSStatus``) register through
+  :func:`register_singleton` / :func:`wire_enum`.  Nothing outside the
+  registry ever decodes into an object with behaviour — an attacker cannot
+  instantiate arbitrary classes (this is deliberately *not* pickle).
+* **Tagged recursive encoding.**  JSON scalars pass through; every container
+  and registered type encodes as ``{"%": tag, ...}`` so decoding is
+  unambiguous: tuples, frozensets, sets, dicts with non-string keys and
+  ``mappingproxy`` views (copy-on-write SMR snapshots) all round-trip.
+  Frozenset elements are sorted by their encoded representation, so equal
+  values encode to identical bytes regardless of iteration order.
+* **Length-prefixed framing.**  :func:`frame` prefixes the JSON body with a
+  4-byte big-endian length, which makes the codec usable over stream
+  transports as well as datagrams and lets a receiver reject oversized or
+  truncated input before parsing.
+* **Graceful rejection.**  Malformed input — truncated frames, unknown tags,
+  wrong field sets, over-deep nesting — raises :class:`CodecError`, never
+  anything else.  Receivers (the runtime transport, the conformance tests)
+  catch that one type and quarantine, mirroring how
+  :func:`repro.datalink.reliable_broadcast.validate_rb_message` handles
+  schema-valid-but-out-of-bounds Byzantine input one layer up.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import struct
+import types
+from enum import Enum
+from typing import Any, Dict, Optional, Tuple, Type
+
+from repro.common.errors import ReproError
+
+
+class CodecError(ReproError):
+    """Input that cannot be encoded to — or decoded from — the wire format."""
+
+
+#: Hard cap on one frame's body (bytes).  Every honest message in the stack
+#: is a few KiB even at large n; anything bigger is a hostile or corrupted
+#: frame and is rejected before JSON parsing allocates for it.
+MAX_FRAME_BYTES = 1 << 20
+
+#: Maximum nesting depth of the encoded object graph.  Honest messages nest
+#: a handful of levels (message → pair → label → frozenset); a deeply nested
+#: bomb is rejected instead of recursing toward the interpreter limit.
+MAX_DEPTH = 32
+
+#: The length prefix: 4-byte big-endian unsigned body length.
+_LEN = struct.Struct(">I")
+
+_TYPES: Dict[str, Type[Any]] = {}
+_TYPE_NAMES: Dict[Type[Any], str] = {}
+_TYPE_FIELDS: Dict[str, Tuple[str, ...]] = {}
+_SINGLETONS: Dict[str, Any] = {}
+_SINGLETON_IDS: Dict[int, str] = {}
+_ENUMS: Dict[str, Type[Enum]] = {}
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+def wire_type(cls: Optional[type] = None, *, name: Optional[str] = None):
+    """Class decorator registering a dataclass as a wire type.
+
+    The wire name defaults to the class name; it becomes part of the wire
+    format, so renaming a registered class without keeping ``name=`` is a
+    protocol change.  Apply *above* ``@dataclass`` (the decorator inspects
+    dataclass fields).
+    """
+
+    def register(klass: type) -> type:
+        wire_name = name or klass.__name__
+        if not dataclasses.is_dataclass(klass):
+            raise CodecError(f"wire type {wire_name!r} must be a dataclass")
+        existing = _TYPES.get(wire_name)
+        if existing is not None and existing is not klass:
+            raise CodecError(f"wire type name {wire_name!r} already registered")
+        _TYPES[wire_name] = klass
+        _TYPE_NAMES[klass] = wire_name
+        _TYPE_FIELDS[wire_name] = tuple(
+            f.name for f in dataclasses.fields(klass) if f.init
+        )
+        return klass
+
+    if cls is not None:
+        return register(cls)
+    return register
+
+
+def register_singleton(name: str, value: Any) -> Any:
+    """Register a sentinel singleton (encoded by identity, decoded to it)."""
+    existing = _SINGLETONS.get(name)
+    if existing is not None and existing is not value:
+        raise CodecError(f"singleton name {name!r} already registered")
+    _SINGLETONS[name] = value
+    _SINGLETON_IDS[id(value)] = name
+    return value
+
+
+def wire_enum(cls: Type[Enum]) -> Type[Enum]:
+    """Class decorator registering an enum as a wire type (by value)."""
+    name = cls.__name__
+    existing = _ENUMS.get(name)
+    if existing is not None and existing is not cls:
+        raise CodecError(f"wire enum name {name!r} already registered")
+    _ENUMS[name] = cls
+    return cls
+
+
+def registered_wire_types() -> Dict[str, Type[Any]]:
+    """Snapshot of the dataclass registry (used by the round-trip tests)."""
+    _ensure_registered()
+    return dict(_TYPES)
+
+
+def _ensure_registered() -> None:
+    """Import every module that defines wire types.
+
+    Registration happens at class-definition site; this pulls those modules
+    in so a process that only imported the codec (the runtime transport, the
+    tests) still knows the full message vocabulary.
+    """
+    import repro.common.types  # noqa: F401  (sentinels, Phase, Proposal)
+    import repro.datalink.token_exchange  # noqa: F401
+    import repro.datalink.reliable_broadcast  # noqa: F401
+    import repro.core.recsa  # noqa: F401
+    import repro.core.recma  # noqa: F401
+    import repro.core.joining  # noqa: F401
+    import repro.counters.counter  # noqa: F401
+    import repro.counters.service  # noqa: F401
+    import repro.labels.label  # noqa: F401
+    import repro.labels.labeling  # noqa: F401
+    import repro.vs.view  # noqa: F401
+    import repro.vs.virtual_synchrony  # noqa: F401
+    import repro.baselines.coherent_start  # noqa: F401
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+def _encode(value: Any, depth: int) -> Any:
+    if depth > MAX_DEPTH:
+        raise CodecError("object graph too deep to encode")
+    # Enums before scalars: an IntEnum member (e.g. Phase.IDLE) *is* an int,
+    # but must round-trip as the enum member, not its value — downstream code
+    # compares by identity (``prp.phase is Phase.IDLE``).
+    if isinstance(value, Enum):
+        name = type(value).__name__
+        if name not in _ENUMS:
+            raise CodecError(f"unregistered enum {name!r}")
+        return {"%": "enum", "t": name, "v": _encode(value.value, depth + 1)}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    singleton = _SINGLETON_IDS.get(id(value))
+    if singleton is not None:
+        return {"%": "one", "t": singleton}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        name = _TYPE_NAMES.get(type(value))
+        if name is None:
+            raise CodecError(f"unregistered wire type {type(value).__name__!r}")
+        fields = {
+            f: _encode(getattr(value, f), depth + 1) for f in _TYPE_FIELDS[name]
+        }
+        return {"%": "dc", "t": name, "f": fields}
+    if isinstance(value, tuple):
+        return {"%": "tuple", "v": [_encode(v, depth + 1) for v in value]}
+    if isinstance(value, list):
+        return {"%": "list", "v": [_encode(v, depth + 1) for v in value]}
+    if isinstance(value, (frozenset, set)):
+        encoded = [_encode(v, depth + 1) for v in value]
+        # Canonical element order: equal sets encode to identical bytes.
+        encoded.sort(key=lambda item: json.dumps(item, sort_keys=True))
+        tag = "fset" if isinstance(value, frozenset) else "set"
+        return {"%": tag, "v": encoded}
+    if isinstance(value, (dict, types.MappingProxyType)):
+        return {
+            "%": "dict",
+            "v": [
+                [_encode(k, depth + 1), _encode(v, depth + 1)]
+                for k, v in value.items()
+            ],
+        }
+    raise CodecError(f"cannot encode {type(value).__name__!r} value")
+
+
+def _decode(value: Any, depth: int) -> Any:
+    if depth > MAX_DEPTH:
+        raise CodecError("encoded graph too deep to decode")
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if not isinstance(value, dict):
+        raise CodecError(f"unexpected wire element {type(value).__name__!r}")
+    tag = value.get("%")
+    if tag == "dc":
+        name = value.get("t")
+        cls = _TYPES.get(name) if isinstance(name, str) else None
+        if cls is None:
+            raise CodecError(f"unknown wire type {name!r}")
+        fields = value.get("f")
+        if not isinstance(fields, dict) or not all(
+            isinstance(k, str) for k in fields
+        ):
+            raise CodecError(f"malformed fields for wire type {name!r}")
+        if not set(fields) <= set(_TYPE_FIELDS[name]):
+            raise CodecError(f"unknown fields for wire type {name!r}")
+        decoded = {k: _decode(v, depth + 1) for k, v in fields.items()}
+        try:
+            return cls(**decoded)
+        except (TypeError, ValueError) as exc:
+            raise CodecError(f"cannot construct {name!r}: {exc}") from None
+    if tag == "one":
+        name = value.get("t")
+        if name not in _SINGLETONS:
+            raise CodecError(f"unknown singleton {name!r}")
+        return _SINGLETONS[name]
+    if tag == "enum":
+        name = value.get("t")
+        cls = _ENUMS.get(name) if isinstance(name, str) else None
+        if cls is None:
+            raise CodecError(f"unknown wire enum {name!r}")
+        try:
+            return cls(_decode(value.get("v"), depth + 1))
+        except ValueError as exc:
+            raise CodecError(f"bad {name!r} value: {exc}") from None
+    if tag in ("tuple", "list", "fset", "set"):
+        items = value.get("v")
+        if not isinstance(items, list):
+            raise CodecError(f"malformed {tag!r} container")
+        decoded_items = [_decode(v, depth + 1) for v in items]
+        if tag == "tuple":
+            return tuple(decoded_items)
+        if tag == "list":
+            return decoded_items
+        try:
+            return frozenset(decoded_items) if tag == "fset" else set(decoded_items)
+        except TypeError as exc:
+            raise CodecError(f"unhashable {tag!r} element: {exc}") from None
+    if tag == "dict":
+        items = value.get("v")
+        if not isinstance(items, list) or not all(
+            isinstance(pair, list) and len(pair) == 2 for pair in items
+        ):
+            raise CodecError("malformed dict container")
+        try:
+            return {
+                _decode(k, depth + 1): _decode(v, depth + 1) for k, v in items
+            }
+        except TypeError as exc:
+            raise CodecError(f"unhashable dict key: {exc}") from None
+    raise CodecError(f"unknown wire tag {tag!r}")
+
+
+def encode(value: Any) -> Any:
+    """Encode *value* into the JSON-safe tagged representation."""
+    _ensure_registered()
+    return _encode(value, 0)
+
+
+def decode(value: Any) -> Any:
+    """Decode a tagged representation back into Python objects.
+
+    Raises :class:`CodecError` on any malformed input; never anything else.
+    """
+    _ensure_registered()
+    return _decode(value, 0)
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+def frame(value: Any) -> bytes:
+    """Serialize *value* to one length-prefixed wire frame."""
+    body = json.dumps(encode(value), separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise CodecError(f"frame body of {len(body)} bytes exceeds the cap")
+    return _LEN.pack(len(body)) + body
+
+
+def unframe(data: bytes) -> Tuple[Any, int]:
+    """Decode one frame from the head of *data*.
+
+    Returns ``(value, bytes_consumed)``; raises :class:`CodecError` when the
+    prefix is truncated, the body is incomplete or oversized, or the body is
+    not valid tagged JSON.  Stream callers keep the tail for the next frame;
+    datagram callers require ``bytes_consumed == len(data)``.
+    """
+    if len(data) < _LEN.size:
+        raise CodecError("truncated frame: missing length prefix")
+    (length,) = _LEN.unpack_from(data)
+    if length > MAX_FRAME_BYTES:
+        raise CodecError(f"frame length {length} exceeds the cap")
+    end = _LEN.size + length
+    if len(data) < end:
+        raise CodecError("truncated frame: incomplete body")
+    body = data[_LEN.size : end]
+    try:
+        parsed = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"frame body is not valid JSON: {exc}") from None
+    return decode(parsed), end
+
+
+def roundtrip(value: Any) -> Any:
+    """``unframe(frame(value))`` — the property the codec tests pin."""
+    decoded, _ = unframe(frame(value))
+    return decoded

@@ -21,6 +21,8 @@ import enum
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Optional, Tuple
 
+from repro.common.codec import register_singleton, wire_enum, wire_type
+
 
 ProcessId = int
 """A processor identifier, drawn from the totally ordered set ``P``."""
@@ -56,10 +58,10 @@ def _lookup_sentinel(name: str) -> "_Sentinel":
     return {"NOT_PARTICIPANT": NOT_PARTICIPANT, "BOTTOM": BOTTOM}[name]
 
 
-NOT_PARTICIPANT = _Sentinel("NOT_PARTICIPANT")
+NOT_PARTICIPANT = register_singleton("NOT_PARTICIPANT", _Sentinel("NOT_PARTICIPANT"))
 """The paper's ``]`` marker: the processor is not (yet) a participant."""
 
-BOTTOM = _Sentinel("BOTTOM")
+BOTTOM = register_singleton("BOTTOM", _Sentinel("BOTTOM"))
 """The paper's ``⊥`` value: no value / configuration reset in progress."""
 
 
@@ -85,6 +87,7 @@ def is_majority(subset: Iterable[ProcessId], config: Iterable[ProcessId]) -> boo
     return len(inter) >= majority_size(config_set)
 
 
+@wire_enum
 class Phase(enum.IntEnum):
     """The three phases of the delicate configuration-replacement automaton.
 
@@ -111,6 +114,7 @@ class Phase(enum.IntEnum):
         return Phase.IDLE
 
 
+@wire_type
 @dataclass(frozen=True, order=False)
 class Proposal:
     """A configuration-replacement notification ``prp = ⟨phase, set⟩``.

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, FrozenSet, List, Optional
 
+from repro.common.codec import wire_type
 from repro.common.logging_utils import get_logger
 from repro.common.types import ProcessId
 from repro.core.recsa import RecSA
@@ -41,6 +42,7 @@ StateResetter = Callable[[], None]
 """``resetVars()``: reset application state to defaults before joining."""
 
 
+@wire_type
 @dataclass(frozen=True)
 class JoinRequest:
     """The joiner's ``"Join"`` message (line 13)."""
@@ -48,6 +50,7 @@ class JoinRequest:
     sender: ProcessId
 
 
+@wire_type
 @dataclass(frozen=True)
 class JoinResponse:
     """A configuration member's reply: a pass plus its application state."""

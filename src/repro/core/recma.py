@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, FrozenSet, Optional, Tuple
 
+from repro.common.codec import wire_type
 from repro.common.logging_utils import get_logger
 from repro.common.types import Configuration, ProcessId
 from repro.core.prediction import NeverReconfigure, PredictionPolicy
@@ -35,6 +36,7 @@ FdProvider = Callable[[], FrozenSet[ProcessId]]
 SendFn = Callable[[ProcessId, Any], None]
 
 
+@wire_type
 @dataclass(frozen=True)
 class RecMAMessage:
     """The ``⟨noMaj, needReconf⟩`` exchange of Algorithm 3.2 (lines 19-20)."""

@@ -45,6 +45,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro.common.codec import wire_type
 from repro.common.logging_utils import get_logger
 from repro.common.types import (
     BOTTOM,
@@ -86,6 +87,7 @@ DIGEST_VERIFY_PERIOD = 4
 ESCALATION_THRESHOLD = 2
 
 
+@wire_type
 @dataclass(frozen=True)
 class EchoTriple:
     """The ``echo`` field: a reflection of the peer's last received values."""
@@ -95,6 +97,7 @@ class EchoTriple:
     all_flag: bool
 
 
+@wire_type
 @dataclass(frozen=True)
 class RecSAMessage:
     """State broadcast at the end of every do-forever iteration (line 29).
@@ -118,6 +121,7 @@ class RecSAMessage:
     digest: Optional[int] = None
 
 
+@wire_type
 @dataclass(frozen=True)
 class RecSADelta:
     """Compact gossip: only the core fields that changed since the last send.
@@ -144,6 +148,7 @@ class RecSADelta:
     echo: Optional[EchoTriple]
 
 
+@wire_type
 @dataclass(frozen=True)
 class RecSADigest:
     """Compact periodic refresh: nothing changed, here is proof.

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
+from repro.common.codec import wire_type
 from repro.common.types import ProcessId
 from repro.labels.label import EpochLabel, label_less_than
 
@@ -12,6 +13,7 @@ from repro.labels.label import EpochLabel, label_less_than
 DEFAULT_SEQN_BOUND = 2 ** 64
 
 
+@wire_type
 @dataclass(frozen=True)
 class Counter:
     """A counter value: an epoch label, a sequence number, and its writer."""
@@ -33,6 +35,7 @@ class Counter:
         return Counter(label=self.label, seqn=self.seqn + 1, wid=writer)
 
 
+@wire_type
 @dataclass(frozen=True)
 class CounterPair:
     """A counter plus its (possible) canceling counter ``⟨mct, cct⟩``."""

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
+from repro.common.codec import wire_type
 from repro.common.logging_utils import get_logger
 from repro.common.types import Configuration, ProcessId
 from repro.core.scheme import ReconfigurationScheme
@@ -46,6 +47,7 @@ IncrementCallback = Callable[["IncrementOutcome"], None]
 # ---------------------------------------------------------------------------
 # Wire messages
 # ---------------------------------------------------------------------------
+@wire_type
 @dataclass(frozen=True)
 class CounterGossipMessage:
     """Member-to-member gossip of the maximal counter pair (Algorithm 4.3)."""
@@ -55,6 +57,7 @@ class CounterGossipMessage:
     last_sent: Optional[CounterPair]
 
 
+@wire_type
 @dataclass(frozen=True)
 class MaxReadRequest:
     """``majMaxRead()`` — ask a member for its maximal counter."""
@@ -63,6 +66,7 @@ class MaxReadRequest:
     op_id: int
 
 
+@wire_type
 @dataclass(frozen=True)
 class MaxReadResponse:
     """Reply to a read: the member's maximal counter, or an abort."""
@@ -73,6 +77,7 @@ class MaxReadResponse:
     aborted: bool = False
 
 
+@wire_type
 @dataclass(frozen=True)
 class MaxWriteRequest:
     """``majMaxWrite(cnt)`` — ask a member to adopt a freshly written counter."""
@@ -82,6 +87,7 @@ class MaxWriteRequest:
     counter: Counter
 
 
+@wire_type
 @dataclass(frozen=True)
 class MaxWriteResponse:
     """Acknowledgement (or abort) of a write request."""

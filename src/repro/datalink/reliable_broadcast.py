@@ -41,6 +41,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from repro.common.codec import wire_type
 from repro.common.types import ProcessId
 
 SendFunction = Callable[[ProcessId, Any], None]
@@ -59,6 +60,7 @@ MAX_PATH_LEN = 64
 MAX_TRACKED_MESSAGES = 256
 
 
+@wire_type
 @dataclass(frozen=True)
 class RBMessage:
     """Wire format of every reliable-broadcast packet.

@@ -31,6 +31,7 @@ from enum import Enum
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 from collections import deque
 
+from repro.common.codec import wire_type
 from repro.common.logging_utils import get_logger
 from repro.common.types import ProcessId
 
@@ -44,6 +45,7 @@ class LinkState(Enum):
     ESTABLISHED = "established"
 
 
+@wire_type
 @dataclass(frozen=True)
 class DataLinkMessage:
     """Wire format of every data-link packet.

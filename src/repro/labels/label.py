@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, List, Optional, Sequence
 
+from repro.common.codec import wire_type
 from repro.common.types import ProcessId
 
 #: Default number of antistings a label carries; must be at least the number
@@ -39,6 +40,7 @@ DEFAULT_ANTISTING_CAPACITY = 64
 DEFAULT_DOMAIN_SIZE = DEFAULT_ANTISTING_CAPACITY ** 2 + 1
 
 
+@wire_type
 @dataclass(frozen=True)
 class EpochLabel:
     """A bounded epoch label ``⟨lCreator, sting, antistings⟩``."""
@@ -59,6 +61,7 @@ class EpochLabel:
         return (self.creator, self.sting, tuple(sorted(self.antistings)))
 
 
+@wire_type
 @dataclass(frozen=True)
 class LabelPair:
     """A label together with its (possible) canceling label ``⟨ml, cl⟩``.

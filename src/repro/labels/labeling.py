@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
+from repro.common.codec import wire_type
 from repro.common.logging_utils import get_logger
 from repro.common.types import Configuration, ProcessId
 from repro.core.scheme import ReconfigurationScheme
@@ -32,6 +33,7 @@ _log = get_logger("labels")
 SendFn = Callable[[ProcessId, Any], None]
 
 
+@wire_type
 @dataclass(frozen=True)
 class LabelMessage:
     """The ``⟨max[i], max[k]⟩`` exchange of Algorithm 4.1 (line 17)."""

@@ -1,0 +1,26 @@
+"""The real-runtime backend: the middleware off the simulator, onto sockets.
+
+This package runs the *same* protocol stack the simulator drives —
+:class:`~repro.sim.cluster.ClusterNode` with its data link, failure
+detector, recSA/recMA, joining, and application services, unmodified —
+as live asyncio tasks exchanging UDP datagrams on localhost:
+
+* :class:`~repro.runtime.transport.AsyncioTransport` — the
+  :class:`~repro.transport.base.Transport` backend: per-node UDP
+  endpoints, the :mod:`repro.common.codec` wire format, wall-clock
+  timers rescaled to sim-time units.
+* :class:`~repro.runtime.cluster.RuntimeCluster` — the harness: builds
+  and boots an n-node localhost cluster, polls convergence, kills and
+  restarts nodes.
+* :mod:`repro.runtime.loadgen` — the closed-loop load generator
+  (``python -m repro.runtime.loadgen``): K concurrent client sessions
+  driving counter increments / SMR commands, latency percentiles,
+  convergence-after-kill probes.
+* ``python -m repro.runtime --smoke`` — the CI smoke: n=8 bootstraps,
+  converges, survives a kill/restart inside a 60 s wall budget.
+"""
+
+from repro.runtime.transport import AsyncioTransport
+from repro.runtime.cluster import RuntimeCluster
+
+__all__ = ["AsyncioTransport", "RuntimeCluster"]

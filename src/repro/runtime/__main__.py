@@ -1,0 +1,87 @@
+"""CLI entry: ``python -m repro.runtime --smoke``.
+
+The CI runtime smoke: boot an n=8 asyncio cluster on localhost, require
+self-organized convergence, stop-fail one node, require the survivors'
+failure detectors to evict it, restart it as a joiner and require it to be
+re-admitted as a participant — all within a single wall-clock budget
+(default 60 s).  Exit 0 on success, 1 on any missed milestone, so the CI
+job fails loudly instead of timing out silently.
+
+For the load generator (throughput + latency percentiles), use
+``python -m repro.runtime.loadgen``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import time
+from typing import List, Optional
+
+from repro.runtime.cluster import RuntimeCluster
+from repro.runtime.loadgen import _kill_probe
+from repro.runtime.transport import DEFAULT_TICK_SECONDS
+
+
+async def smoke(n: int, seed: int, budget_s: float, tick_seconds: float) -> int:
+    start = time.perf_counter()
+
+    def remaining() -> float:
+        return budget_s - (time.perf_counter() - start)
+
+    def report(line: str) -> None:
+        print(f"[runtime-smoke] t={time.perf_counter() - start:.2f}s {line}")
+
+    async with RuntimeCluster(
+        n=n, seed=seed, stack="counters", tick_seconds=tick_seconds
+    ) as cluster:
+        if not await cluster.wait_converged(timeout_s=max(1.0, remaining())):
+            report("FAIL: bootstrap did not converge")
+            return 1
+        config = cluster.agreed_configuration()
+        report(f"bootstrap converged on {sorted(config or ())}")
+        if config != frozenset(range(n)):
+            report(f"FAIL: unexpected configuration {config}")
+            return 1
+
+        probe = await _kill_probe(
+            cluster, victim=n - 1, timeout_s=max(1.0, remaining())
+        )
+        report(
+            f"kill probe: suspected_by_all={probe['suspected_by_all_s']}s "
+            f"rejoined={probe['rejoined_s']}s"
+        )
+        if probe["suspected_by_all_s"] is None:
+            report("FAIL: survivors never evicted the killed node")
+            return 1
+        if probe["rejoined_s"] is None:
+            report("FAIL: restarted node never rejoined")
+            return 1
+
+        stats = cluster.statistics()
+        report(
+            f"OK: {stats['sent_datagrams']} datagrams sent, "
+            f"{stats['quarantined_datagrams']} quarantined, "
+            f"{stats['delivery_errors']} handler errors"
+        )
+        return 0 if stats["delivery_errors"] == 0 else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.runtime")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the bootstrap/kill/recover CI smoke")
+    parser.add_argument("--n", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--budget", type=float, default=60.0,
+                        help="wall-clock budget in seconds")
+    parser.add_argument("--tick", type=float, default=DEFAULT_TICK_SECONDS)
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("nothing to do: pass --smoke (or use repro.runtime.loadgen)")
+    return asyncio.run(smoke(args.n, args.seed, args.budget, args.tick))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

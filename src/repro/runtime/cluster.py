@@ -1,0 +1,181 @@
+"""``RuntimeCluster``: a live localhost cluster of the full protocol stack.
+
+The runtime analogue of :func:`repro.sim.cluster.build_cluster` +
+:class:`~repro.sim.cluster.Cluster`: it builds the *same*
+:class:`~repro.sim.cluster.ClusterNode` objects (heartbeat link layer,
+NTheta failure detector, recSA/recMA/joining, the configured
+:class:`~repro.sim.stacks.StackProfile` services) and hosts them on an
+:class:`~repro.runtime.transport.AsyncioTransport` instead of a simulator.
+
+Convergence has no incremental ledger here (there is no single event stream
+to piggyback on), so :meth:`wait_converged` polls the shared full-scan
+oracle :func:`repro.sim.cluster.converged_scan` on a wall-clock cadence —
+n=8 scans are microseconds, and the poll runs in the same loop thread as
+the protocol, so each answer is a consistent atomic snapshot.
+
+Node failure and recovery mirror the paper's churn story: :meth:`kill` is a
+stop-fail (endpoint torn down, packets to it become losses), and
+:meth:`restart` brings the pid back as a **joiner** — a fresh node with no
+configuration that must be admitted through the joining mechanism, exactly
+like a simulator ``add_joiner``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Union
+
+from repro.common.types import BOTTOM, Configuration, ProcessId, make_config
+from repro.sim.cluster import ClusterNode, converged_scan
+from repro.sim.config import ClusterConfig, preset
+from repro.sim.stacks import StackProfile, get_stack
+from repro.runtime.transport import AsyncioTransport, DEFAULT_TICK_SECONDS
+
+
+class RuntimeCluster:
+    """An n-node live cluster over UDP/localhost.
+
+    Usage (inside a coroutine)::
+
+        cluster = RuntimeCluster(n=8, seed=7, stack="counters")
+        await cluster.start()
+        assert await cluster.wait_converged(timeout_s=30.0)
+        cluster.kill(3)
+        ...
+        await cluster.shutdown()
+    """
+
+    def __init__(
+        self,
+        n: int,
+        seed: int = 0,
+        config: Union[str, ClusterConfig] = "fast_sim",
+        stack: Union[str, StackProfile, None] = None,
+        tick_seconds: float = DEFAULT_TICK_SECONDS,
+    ) -> None:
+        if n < 1:
+            raise ValueError("a cluster needs at least one node")
+        base = preset(config) if isinstance(config, str) else config
+        base = base.with_overrides(stack=stack)
+        self.n = n
+        self.seed = seed
+        self.config = base.resolve(n)
+        self.stack: StackProfile = get_stack(self.config.stack)
+        self.tick_seconds = tick_seconds
+        self.nodes: Dict[ProcessId, ClusterNode] = {}
+        self.transport: Optional[AsyncioTransport] = None
+
+    # --------------------------------------------------------------- boot
+    async def start(self) -> "RuntimeCluster":
+        """Open every endpoint and start every node (pids ``0..n-1``)."""
+        if self.transport is not None:
+            raise RuntimeError("cluster already started")
+        self.transport = AsyncioTransport(
+            seed=self.seed, tick_seconds=self.tick_seconds
+        )
+        pids = list(range(self.n))
+        initial = make_config(pids) if self.config.coherent_start else BOTTOM
+        for pid in pids:
+            node = ClusterNode(
+                pid=pid,
+                peers=pids,
+                config=self.config,
+                initial_config=initial,
+                stack=self.stack,
+            )
+            self.nodes[pid] = node
+            await self.transport.start_node(node)
+        return self
+
+    async def shutdown(self) -> None:
+        """Tear the whole cluster down."""
+        if self.transport is not None:
+            await self.transport.close()
+            self.transport = None
+
+    async def __aenter__(self) -> "RuntimeCluster":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.shutdown()
+
+    # ------------------------------------------------------------ queries
+    def alive_nodes(self) -> List[ClusterNode]:
+        return [n for n in self.nodes.values() if n.started and not n.crashed]
+
+    def is_converged(self) -> bool:
+        """The full-scan convergence oracle over the live nodes."""
+        return converged_scan(self.nodes.values())
+
+    def agreed_configuration(self) -> Optional[Configuration]:
+        """The single real configuration all alive participants hold."""
+        agreed = None
+        for node in self.alive_nodes():
+            if not node.scheme.is_participant():
+                continue
+            value = node.scheme.configuration()
+            if value is None:
+                return None
+            if agreed is None:
+                agreed = value
+            elif value != agreed:
+                return None
+        return agreed
+
+    def service(self, pid: ProcessId, name: str) -> Any:
+        """The *name* stack service of node *pid* (e.g. ``"counters"``)."""
+        return self.nodes[pid].service(name)
+
+    async def wait_converged(
+        self, timeout_s: float, poll_s: float = 0.05
+    ) -> bool:
+        """Poll the convergence oracle until it holds or *timeout_s* passes."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout_s
+        while True:
+            if self.is_converged():
+                return True
+            if loop.time() >= deadline:
+                return False
+            await asyncio.sleep(poll_s)
+
+    # ------------------------------------------------------------- churn
+    def kill(self, pid: ProcessId) -> None:
+        """Stop-fail node *pid* (endpoint closed, timers cancelled)."""
+        if self.transport is None:
+            raise RuntimeError("cluster not started")
+        self.transport.crash_node(pid)
+
+    async def restart(self, pid: ProcessId) -> ClusterNode:
+        """Bring *pid* back as a joiner (fresh state, joining protocol).
+
+        The old crashed node object is replaced; the new one must be
+        admitted by the current configuration's members before it counts as
+        a participant again.
+        """
+        if self.transport is None:
+            raise RuntimeError("cluster not started")
+        peers = [p for p, node in self.nodes.items()
+                 if p != pid and node.started and not node.crashed]
+        node = ClusterNode(
+            pid=pid,
+            peers=peers,
+            config=self.config,
+            initial_config=None,
+            stack=self.stack,
+        )
+        self.nodes[pid] = node
+        await self.transport.start_node(node)
+        return node
+
+    # -------------------------------------------------------- inspection
+    def statistics(self) -> Dict[str, Any]:
+        stats: Dict[str, Any] = {
+            "n": self.n,
+            "seed": self.seed,
+            "alive": len(self.alive_nodes()),
+            "converged": self.is_converged(),
+        }
+        if self.transport is not None:
+            stats.update(self.transport.statistics())
+        return stats

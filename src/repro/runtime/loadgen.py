@@ -1,0 +1,379 @@
+"""Closed-loop load generator for the live runtime cluster.
+
+``python -m repro.runtime.loadgen`` boots an n-node asyncio cluster on
+localhost, waits for self-organized convergence, then drives it with K
+concurrent closed-loop client sessions — each session issues one operation,
+awaits its completion, and immediately issues the next.  Two workload
+modes, matching the paper's two application layers:
+
+``counters``
+    Each operation is a two-phase quorum counter increment
+    (:meth:`repro.counters.service.CounterService.increment`, Algorithms
+    4.4/4.5); completion is the service's callback firing after the write
+    quorum acknowledges.
+``smr``
+    Each operation is a state-machine command submitted to the virtually
+    synchronous SMR layer (:meth:`repro.vs.virtual_synchrony
+    .VirtualSynchronyService.submit`, Algorithm 4.7); completion is the
+    submitting replica *applying* the command — i.e. full total-order
+    delivery, observed through ``delivery_callback``.
+
+Latency is measured per operation (submit → completion callback) on the
+event-loop clock; the report carries throughput plus p50/p95/p99
+percentiles.  An optional convergence-after-kill probe stop-fails one
+non-coordinator node mid-run and measures (a) how long until every
+surviving failure detector stops trusting it and (b) how long until a
+restarted joiner with the same pid is a participant again.
+
+Results are written as JSON (default ``BENCH_pr8.json``), keyed per mode,
+with the cluster and wire statistics embedded.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.runtime.cluster import RuntimeCluster
+from repro.runtime.transport import DEFAULT_TICK_SECONDS
+
+
+def percentile(samples: List[float], fraction: float) -> Optional[float]:
+    """The *fraction* quantile of *samples* (nearest-rank; None when empty)."""
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[rank]
+
+
+def _latency_summary(latencies_s: List[float]) -> Dict[str, Any]:
+    return {
+        "count": len(latencies_s),
+        "p50_ms": _ms(percentile(latencies_s, 0.50)),
+        "p95_ms": _ms(percentile(latencies_s, 0.95)),
+        "p99_ms": _ms(percentile(latencies_s, 0.99)),
+        "max_ms": _ms(max(latencies_s)) if latencies_s else None,
+    }
+
+
+def _ms(seconds: Optional[float]) -> Optional[float]:
+    return None if seconds is None else round(seconds * 1000.0, 3)
+
+
+# ---------------------------------------------------------------------------
+# Client sessions
+# ---------------------------------------------------------------------------
+async def _counter_session(
+    cluster: RuntimeCluster,
+    client_id: int,
+    stop_at: float,
+    op_timeout_s: float,
+    latencies: List[float],
+    failures: List[str],
+) -> None:
+    """One closed-loop client driving counter increments."""
+    loop = asyncio.get_running_loop()
+    pids = sorted(cluster.nodes)
+    target = pids[client_id % len(pids)]
+    while loop.time() < stop_at:
+        node = cluster.nodes.get(target)
+        if node is None or node.crashed:
+            # The kill probe took our target down: fail over to another node,
+            # like a real client re-resolving its endpoint.
+            target = next(
+                (p for p in pids if not cluster.nodes[p].crashed), target
+            )
+            await asyncio.sleep(0.01)
+            continue
+        service = node.service("counters")
+        future: asyncio.Future = loop.create_future()
+
+        def complete(outcome: Any, future: asyncio.Future = future) -> None:
+            if not future.done():
+                future.set_result(outcome)
+
+        t0 = loop.time()
+        service.increment(complete)
+        try:
+            outcome = await asyncio.wait_for(future, timeout=op_timeout_s)
+        except asyncio.TimeoutError:
+            failures.append("timeout")
+            continue
+        if outcome.success:
+            latencies.append(loop.time() - t0)
+        else:
+            failures.append("aborted")
+            # Reconfiguration in progress: back off one tick instead of
+            # hammering the abort path.
+            await asyncio.sleep(cluster.tick_seconds)
+
+
+async def _smr_session(
+    cluster: RuntimeCluster,
+    client_id: int,
+    stop_at: float,
+    op_timeout_s: float,
+    latencies: List[float],
+    failures: List[str],
+    applied_futures: Dict[Any, asyncio.Future],
+) -> None:
+    """One closed-loop client driving totally-ordered SMR commands."""
+    loop = asyncio.get_running_loop()
+    pids = sorted(cluster.nodes)
+    target = pids[client_id % len(pids)]
+    seq = 0
+    while loop.time() < stop_at:
+        node = cluster.nodes.get(target)
+        if node is None or node.crashed:
+            target = next(
+                (p for p in pids if not cluster.nodes[p].crashed), target
+            )
+            await asyncio.sleep(0.01)
+            continue
+        service = node.service("vs")
+        command = ("loadgen", client_id, seq)
+        seq += 1
+        future = loop.create_future()
+        applied_futures[command] = future
+        t0 = loop.time()
+        service.submit(command)
+        try:
+            await asyncio.wait_for(future, timeout=op_timeout_s)
+            latencies.append(loop.time() - t0)
+        except asyncio.TimeoutError:
+            failures.append("timeout")
+        finally:
+            applied_futures.pop(command, None)
+
+
+def _install_smr_taps(
+    cluster: RuntimeCluster, applied_futures: Dict[Any, asyncio.Future]
+) -> None:
+    """Resolve a command's future when any replica applies it.
+
+    Total order means first application == delivery; resolving on the first
+    replica to apply (rather than specifically the submitter) measures
+    commit latency without assuming which replica reports first.
+    """
+
+    def tap(rnd: Any, view: Any, commands: List[Any]) -> None:
+        for command in commands:
+            future = applied_futures.get(command)
+            if future is not None and not future.done():
+                future.set_result(True)
+
+    for node in cluster.nodes.values():
+        node.service("vs").delivery_callback = tap
+
+
+# ---------------------------------------------------------------------------
+# The kill/recover probe
+# ---------------------------------------------------------------------------
+async def _kill_probe(
+    cluster: RuntimeCluster, victim: int, timeout_s: float
+) -> Dict[str, Any]:
+    """Stop-fail *victim*, time suspicion + rejoin, report both."""
+    loop = asyncio.get_running_loop()
+    report: Dict[str, Any] = {"victim": victim}
+
+    t0 = loop.time()
+    cluster.kill(victim)
+    deadline = t0 + timeout_s
+    suspected_s = None
+    while loop.time() < deadline:
+        survivors = [n for n in cluster.alive_nodes() if n.pid != victim]
+        if survivors and all(
+            victim not in node.trusted() for node in survivors
+        ):
+            suspected_s = loop.time() - t0
+            break
+        await asyncio.sleep(0.05)
+    report["suspected_by_all_s"] = (
+        round(suspected_s, 3) if suspected_s is not None else None
+    )
+
+    t0 = loop.time()
+    await cluster.restart(victim)
+    rejoined_s = None
+    deadline = t0 + timeout_s
+    while loop.time() < deadline:
+        node = cluster.nodes[victim]
+        if node.scheme.is_participant() and cluster.is_converged():
+            rejoined_s = loop.time() - t0
+            break
+        await asyncio.sleep(0.05)
+    report["rejoined_s"] = round(rejoined_s, 3) if rejoined_s is not None else None
+    return report
+
+
+# ---------------------------------------------------------------------------
+# One loadgen run
+# ---------------------------------------------------------------------------
+async def run_loadgen(
+    n: int = 8,
+    clients: int = 16,
+    duration_s: float = 5.0,
+    mode: str = "counters",
+    seed: int = 7,
+    tick_seconds: float = DEFAULT_TICK_SECONDS,
+    kill_probe: bool = False,
+    bootstrap_timeout_s: float = 60.0,
+    op_timeout_s: float = 10.0,
+) -> Dict[str, Any]:
+    """Boot a cluster, drive it with *clients* sessions, return the report."""
+    if mode not in ("counters", "smr"):
+        raise ValueError(f"unknown loadgen mode {mode!r}")
+    stack = "counters" if mode == "counters" else "vs_smr"
+    loop = asyncio.get_running_loop()
+    wall_start = time.perf_counter()
+    async with RuntimeCluster(
+        n=n, seed=seed, stack=stack, tick_seconds=tick_seconds
+    ) as cluster:
+        t0 = loop.time()
+        if not await cluster.wait_converged(timeout_s=bootstrap_timeout_s):
+            return {
+                "mode": mode,
+                "n": n,
+                "error": f"cluster failed to converge within {bootstrap_timeout_s}s",
+                "statistics": cluster.statistics(),
+            }
+        bootstrap_s = loop.time() - t0
+
+        latencies: List[float] = []
+        failures: List[str] = []
+        stop_at = loop.time() + duration_s
+        if mode == "counters":
+            sessions = [
+                _counter_session(
+                    cluster, c, stop_at, op_timeout_s, latencies, failures
+                )
+                for c in range(clients)
+            ]
+        else:
+            applied_futures: Dict[Any, asyncio.Future] = {}
+            _install_smr_taps(cluster, applied_futures)
+            sessions = [
+                _smr_session(
+                    cluster, c, stop_at, op_timeout_s, latencies, failures,
+                    applied_futures,
+                )
+                for c in range(clients)
+            ]
+
+        probe_task = None
+        if kill_probe:
+            # Fire mid-run against the highest pid: never the coordinator
+            # (coordinator selection favors the minimum trusted id), so load
+            # keeps flowing while the membership machinery works.
+            async def delayed_probe() -> Dict[str, Any]:
+                await asyncio.sleep(duration_s / 2)
+                return await _kill_probe(
+                    cluster, victim=n - 1, timeout_s=bootstrap_timeout_s
+                )
+
+            probe_task = asyncio.ensure_future(delayed_probe())
+
+        await asyncio.gather(*sessions)
+        probe_report = await probe_task if probe_task is not None else None
+
+        measured_s = duration_s
+        completed = len(latencies)
+        report = {
+            "mode": mode,
+            "n": n,
+            "clients": clients,
+            "seed": seed,
+            "tick_seconds": tick_seconds,
+            "duration_s": duration_s,
+            "wall_s": round(time.perf_counter() - wall_start, 3),
+            "bootstrap_s": round(bootstrap_s, 3),
+            "ops_completed": completed,
+            "ops_failed": len(failures),
+            "failure_kinds": sorted(set(failures)),
+            "throughput_ops_s": round(completed / measured_s, 1),
+            "latency": _latency_summary(latencies),
+            "kill_probe": probe_report,
+            "statistics": cluster.statistics(),
+        }
+        return report
+
+
+async def run_suite(args: argparse.Namespace) -> Dict[str, Any]:
+    """Run every requested mode sequentially (fresh cluster per mode)."""
+    modes = ["counters", "smr"] if args.mode == "both" else [args.mode]
+    results: Dict[str, Any] = {
+        "bench": "loadgen",
+        "tag": args.tag,
+        "modes": {},
+    }
+    for mode in modes:
+        results["modes"][mode] = await run_loadgen(
+            n=args.n,
+            clients=args.clients,
+            duration_s=args.duration,
+            mode=mode,
+            seed=args.seed,
+            tick_seconds=args.tick,
+            kill_probe=args.kill_probe,
+        )
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime.loadgen",
+        description="Closed-loop load generator for the live asyncio cluster.",
+    )
+    parser.add_argument("--n", type=int, default=8, help="cluster size")
+    parser.add_argument("--clients", type=int, default=16,
+                        help="concurrent closed-loop client sessions")
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="measured load window per mode (seconds)")
+    parser.add_argument("--mode", choices=["counters", "smr", "both"],
+                        default="both")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--tick", type=float, default=DEFAULT_TICK_SECONDS,
+                        help="wall seconds per simulated-time unit")
+    parser.add_argument("--kill-probe", action="store_true",
+                        help="stop-fail one node mid-run and time recovery")
+    parser.add_argument("--output", default="BENCH_pr8.json")
+    parser.add_argument("--tag", default="pr8")
+    args = parser.parse_args(argv)
+
+    results = asyncio.run(run_suite(args))
+    results["argv"] = list(argv) if argv is not None else sys.argv[1:]
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    failed = False
+    for mode, report in results["modes"].items():
+        if "error" in report:
+            print(f"[loadgen] {mode}: FAILED — {report['error']}")
+            failed = True
+            continue
+        lat = report["latency"]
+        print(
+            f"[loadgen] {mode}: n={report['n']} clients={report['clients']} "
+            f"{report['throughput_ops_s']} ops/s  "
+            f"p50={lat['p50_ms']}ms p95={lat['p95_ms']}ms p99={lat['p99_ms']}ms "
+            f"({report['ops_completed']} ok / {report['ops_failed']} failed)"
+        )
+        probe = report.get("kill_probe")
+        if probe:
+            print(
+                f"[loadgen]   kill probe: pid {probe['victim']} suspected in "
+                f"{probe['suspected_by_all_s']}s, rejoined in "
+                f"{probe['rejoined_s']}s"
+            )
+    print(f"[loadgen] wrote {args.output}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

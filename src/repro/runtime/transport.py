@@ -1,0 +1,265 @@
+"""``AsyncioTransport``: the protocol stack over real UDP sockets.
+
+Each node owns a UDP endpoint on ``127.0.0.1`` (ephemeral port) inside one
+asyncio event loop; a send is a real datagram carrying an 8-byte source-pid
+header followed by one :func:`repro.common.codec.frame`.  Timers are
+``loop.call_later`` with simulated-time delays rescaled by ``tick_seconds``
+(wall seconds per sim-time unit).  Because the loop is single-threaded,
+every timer callback and every datagram delivery runs as one atomic step —
+the same interleaving model the simulator enforces, just scheduled by the
+kernel instead of an event queue.
+
+Fidelity to the model, not to the simulator: there is no channel-delay or
+loss shaping here (localhost UDP is the channel — unreliable in principle,
+fast in practice), so runtime trajectories are *not* byte-identical to
+simulator ones and never claim to be.  What is identical: the per-process
+RNG streams (same ``make_rng(seed, "process", pid)`` derivation) and the
+protocol semantics the transport conformance suite pins on both backends.
+
+Hostile input never crashes a node: any datagram that fails to parse
+(truncated header, bad frame, unknown wire tag — i.e. anything a Byzantine
+peer could spray at a port) is counted in ``quarantined_datagrams`` and
+dropped, mirroring the inbound validation of the reliable-broadcast layer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.common.codec import CodecError, frame, unframe
+from repro.common.logging_utils import get_logger
+from repro.common.rng import make_rng
+from repro.common.types import ProcessId
+from repro.sim.process import Process, ProcessContext
+
+_log = get_logger("runtime.transport")
+
+#: Datagram header: the sender's pid, 8-byte big-endian signed.
+_HEADER = struct.Struct(">q")
+
+#: Practical UDP payload ceiling on loopback; larger frames are dropped like
+#: any other lost packet (honest messages are a few KiB even at large n).
+MAX_DATAGRAM_BYTES = 60_000
+
+#: Default wall seconds per simulated-time unit.  At the stack's default
+#: step_interval of 1.0 this paces each node's do-forever loop at 20 Hz —
+#: fast enough that an n=8 bootstrap converges in a few wall seconds, slow
+#: enough that n nodes' timers plus their message fan-out stay far below a
+#: single core's capacity.
+DEFAULT_TICK_SECONDS = 0.05
+
+
+class _Timer:
+    """A pending timer: wraps the loop handle so cancellation is idempotent
+    and per-pid cleanup on crash/stop can find it."""
+
+    __slots__ = ("handle", "pid", "transport")
+
+    def __init__(self, transport: "AsyncioTransport", pid: ProcessId) -> None:
+        self.transport = transport
+        self.pid = pid
+        self.handle: Optional[asyncio.TimerHandle] = None
+
+    def cancel(self) -> None:
+        if self.handle is not None:
+            self.handle.cancel()
+            self.handle = None
+        self.transport._timers.get(self.pid, set()).discard(self)
+
+
+class _NodeEndpoint(asyncio.DatagramProtocol):
+    """The per-node UDP protocol: parses datagrams, delivers to the process."""
+
+    def __init__(self, transport: "AsyncioTransport", process: Process) -> None:
+        self.owner = transport
+        self.process = process
+        self.udp: Optional[asyncio.DatagramTransport] = None
+
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        self.udp = transport  # type: ignore[assignment]
+
+    def datagram_received(self, data: bytes, addr: Tuple[str, int]) -> None:
+        owner = self.owner
+        try:
+            if len(data) <= _HEADER.size:
+                raise CodecError("datagram shorter than its header")
+            (source,) = _HEADER.unpack_from(data)
+            payload, consumed = unframe(data[_HEADER.size :])
+            if consumed != len(data) - _HEADER.size:
+                raise CodecError("trailing bytes after frame")
+        except CodecError as exc:
+            owner.quarantined_datagrams += 1
+            _log.debug("pid %s quarantined datagram from %s: %s",
+                       self.process.pid, addr, exc)
+            return
+        owner.delivered_datagrams += 1
+        try:
+            self.process.deliver(source, payload)
+        except Exception:  # noqa: BLE001 - a node bug must not kill the loop
+            owner.delivery_errors += 1
+            _log.exception("pid %s handler failed on message from %s",
+                           self.process.pid, source)
+
+    def error_received(self, exc: Exception) -> None:  # pragma: no cover
+        _log.debug("pid %s endpoint error: %s", self.process.pid, exc)
+
+
+class AsyncioTransport:
+    """A :class:`~repro.transport.base.Transport` over asyncio + UDP.
+
+    Construct inside a running event loop; then :meth:`start_node` each
+    process, and :meth:`close` when done (``async with`` does both ends).
+    """
+
+    def __init__(self, seed: int = 0, tick_seconds: float = DEFAULT_TICK_SECONDS) -> None:
+        if tick_seconds <= 0:
+            raise ValueError("tick_seconds must be positive")
+        self.seed = seed
+        self.tick_seconds = tick_seconds
+        self._loop = asyncio.get_running_loop()
+        self._epoch = self._loop.time()
+        self._endpoints: Dict[ProcessId, _NodeEndpoint] = {}
+        self._addrs: Dict[ProcessId, Tuple[str, int]] = {}
+        self._timers: Dict[ProcessId, Set[_Timer]] = {}
+        # Wire statistics (mirrors the simulator's counters loosely).
+        self.sent_datagrams = 0
+        self.dropped_datagrams = 0
+        self.delivered_datagrams = 0
+        self.quarantined_datagrams = 0
+        self.delivery_errors = 0
+
+    # ------------------------------------------------------- Transport API
+    def now(self) -> float:
+        """Wall time since transport creation, in sim-time units (metrics
+        only — see :mod:`repro.transport.base` for the contract)."""
+        return (self._loop.time() - self._epoch) / self.tick_seconds
+
+    def send(self, source: ProcessId, destination: ProcessId, payload: Any) -> None:
+        endpoint = self._endpoints.get(source)
+        addr = self._addrs.get(destination)
+        if endpoint is None or endpoint.udp is None or addr is None:
+            # Sender gone or receiver unknown/down: the unreliable-channel
+            # model says this is simply a lost packet.
+            self.dropped_datagrams += 1
+            return
+        try:
+            data = _HEADER.pack(source) + frame(payload)
+        except CodecError:
+            # An unregistered payload type is a programming error on the
+            # sending node, not line noise — surface it.
+            raise
+        if len(data) > MAX_DATAGRAM_BYTES:
+            self.dropped_datagrams += 1
+            return
+        try:
+            endpoint.udp.sendto(data, addr)
+            self.sent_datagrams += 1
+        except OSError:
+            self.dropped_datagrams += 1
+
+    def send_many(
+        self, source: ProcessId, payloads: Iterable[Tuple[ProcessId, Any]]
+    ) -> int:
+        before = self.sent_datagrams
+        for destination, payload in payloads:
+            self.send(source, destination, payload)
+        return self.sent_datagrams - before
+
+    def set_timer(
+        self,
+        pid: ProcessId,
+        delay: float,
+        callback: Callable[[], None],
+        label: str = "",
+    ) -> _Timer:
+        if delay < 0:
+            raise ValueError("timer delay must be non-negative")
+        timer = _Timer(self, pid)
+
+        def fire() -> None:
+            timer.handle = None
+            self._timers.get(pid, set()).discard(timer)
+            callback()
+
+        timer.handle = self._loop.call_later(delay * self.tick_seconds, fire)
+        self._timers.setdefault(pid, set()).add(timer)
+        return timer
+
+    def cancel_timer(self, handle: Optional[_Timer]) -> None:
+        if handle is not None:
+            handle.cancel()
+
+    def make_process_rng(self, pid: ProcessId):
+        # Identical derivation to SimTransport: a node's local coin flips do
+        # not depend on which backend hosts it.
+        return make_rng(self.seed, "process", pid)
+
+    # ------------------------------------------------------ node lifecycle
+    async def start_node(self, process: Process) -> Process:
+        """Open *process*'s UDP endpoint, bind its context, and start it."""
+        pid = process.pid
+        if pid in self._endpoints:
+            raise RuntimeError(f"pid {pid} already has a live endpoint")
+        endpoint = _NodeEndpoint(self, process)
+        udp, _ = await self._loop.create_datagram_endpoint(
+            lambda: endpoint, local_addr=("127.0.0.1", 0)
+        )
+        assert endpoint.udp is udp
+        self._endpoints[pid] = endpoint
+        self._addrs[pid] = udp.get_extra_info("sockname")[:2]
+        process.bind(
+            ProcessContext(pid=pid, transport=self, rng=self.make_process_rng(pid))
+        )
+        process.start()
+        return process
+
+    def stop_node(self, pid: ProcessId) -> None:
+        """Tear down *pid*'s endpoint and pending timers (graceful stop).
+
+        The process object is left as-is; a stopped pid's address vanishes
+        from the registry, so in-flight packets to it become losses.
+        """
+        for timer in list(self._timers.pop(pid, ())):
+            timer.cancel()
+        endpoint = self._endpoints.pop(pid, None)
+        self._addrs.pop(pid, None)
+        if endpoint is not None and endpoint.udp is not None:
+            endpoint.udp.close()
+
+    def crash_node(self, pid: ProcessId) -> None:
+        """Stop-fail *pid*: mark the process crashed, then tear it down."""
+        endpoint = self._endpoints.get(pid)
+        if endpoint is not None:
+            endpoint.process.crash()
+        self.stop_node(pid)
+
+    def live_pids(self) -> List[ProcessId]:
+        """Pids with an open endpoint."""
+        return sorted(self._endpoints)
+
+    async def close(self) -> None:
+        """Tear down every endpoint and cancel every pending timer."""
+        for pid in list(self._endpoints):
+            self.stop_node(pid)
+        # Let transport close callbacks run before the loop goes away.
+        await asyncio.sleep(0)
+
+    async def __aenter__(self) -> "AsyncioTransport":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    def statistics(self) -> Dict[str, Any]:
+        """Wire counters, shaped like the simulator's ``statistics()``."""
+        return {
+            "time": self.now(),
+            "live_nodes": len(self._endpoints),
+            "sent_datagrams": self.sent_datagrams,
+            "dropped_datagrams": self.dropped_datagrams,
+            "delivered_datagrams": self.delivered_datagrams,
+            "quarantined_datagrams": self.quarantined_datagrams,
+            "delivery_errors": self.delivery_errors,
+        }

@@ -372,6 +372,37 @@ class ClusterNode(Process):
             self.context.send_many(payloads)
 
 
+def converged_scan(nodes: Iterable[ClusterNode]) -> bool:
+    """The full-scan convergence oracle over any collection of nodes.
+
+    True when at least one alive participant exists, every alive participant
+    holds the same real configuration, and none reports a reconfiguration in
+    progress.  Shared by :meth:`Cluster.is_converged_scan` (the simulator
+    ledger's cross-check) and the asyncio :class:`repro.runtime.cluster
+    .RuntimeCluster`, which has no ledger and polls this directly.
+    """
+    agreed = None
+    found = False
+    for node in nodes:
+        if not node.started or node.crashed:
+            continue
+        scheme = node.scheme
+        if not scheme.is_participant():
+            continue
+        value = node.recsa.config.get(node.pid)
+        if not is_real_config(value):
+            return False
+        if found:
+            if value != agreed:
+                return False
+        else:
+            agreed = value
+            found = True
+        if not scheme.no_reco():
+            return False
+    return found
+
+
 class Cluster:
     """A simulated system of :class:`ClusterNode` processors."""
 
@@ -537,26 +568,7 @@ class Cluster:
 
     def is_converged_scan(self) -> bool:
         """The full-scan convergence oracle (single pass, early exit)."""
-        agreed = None
-        found = False
-        for node in self.nodes.values():
-            if not node.started or node.crashed:
-                continue
-            scheme = node.scheme
-            if not scheme.is_participant():
-                continue
-            value = node.recsa.config.get(node.pid)
-            if not is_real_config(value):
-                return False
-            if found:
-                if value != agreed:
-                    return False
-            else:
-                agreed = value
-                found = True
-            if not scheme.no_reco():
-                return False
-        return found
+        return converged_scan(self.nodes.values())
 
     def all_nodes_participating(self) -> bool:
         """True when every alive node has become a participant."""

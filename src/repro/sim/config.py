@@ -113,8 +113,12 @@ class ClusterConfig:
     #: Setting slack ~ 2n restores stable full trust — an n=128 cold
     #: bootstrap converges at t~5 — at the cost of slower crash suspicion.
     #: Deliberately opt-in: auto-scaling it would change the seed's
-    #: trajectories at every size.
-    fd_gap_slack: Optional[int] = None
+    #: trajectories at every size.  The string ``"auto"`` opts into the
+    #: n-aware rule: :meth:`resolve` replaces it with ``max(16, 2 * n)``
+    #: (the detector default at small n, the PR 7 scale finding above it).
+    #: ``None`` remains the default and keeps every seed trajectory
+    #: byte-identical.
+    fd_gap_slack: Optional[Union[int, str]] = None
 
     def poll_interval(self) -> float:
         """The effective :meth:`Cluster.run_until` predicate-poll cadence."""
@@ -144,8 +148,20 @@ class ClusterConfig:
             else DEFAULT_CHANNEL_CAPACITY
         )
         upper = self.upper_bound_n or max(2 * n, n + 2)
+        gap_slack = self.fd_gap_slack
+        if isinstance(gap_slack, str):
+            if gap_slack != "auto":
+                raise SimulationError(
+                    f"unknown fd_gap_slack policy {gap_slack!r}; "
+                    f"expected an int, None, or 'auto'"
+                )
+            gap_slack = max(16, 2 * n)
         return replace(
-            self, channel=channel, channel_capacity=channel.capacity, upper_bound_n=upper
+            self,
+            channel=channel,
+            channel_capacity=channel.capacity,
+            upper_bound_n=upper,
+            fd_gap_slack=gap_slack,
         )
 
     def with_overrides(self, **overrides: Any) -> "ClusterConfig":

@@ -21,43 +21,65 @@ from repro.common.logging_utils import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.simulator import Simulator
+    from repro.transport.base import Transport
 
 _log = get_logger("process")
 
 
 @dataclass
 class ProcessContext:
-    """Capabilities handed to a process by the simulator.
+    """Capabilities handed to a process by its transport backend.
 
     A context exposes exactly what the system model allows a processor to do:
     read the (local) clock, draw local randomness, send packets, and arm
-    timers.  Processes never touch the simulator directly, which keeps the
-    algorithm code independent of the simulation engine.
+    timers.  Processes never touch the backend directly — the same protocol
+    code runs over the deterministic simulator
+    (:class:`repro.transport.sim.SimTransport`) and the asyncio runtime
+    (:class:`repro.runtime.transport.AsyncioTransport`).
     """
 
     pid: ProcessId
-    simulator: "Simulator"
+    transport: "Transport"
     rng: random.Random
 
+    @property
+    def simulator(self) -> "Simulator":
+        """The underlying :class:`Simulator` (sim backend only).
+
+        Back-compat accessor for harness/instrumentation code written before
+        the transport split; raises :class:`AttributeError` on backends that
+        are not simulator-based.
+        """
+        return self.transport.simulator  # type: ignore[attr-defined]
+
     def now(self) -> float:
-        """Current simulated time (used only for metrics, not by algorithms)."""
-        return self.simulator.now
+        """The transport clock, for metrics and traces only.
+
+        Contract (see :mod:`repro.transport.base`): no protocol layer calls
+        this — pacing is iteration-count based throughout the stack
+        (heartbeat ``idle_resend_interval``, reliable-broadcast round
+        counters), because the paper's algorithms are time-free.  Under the
+        simulator this is the deterministic simulated clock; under the
+        asyncio runtime it is wall clock rescaled to sim-time units, so
+        values are backend-relative and must never feed algorithm state.
+        """
+        return self.transport.now()
 
     def send(self, destination: ProcessId, payload: Any) -> None:
         """Send *payload* to *destination* over the unreliable network."""
-        self.simulator.send(self.pid, destination, payload)
+        self.transport.send(self.pid, destination, payload)
 
     def send_many(self, payloads: Any) -> int:
         """Send a burst of ``(destination, payload)`` pairs (broadcast fast path)."""
-        return self.simulator.send_many(self.pid, payloads)
+        return self.transport.send_many(self.pid, payloads)
 
     def set_timer(self, delay: float, callback: Callable[[], None], label: str = "") -> Any:
         """Arm a one-shot timer firing after *delay* time units."""
-        return self.simulator.set_timer(self.pid, delay, callback, label=label)
+        return self.transport.set_timer(self.pid, delay, callback, label=label)
 
     def cancel_timer(self, handle: Any) -> None:
         """Cancel a timer previously armed with :meth:`set_timer`."""
-        self.simulator.cancel_timer(handle)
+        self.transport.cancel_timer(handle)
 
 
 class Process:

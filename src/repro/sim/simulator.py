@@ -29,6 +29,7 @@ from repro.sim.environment import NetworkEnvironment
 from repro.sim.events import Event, EventQueue
 from repro.sim.network import Channel, ChannelConfig, Network, Packet
 from repro.sim.process import Process, ProcessContext
+from repro.transport.sim import SimTransport
 
 _log = get_logger("simulator")
 
@@ -77,6 +78,10 @@ class Simulator:
         self._pre_step_hooks: List[Callable[["Simulator"], None]] = []
         self._post_step_hooks: List[Callable[["Simulator"], None]] = []
         self._root_rng = make_rng(seed, "simulator")
+        #: The transport facade handed to every process context.  One shared
+        #: adapter (not one per process) so snapshot deepcopy rebinds all
+        #: contexts to the restored simulator through a single memo entry.
+        self.transport = SimTransport(self)
 
     # ------------------------------------------------------------ processes
     def add_process(self, process: Process, start: bool = True) -> Process:
@@ -86,8 +91,8 @@ class Simulator:
         self.processes[process.pid] = process
         context = ProcessContext(
             pid=process.pid,
-            simulator=self,
-            rng=make_rng(self.seed, "process", process.pid),
+            transport=self.transport,
+            rng=self.transport.make_process_rng(process.pid),
         )
         process.bind(context)
         if start:

@@ -5,10 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, Optional
 
+from repro.common.codec import wire_type
 from repro.common.types import ProcessId
 from repro.counters.counter import Counter, counter_less_than
 
 
+@wire_type
 @dataclass(frozen=True)
 class View:
     """A view ``⟨ID, set⟩``: a unique identifier plus the member set.

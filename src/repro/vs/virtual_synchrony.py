@@ -38,6 +38,7 @@ import enum
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
 
+from repro.common.codec import wire_enum, wire_type
 from repro.common.logging_utils import get_logger
 from repro.common.types import Configuration, ProcessId
 from repro.core.scheme import ReconfigurationScheme
@@ -53,6 +54,7 @@ DeliveryCallback = Callable[[int, View, List[Any]], None]
 EvalConfigPolicy = Callable[[], bool]
 
 
+@wire_enum
 class VSStatus(enum.Enum):
     """The three statuses of Algorithm 4.7."""
 
@@ -61,6 +63,7 @@ class VSStatus(enum.Enum):
     INSTALL = "install"
 
 
+@wire_type
 @dataclass(frozen=True)
 class VSState:
     """The per-participant state record exchanged by Algorithm 4.7."""

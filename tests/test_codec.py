@@ -1,0 +1,304 @@
+"""Wire-codec round-trip and rejection tests.
+
+Two obligations, matching the transport split:
+
+* **Fidelity** — every registered wire dataclass survives
+  ``unframe(frame(x)) == x``, including the identity-sensitive pieces
+  (sentinel singletons, IntEnum members) and the container zoo
+  (frozensets, nested tuples, mappingproxy snapshots).
+* **Hostility** — malformed bytes and structurally hostile tagged JSON
+  raise :class:`~repro.common.codec.CodecError` and nothing else; and a
+  frame that *decodes* fine but carries out-of-bounds protocol values is
+  the next layer's problem, which ``validate_rb_message`` demonstrably
+  catches (the same split the Byzantine datalink uses).
+"""
+
+import json
+import struct
+import types
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.coherent_start import CoherentStartMessage
+from repro.common import codec
+from repro.common.codec import CodecError, decode, encode, frame, roundtrip, unframe
+from repro.common.types import (
+    BOTTOM,
+    NOT_PARTICIPANT,
+    DEFAULT_PROPOSAL,
+    Phase,
+    Proposal,
+    make_config,
+)
+from repro.core.joining import JoinRequest, JoinResponse
+from repro.core.recma import RecMAMessage
+from repro.core.recsa import EchoTriple, RecSADelta, RecSADigest, RecSAMessage
+from repro.counters.counter import Counter, CounterPair
+from repro.counters.service import (
+    CounterGossipMessage,
+    MaxReadRequest,
+    MaxReadResponse,
+    MaxWriteRequest,
+    MaxWriteResponse,
+)
+from repro.datalink.reliable_broadcast import (
+    MAX_PATH_LEN,
+    MAX_RB_SEQ,
+    RBMessage,
+    validate_rb_message,
+)
+from repro.datalink.token_exchange import DataLinkMessage
+from repro.labels.label import EpochLabel, LabelPair
+from repro.labels.labeling import LabelMessage
+from repro.vs.view import View
+from repro.vs.virtual_synchrony import VSState, VSStatus
+
+
+_LABEL = EpochLabel(creator=2, sting=7, antistings=frozenset({1, 3}))
+_PAIR = LabelPair(ml=_LABEL, cl=_LABEL)
+_COUNTER = Counter(label=_LABEL, seqn=5, wid=2)
+_CPAIR = CounterPair(mct=_COUNTER, cct=_COUNTER)
+_ECHO = EchoTriple(
+    part=make_config([0, 1, 2]),
+    prp=Proposal(Phase.SELECT, make_config([0, 1])),
+    all_flag=True,
+)
+_VIEW = View(view_id=_COUNTER, members=make_config([0, 1, 2]))
+
+#: One realistic exemplar per registered wire type.  The completeness test
+#: below fails if a new @wire_type lands without an exemplar here, so the
+#: round-trip property can never silently skip a message class.
+EXEMPLARS = {
+    "DataLinkMessage": DataLinkMessage(
+        kind="data", link_sender=1, seq=1, payload=("hb", 3)
+    ),
+    "RBMessage": RBMessage(kind="fwd", origin=2, seq=9, payload="cmd", path=(1, 3)),
+    "EchoTriple": _ECHO,
+    "RecSAMessage": RecSAMessage(
+        sender=3,
+        fd=make_config([0, 1, 2, 3]),
+        part=make_config([0, 1, 2]),
+        config=BOTTOM,
+        prp=DEFAULT_PROPOSAL,
+        all_flag=False,
+        echo=_ECHO,
+        version=4,
+        digest=0xDEAD,
+    ),
+    "RecSADelta": RecSADelta(
+        sender=1,
+        version=7,
+        base_version=6,
+        base_digest=123,
+        changes=(("config", make_config([0, 1])), ("all_flag", True)),
+        digest=456,
+        echo=None,
+    ),
+    "RecSADigest": RecSADigest(sender=2, version=7, digest=456, echo=_ECHO),
+    "RecMAMessage": RecMAMessage(sender=0, no_maj=False, need_reconf=True),
+    "JoinRequest": JoinRequest(sender=9),
+    "JoinResponse": JoinResponse(
+        sender=1, granted=True, state={"labels": (_PAIR,), "seqn": 3}
+    ),
+    "Proposal": Proposal(Phase.REPLACE, make_config([0, 2, 4])),
+    "EpochLabel": _LABEL,
+    "LabelPair": _PAIR,
+    "LabelMessage": LabelMessage(sender=4, sent_max=_PAIR, last_sent=None),
+    "Counter": _COUNTER,
+    "CounterPair": _CPAIR,
+    "CounterGossipMessage": CounterGossipMessage(
+        sender=1, sent_max=_CPAIR, last_sent=None
+    ),
+    "MaxReadRequest": MaxReadRequest(sender=1, op_id=17),
+    "MaxReadResponse": MaxReadResponse(
+        sender=2, op_id=17, counter=_CPAIR, aborted=False
+    ),
+    "MaxWriteRequest": MaxWriteRequest(sender=1, op_id=18, counter=_COUNTER),
+    "MaxWriteResponse": MaxWriteResponse(sender=2, op_id=18, acked=True),
+    "View": _VIEW,
+    "VSState": VSState(
+        sender=0,
+        view=_VIEW,
+        status=VSStatus.MULTICAST,
+        rnd=3,
+        prop_view=None,
+        no_crd=False,
+        suspend=False,
+        input=(0, 2, ("cmd", 11)),
+        state_snapshot=types.MappingProxyType({"k": (1, "x")}),
+        delivered=((3, ("cmd", 11)),),
+        crd=0,
+    ),
+    "CoherentStartMessage": CoherentStartMessage(
+        sender=5, sequence=2, config=make_config(range(4))
+    ),
+}
+
+
+class TestRoundTrip:
+    def test_every_registered_type_has_an_exemplar(self):
+        registered = set(codec.registered_wire_types())
+        assert registered == set(EXEMPLARS)
+
+    @pytest.mark.parametrize("name", sorted(EXEMPLARS))
+    def test_exemplar_roundtrips(self, name):
+        value = EXEMPLARS[name]
+        restored = roundtrip(value)
+        if name == "VSState":
+            # mappingproxy snapshots decode as plain dicts (equal content).
+            assert restored.state_snapshot == dict(value.state_snapshot)
+            assert restored == type(value)(
+                **{
+                    **{f: getattr(value, f) for f in value.__dataclass_fields__},
+                    "state_snapshot": dict(value.state_snapshot),
+                }
+            )
+        else:
+            assert restored == value
+            assert type(restored) is type(value)
+
+    def test_sentinels_keep_identity(self):
+        assert roundtrip(BOTTOM) is BOTTOM
+        assert roundtrip(NOT_PARTICIPANT) is NOT_PARTICIPANT
+        msg = EXEMPLARS["RecSAMessage"]
+        assert roundtrip(msg).config is BOTTOM
+
+    def test_intenum_members_keep_identity(self):
+        # The regression the live runtime caught: Phase is an IntEnum, so a
+        # scalar-first codec silently flattens it to int and the default
+        # proposal stops being "default" (no_reco then flaps forever).
+        restored = roundtrip(DEFAULT_PROPOSAL)
+        assert restored.phase is Phase.IDLE
+        assert restored.is_default
+        assert roundtrip(VSStatus.MULTICAST) is VSStatus.MULTICAST
+
+    def test_frozenset_encoding_is_canonical(self):
+        a = frame(frozenset([3, 1, 2]))
+        b = frame(frozenset([2, 3, 1]))
+        assert a == b
+
+    def test_framing_streams(self):
+        data = frame("first") + frame(("second", 2))
+        value, consumed = unframe(data)
+        assert value == "first"
+        rest, consumed2 = unframe(data[consumed:])
+        assert rest == ("second", 2)
+        assert consumed + consumed2 == len(data)
+
+    @given(
+        st.recursive(
+            st.none()
+            | st.booleans()
+            | st.integers(-(2**40), 2**40)
+            | st.text(max_size=12),
+            lambda children: st.tuples(children, children)
+            | st.lists(children, max_size=3)
+            | st.dictionaries(st.text(max_size=4), children, max_size=3),
+            max_leaves=12,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_plain_container_roundtrip(self, value):
+        assert roundtrip(value) == value
+
+    @given(st.frozensets(st.integers(-1000, 1000), max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_frozenset_roundtrip(self, value):
+        assert roundtrip(value) == value
+
+
+class TestRejection:
+    def test_unregistered_class_is_rejected_on_encode(self):
+        class NotWire:
+            pass
+
+        with pytest.raises(CodecError):
+            encode(NotWire())
+
+    def test_unknown_wire_type_rejected(self):
+        with pytest.raises(CodecError):
+            decode({"%": "dc", "t": "Simulator", "f": {}})
+
+    def test_unknown_fields_rejected(self):
+        body = encode(JoinRequest(sender=1))
+        body["f"]["evil"] = 1
+        with pytest.raises(CodecError):
+            decode(body)
+
+    def test_unknown_singleton_and_enum_rejected(self):
+        with pytest.raises(CodecError):
+            decode({"%": "one", "t": "TOP"})
+        with pytest.raises(CodecError):
+            decode({"%": "enum", "t": "Phase", "v": 99})
+        with pytest.raises(CodecError):
+            decode({"%": "enum", "t": "NoSuchEnum", "v": 0})
+
+    def test_truncated_frames_rejected(self):
+        data = frame(EXEMPLARS["RecSAMessage"])
+        with pytest.raises(CodecError):
+            unframe(data[:2])  # inside the length prefix
+        with pytest.raises(CodecError):
+            unframe(data[:-3])  # inside the body
+
+    def test_oversized_length_prefix_rejected(self):
+        with pytest.raises(CodecError):
+            unframe(struct.pack(">I", codec.MAX_FRAME_BYTES + 1) + b"x")
+
+    def test_non_json_body_rejected(self):
+        with pytest.raises(CodecError):
+            unframe(struct.pack(">I", 4) + b"\xff\xfe\x00\x01")
+
+    def test_depth_bomb_rejected(self):
+        bomb = {"%": "list", "v": []}
+        for _ in range(codec.MAX_DEPTH + 2):
+            bomb = {"%": "list", "v": [bomb]}
+        with pytest.raises(CodecError):
+            decode(bomb)
+
+    def test_unhashable_frozenset_element_rejected(self):
+        with pytest.raises(CodecError):
+            decode({"%": "fset", "v": [{"%": "list", "v": []}]})
+
+    @given(
+        st.recursive(
+            st.none() | st.booleans() | st.integers() | st.text(max_size=8),
+            lambda children: st.dictionaries(
+                st.sampled_from(["%", "t", "v", "f", "x"]),
+                children,
+                max_size=4,
+            )
+            | st.lists(children, max_size=3),
+            max_leaves=10,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_hostile_tagged_json_never_crashes(self, value):
+        # Anything json.loads could produce either decodes or raises
+        # CodecError — never KeyError/TypeError/RecursionError.
+        payload = json.loads(json.dumps(value))
+        try:
+            decode(payload)
+        except CodecError:
+            pass
+
+
+class TestByzantineBoundsSplit:
+    """Codec-valid but protocol-hostile values are the validator's job."""
+
+    def test_out_of_bounds_rb_messages_decode_then_fail_validation(self):
+        hostile = [
+            RBMessage(kind="send", origin=1, seq=MAX_RB_SEQ + 5),
+            RBMessage(kind="nonsense", origin=1, seq=1),
+            RBMessage(kind="echo", origin=2, seq=-1),
+            RBMessage(kind="fwd", origin=3, seq=1,
+                      path=tuple(range(MAX_PATH_LEN + 1))),
+        ]
+        for message in hostile:
+            restored = roundtrip(message)
+            assert restored == message  # the codec is a faithful pipe...
+            assert not validate_rb_message(restored)  # ...validation rejects
+
+    def test_honest_rb_message_passes_both_layers(self):
+        message = EXEMPLARS["RBMessage"]
+        assert validate_rb_message(roundtrip(message))

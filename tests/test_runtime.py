@@ -1,0 +1,143 @@
+"""Live-runtime integration tests: the full stack over UDP/localhost.
+
+These exercise :class:`repro.runtime.cluster.RuntimeCluster` end to end —
+bootstrap from ``BOTTOM`` to an agreed configuration, stop-fail eviction,
+joiner re-admission — plus a miniature closed-loop load-generator run and
+the hostile-datagram quarantine path.  Everything runs at ``tick_seconds``
+well below the default so the whole module stays a few wall seconds.
+
+Wall-clock budgets are deliberately generous (CI machines stall); the
+expected timings are an order of magnitude smaller.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+
+from repro.runtime.cluster import RuntimeCluster
+from repro.runtime.loadgen import percentile, run_loadgen
+from repro.runtime.transport import _HEADER
+
+#: Fast pacing for tests: 10 ms of wall clock per sim-time unit.
+TICK = 0.01
+#: Outer wall-clock budget per wait; actual convergence is well under 1 s.
+BUDGET_S = 30.0
+
+
+def test_bootstrap_kill_restart_cycle():
+    """n=8: converge from scratch, evict a killed node, re-admit it."""
+
+    async def scenario() -> None:
+        async with RuntimeCluster(
+            n=8, seed=7, stack="counters", tick_seconds=TICK
+        ) as cluster:
+            assert await cluster.wait_converged(timeout_s=BUDGET_S, poll_s=0.01)
+            assert cluster.agreed_configuration() == frozenset(range(8))
+
+            victim = 7
+            cluster.kill(victim)
+            assert cluster.nodes[victim].crashed
+
+            def evicted() -> bool:
+                return all(
+                    victim not in node.trusted()
+                    for pid, node in cluster.nodes.items()
+                    if pid != victim
+                )
+
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + BUDGET_S
+            while not evicted():
+                assert loop.time() < deadline, "survivors never evicted the victim"
+                await asyncio.sleep(0.01)
+
+            node = await cluster.restart(victim)
+            assert not node.scheme.is_participant()  # fresh joiner
+            deadline = loop.time() + BUDGET_S
+            while not (
+                node.scheme.is_participant() and cluster.is_converged()
+            ):
+                assert loop.time() < deadline, "restarted node never rejoined"
+                await asyncio.sleep(0.01)
+
+            stats = cluster.statistics()
+            assert stats["delivery_errors"] == 0
+            assert stats["sent_datagrams"] > 0
+
+    asyncio.run(scenario())
+
+
+def test_mini_loadgen_counters():
+    """A small closed-loop run completes increments and reports latency."""
+
+    async def scenario() -> dict:
+        return await run_loadgen(
+            n=4,
+            clients=4,
+            duration_s=1.5,
+            mode="counters",
+            seed=7,
+            tick_seconds=TICK,
+            bootstrap_timeout_s=BUDGET_S,
+            op_timeout_s=10.0,
+        )
+
+    report = asyncio.run(scenario())
+    assert "error" not in report
+    assert report["ops_completed"] > 0
+    assert report["ops_failed"] == 0
+    latency = report["latency"]
+    assert latency["p50_ms"] > 0
+    assert latency["p50_ms"] <= latency["p95_ms"] <= latency["p99_ms"]
+    assert report["statistics"]["delivery_errors"] == 0
+
+
+def test_hostile_datagrams_are_quarantined_not_fatal():
+    """Garbage sprayed at a node's port is counted and dropped, and the
+    node keeps working (same stance as the Byzantine datalink validation)."""
+
+    async def scenario() -> None:
+        async with RuntimeCluster(
+            n=3, seed=7, stack="counters", tick_seconds=TICK
+        ) as cluster:
+            assert await cluster.wait_converged(timeout_s=BUDGET_S, poll_s=0.01)
+            transport = cluster.transport
+            target = transport._addrs[0]
+            hostile = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            try:
+                hostile.sendto(b"", target)  # empty
+                hostile.sendto(b"\x01", target)  # shorter than header
+                hostile.sendto(_HEADER.pack(99) + b"junk", target)  # bad frame
+                hostile.sendto(  # oversized length prefix
+                    _HEADER.pack(1) + struct.pack(">I", 1 << 30) + b"x", target
+                )
+                hostile.sendto(  # valid frame, unknown wire type
+                    _HEADER.pack(1)
+                    + struct.pack(">I", 30)
+                    + b'{"%": "dc", "t": "Nope", "f": {}}'[:30],
+                    target,
+                )
+            finally:
+                hostile.close()
+            # Let the loop drain the socket, then check the node survived.
+            deadline = asyncio.get_running_loop().time() + 5.0
+            while transport.quarantined_datagrams < 4:
+                assert asyncio.get_running_loop().time() < deadline
+                await asyncio.sleep(0.01)
+            assert transport.delivery_errors == 0
+            assert not cluster.nodes[0].crashed
+            await asyncio.sleep(0.1)
+            assert cluster.is_converged()
+
+    asyncio.run(scenario())
+
+
+def test_percentile_nearest_rank():
+    values = list(range(1, 101))  # 1..100
+    assert percentile(values, 0.50) == 51
+    assert percentile(values, 0.95) == 96
+    assert percentile(values, 0.99) == 100
+    assert percentile([7.0], 0.99) == 7.0
+    assert percentile([], 0.50) is None

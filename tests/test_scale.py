@@ -225,6 +225,28 @@ class TestScaledFailureDetector:
         explicit = _stats_at(12, seed=7, horizon=40.0, fd_gap_slack=16)
         assert default == explicit
 
+    def test_auto_slack_resolves_to_max_16_2n(self):
+        """``fd_gap_slack="auto"`` resolves to ``max(16, 2n)`` at resolve()."""
+        assert fast_sim(fd_gap_slack="auto").resolve(4).fd_gap_slack == 16
+        assert fast_sim(fd_gap_slack="auto").resolve(8).fd_gap_slack == 16
+        assert fast_sim(fd_gap_slack="auto").resolve(12).fd_gap_slack == 24
+        assert fast_sim(fd_gap_slack="auto").resolve(128).fd_gap_slack == 256
+        # None stays None: the detector's own default remains in charge.
+        assert fast_sim().resolve(128).fd_gap_slack is None
+
+    def test_auto_slack_rejects_other_strings(self):
+        from repro.common.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            fast_sim(fd_gap_slack="adaptive").resolve(8)
+
+    def test_auto_slack_trajectory_matches_explicit_value(self):
+        """``"auto"`` is sugar, not a new behavior: at n=12 it must produce
+        the byte-identical trajectory of an explicit ``fd_gap_slack=24``."""
+        auto = _stats_at(12, seed=7, horizon=40.0, fd_gap_slack="auto")
+        explicit = _stats_at(12, seed=7, horizon=40.0, fd_gap_slack=24)
+        assert auto == explicit
+
     def test_scaled_slack_unlocks_n128_bootstrap(self):
         """With slack ~ 2n an n=128 cold bootstrap converges in ~13 rounds.
 
@@ -235,6 +257,26 @@ class TestScaledFailureDetector:
         cluster = quick_cluster(128, seed=89, config=fast_sim(fd_gap_slack=256))
         assert cluster.run_until_converged(timeout=10.0)
         assert cluster.simulator.now < 6.0
+
+
+class TestTransportRewireGuard:
+    def test_bootstrap_n16_pin_survives_transport_split(self):
+        """The PR 8 acceptance pin: routing every process through
+        ``SimTransport`` must leave the benchmark headline trajectory
+        byte-identical — bootstrap_n16 at seed 89 executes exactly 1794
+        events and delivers exactly 1726 messages."""
+        from repro.scenarios import ScenarioSpec, run_scenario
+
+        spec = ScenarioSpec(
+            name="bootstrap_n16", n=16, config="fast_sim",
+            bootstrap_timeout=6_000.0,
+        )
+        result = run_scenario(spec, seed=89)
+        stats = result["statistics"]
+        assert result["bootstrapped"]
+        assert stats["executed_events"] == 1794
+        assert stats["delivered_messages"] == 1726
+        assert stats["time"] == pytest.approx(4.857012582571038)
 
 
 class TestScaleDeterminism:

@@ -1,18 +1,18 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-matrix bench-pytest bench-scale bench-loadgen runtime-smoke scenarios scenarios-smoke audit-smoke audit-gate audit-baseline audit-byzantine audit-n24 audit-n24-baseline audit-n128 audit-n128-baseline audit-n512-smoke audit-profile-grid audit-shrink-demo
+.PHONY: test bench bench-quick bench-matrix bench-pytest bench-scale bench-codec bench-sharded-cores bench-loadgen loadgen-baseline runtime-smoke scenarios scenarios-smoke audit-smoke audit-gate audit-baseline audit-byzantine audit-n24 audit-n24-baseline audit-n128 audit-n128-baseline audit-n512-smoke audit-profile-grid audit-shrink-demo
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
-# Full perf trajectory: writes BENCH_pr5.json at the repository root.
+# Full perf trajectory: writes BENCH_pr9.json at the repository root.
 bench:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --tag pr7
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --tag pr9
 
 # Smoke run (<60s) for CI: scalability + hotpath + scenario-matrix scenarios.
 bench-quick:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --quick --tag pr7
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --quick --tag pr9
 
 # The large-topology throughput curve (PR 7 scale push): fixed-window event
 # cost at n=24..256 plus bootstrap-to-convergence where tractable, with the
@@ -33,11 +33,30 @@ bench-matrix:
 runtime-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.runtime --smoke --n 8 --budget 60
 
-# Closed-loop load generator against the live asyncio runtime: K client
-# sessions driving counter increments and SMR commands, with a mid-run
-# kill/recover probe; writes BENCH_pr8.json (throughput + p50/p95/p99).
+# Codec microbenchmark: every hot wire type through both formats (binary
+# fast path vs tagged-JSON fallback), ns/op + frame bytes + speedup.
+# Writes the dev-path artifact; the committed trail lives in BENCH_pr9.json.
+bench-codec:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --only codec_micro --output BENCH_dev_codec.json
+
+# Fork-sharded simulator wall-clock vs the serial baseline on this machine's
+# cores (skips with a recorded reason on single-CPU boxes).
+bench-sharded-cores:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --only sharded_cores --output BENCH_dev_sharded.json
+
+# Closed-loop load generator against the live asyncio runtime: client
+# sessions driving counter increments and SMR commands, a mid-run
+# kill/recover probe, and the clients-axis sweep (multi-process drivers
+# above 32 clients).  Writes BENCH_pr9.json and fails if counters ops/s
+# drops below 75% of the checked-in baseline.
 bench-loadgen:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.runtime.loadgen --mode both --kill-probe --duration 8 --clients 16 --output BENCH_pr8.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.runtime.loadgen --mode both --kill-probe --duration 8 --clients 16 --sweep-clients 16,32,64,128,256 --baseline benchmarks/loadgen_baseline.json --tag pr9 --output BENCH_pr9.json
+
+# Re-pin the loadgen throughput baseline after a deliberate perf change
+# (quick single-point run; copies the counters number into the baseline).
+loadgen-baseline:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.runtime.loadgen --mode counters --duration 8 --clients 16 --tag baseline --output BENCH_dev_loadgen.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -c "import json; r=json.load(open('BENCH_dev_loadgen.json')); c=r['modes']['counters']; json.dump({'bench':'loadgen_baseline','counters_ops_s':c['throughput_ops_s'],'clients':c['clients'],'n':c['n'],'note':'re-pin via make loadgen-baseline'},open('benchmarks/loadgen_baseline.json','w'),indent=2)"
 
 # The pytest-benchmark experiment suite (E1-E12 + hotpath micro-benches).
 bench-pytest:

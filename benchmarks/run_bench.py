@@ -486,6 +486,71 @@ def bench_scale_curve(
     return entry
 
 
+def bench_codec_micro() -> dict:
+    """Wire-codec encode/decode ns/op per hot type, both formats (PR 9)."""
+    from bench_codec import bench_codec
+
+    t0 = time.perf_counter()
+    entry = bench_codec()
+    entry["wall_seconds"] = time.perf_counter() - t0
+    return entry
+
+
+def bench_sharded_cores(n: int, seed: int, horizon: float = 12.0) -> dict:
+    """Real-core sharded-sim speedup: fork-mode sharded vs serial wall.
+
+    Open since PR 7: every earlier sharded measurement ran serial-mode (one
+    process, windows round-robin), which measures the sharding *overhead*,
+    not the speedup.  This entry runs the same fixed window on
+    ``os.cpu_count()`` fork workers and compares wall clocks — and on a
+    1-CPU container it *skips with a recorded reason* instead of silently
+    benchmarking contention (fork workers on one core can only lose).
+    """
+    import os
+
+    from repro.sim.cluster import build_cluster
+    from repro.sim.config import fast_sim
+    from repro.sim.sharded import build_sharded_cluster
+
+    cores = os.cpu_count() or 1
+    if cores < 2:
+        return {
+            "skipped": True,
+            "reason": (
+                f"os.cpu_count()={cores}: fork-mode shards would time "
+                "scheduler contention, not parallel speedup"
+            ),
+            "cpu_count": cores,
+            "all_ok": True,
+        }
+    shards = min(cores, 4)
+    config = fast_sim(broadcast_streams="per_source")
+    entry: dict = {"n": n, "seed": seed, "horizon": horizon,
+                   "cpu_count": cores, "shards": shards}
+
+    serial = build_cluster(n=n, seed=seed, config=config)
+    t0 = time.perf_counter()
+    serial.run(until=horizon)
+    entry["serial_wall_seconds"] = time.perf_counter() - t0
+    serial_stats = serial.statistics()
+
+    forked = build_sharded_cluster(
+        n=n, seed=seed, shards=shards, mode="fork", config=config
+    )
+    try:
+        t0 = time.perf_counter()
+        forked.run(until=horizon)
+        entry["fork_wall_seconds"] = time.perf_counter() - t0
+        entry["statistics_identical"] = forked.statistics() == serial_stats
+    finally:
+        forked.close()
+    entry["speedup"] = round(
+        entry["serial_wall_seconds"] / entry["fork_wall_seconds"], 2
+    ) if entry["fork_wall_seconds"] else None
+    entry["all_ok"] = entry["statistics_identical"]
+    return entry
+
+
 def bench_scenario_matrix(seeds, workers: int) -> dict:
     """Seed-sweep of the composed scenario library via the parallel runner."""
     t0 = time.perf_counter()
@@ -552,6 +617,8 @@ def main(argv=None) -> int:
         "environment_sweep",
         "matrix_throughput",
         "scale_curve",
+        "codec_micro",
+        "sharded_cores",
     } | {f"event_throughput_{n}" for n in (100_000, 200_000)} \
       | {f"bootstrap_n{n}" for n in (4, 8, 16)} \
       | {f"steady_state_n{n}" for n in (8, 16)}
@@ -590,6 +657,16 @@ def main(argv=None) -> int:
         print(f"[bench] {key} ...", flush=True)
         results["benchmarks"][key] = bench_steady_state(
             n, seed=89, horizon=100.0 if args.quick else 200.0
+        )
+
+    if want("codec_micro"):
+        print("[bench] codec_micro ...", flush=True)
+        results["benchmarks"]["codec_micro"] = bench_codec_micro()
+
+    if want("sharded_cores"):
+        print("[bench] sharded_cores ...", flush=True)
+        results["benchmarks"]["sharded_cores"] = bench_sharded_cores(
+            n=24 if args.quick else 48, seed=89
         )
 
     if want("scenario_matrix"):

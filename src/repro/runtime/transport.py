@@ -1,13 +1,19 @@
 """``AsyncioTransport``: the protocol stack over real UDP sockets.
 
 Each node owns a UDP endpoint on ``127.0.0.1`` (ephemeral port) inside one
-asyncio event loop; a send is a real datagram carrying an 8-byte source-pid
-header followed by one :func:`repro.common.codec.frame`.  Timers are
-``loop.call_later`` with simulated-time delays rescaled by ``tick_seconds``
-(wall seconds per sim-time unit).  Because the loop is single-threaded,
-every timer callback and every datagram delivery runs as one atomic step —
-the same interleaving model the simulator enforces, just scheduled by the
-kernel instead of an event queue.
+asyncio event loop; a datagram carries an 8-byte source-pid header followed
+by **one or more** :func:`repro.common.codec.frame` bodies.  Frames queued
+to the same destination within one event-loop turn are *coalesced* into a
+single datagram (up to ``MAX_DATAGRAM_BYTES``), mirroring the simulator's
+``send_many`` batching: a protocol round that fans out heartbeat + gossip +
+token to the same peer pays one syscall and one header instead of three.
+Timers are ``loop.call_later`` with simulated-time delays rescaled by
+``tick_seconds`` (wall seconds per sim-time unit); the scale can be changed
+live via :meth:`AsyncioTransport.set_tick_seconds` (the clock is rebased so
+``now()`` stays continuous and monotone).  Because the loop is
+single-threaded, every timer callback and every datagram delivery runs as
+one atomic step — the same interleaving model the simulator enforces, just
+scheduled by the kernel instead of an event queue.
 
 Fidelity to the model, not to the simulator: there is no channel-delay or
 loss shaping here (localhost UDP is the channel — unreliable in principle,
@@ -86,21 +92,30 @@ class _NodeEndpoint(asyncio.DatagramProtocol):
             if len(data) <= _HEADER.size:
                 raise CodecError("datagram shorter than its header")
             (source,) = _HEADER.unpack_from(data)
-            payload, consumed = unframe(data[_HEADER.size :])
-            if consumed != len(data) - _HEADER.size:
-                raise CodecError("trailing bytes after frame")
+            # A datagram may coalesce several frames; unframe them in order
+            # so per-destination FIFO is preserved within the batch.  A bad
+            # frame anywhere quarantines the whole datagram *before* any
+            # delivery — a Byzantine sender cannot smuggle a valid prefix.
+            payloads: List[Any] = []
+            offset = _HEADER.size
+            while offset < len(data):
+                payload, consumed = unframe(data[offset:])
+                payloads.append(payload)
+                offset += consumed
         except CodecError as exc:
             owner.quarantined_datagrams += 1
             _log.debug("pid %s quarantined datagram from %s: %s",
                        self.process.pid, addr, exc)
             return
         owner.delivered_datagrams += 1
-        try:
-            self.process.deliver(source, payload)
-        except Exception:  # noqa: BLE001 - a node bug must not kill the loop
-            owner.delivery_errors += 1
-            _log.exception("pid %s handler failed on message from %s",
-                           self.process.pid, source)
+        owner.delivered_frames += len(payloads)
+        for payload in payloads:
+            try:
+                self.process.deliver(source, payload)
+            except Exception:  # noqa: BLE001 - a node bug must not kill the loop
+                owner.delivery_errors += 1
+                _log.exception("pid %s handler failed on message from %s",
+                               self.process.pid, source)
 
     def error_received(self, exc: Exception) -> None:  # pragma: no cover
         _log.debug("pid %s endpoint error: %s", self.process.pid, exc)
@@ -120,52 +135,139 @@ class AsyncioTransport:
         self.tick_seconds = tick_seconds
         self._loop = asyncio.get_running_loop()
         self._epoch = self._loop.time()
+        self._epoch_sim = 0.0  # sim-time at the last tick rebase
         self._endpoints: Dict[ProcessId, _NodeEndpoint] = {}
         self._addrs: Dict[ProcessId, Tuple[str, int]] = {}
         self._timers: Dict[ProcessId, Set[_Timer]] = {}
+        # Coalescing state: per-(source, dest) queues of encoded frames,
+        # flushed once per event-loop turn.
+        self._outbox: Dict[Tuple[ProcessId, ProcessId], List[bytes]] = {}
+        self._flush_scheduled = False
         # Wire statistics (mirrors the simulator's counters loosely).
         self.sent_datagrams = 0
         self.dropped_datagrams = 0
         self.delivered_datagrams = 0
         self.quarantined_datagrams = 0
         self.delivery_errors = 0
+        self.sent_frames = 0
+        self.dropped_frames = 0
+        self.delivered_frames = 0
 
     # ------------------------------------------------------- Transport API
     def now(self) -> float:
         """Wall time since transport creation, in sim-time units (metrics
         only — see :mod:`repro.transport.base` for the contract)."""
-        return (self._loop.time() - self._epoch) / self.tick_seconds
+        return self._epoch_sim + (self._loop.time() - self._epoch) / self.tick_seconds
 
-    def send(self, source: ProcessId, destination: ProcessId, payload: Any) -> None:
-        endpoint = self._endpoints.get(source)
-        addr = self._addrs.get(destination)
-        if endpoint is None or endpoint.udp is None or addr is None:
+    def set_tick_seconds(self, tick_seconds: float) -> None:
+        """Change the wall-clock/sim-unit scale live (the fast-tick lever).
+
+        The clock is rebased so :meth:`now` stays continuous and monotone
+        across the change.  Timers already pending keep the wall delay they
+        were armed with; every timer set *after* the change uses the new
+        scale — the protocol layers re-arm their round timers each
+        iteration, so the whole stack converges onto the new pace within
+        one round.
+        """
+        if tick_seconds <= 0:
+            raise ValueError("tick_seconds must be positive")
+        if tick_seconds == self.tick_seconds:
+            return
+        wall = self._loop.time()
+        self._epoch_sim += (wall - self._epoch) / self.tick_seconds
+        self._epoch = wall
+        self.tick_seconds = tick_seconds
+
+    def _enqueue_frame(
+        self, source: ProcessId, destination: ProcessId, body: bytes
+    ) -> bool:
+        """Queue one encoded frame for coalesced delivery; True if accepted."""
+        if self._addrs.get(destination) is None or source not in self._endpoints:
             # Sender gone or receiver unknown/down: the unreliable-channel
             # model says this is simply a lost packet.
-            self.dropped_datagrams += 1
-            return
+            self.dropped_frames += 1
+            return False
+        if _HEADER.size + len(body) > MAX_DATAGRAM_BYTES:
+            self.dropped_frames += 1
+            return False
+        self._outbox.setdefault((source, destination), []).append(body)
+        self.sent_frames += 1
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self._loop.call_soon(self._flush_outbox)
+        return True
+
+    def _flush_outbox(self) -> None:
+        """Send every queued frame, coalescing per (source, dest) pair.
+
+        Frames to the same destination are packed greedily into datagrams
+        under ``MAX_DATAGRAM_BYTES``, in enqueue order — per-destination
+        FIFO within a turn is preserved both here and in the receiver's
+        unframe loop.  Quarantine rules are untouched: coalescing changes
+        how many frames share a header, never what a receiver accepts.
+        """
+        self._flush_scheduled = False
+        outbox, self._outbox = self._outbox, {}
+        for (source, destination), frames in outbox.items():
+            endpoint = self._endpoints.get(source)
+            addr = self._addrs.get(destination)
+            if endpoint is None or endpoint.udp is None or addr is None:
+                # Torn down between enqueue and flush: late losses.
+                self.sent_frames -= len(frames)
+                self.dropped_frames += len(frames)
+                continue
+            header = _HEADER.pack(source)
+            batch: List[bytes] = []
+            size = _HEADER.size
+            for body in frames:
+                if batch and size + len(body) > MAX_DATAGRAM_BYTES:
+                    self._sendto(endpoint, header, batch, addr)
+                    batch = []
+                    size = _HEADER.size
+                batch.append(body)
+                size += len(body)
+            if batch:
+                self._sendto(endpoint, header, batch, addr)
+
+    def _sendto(
+        self,
+        endpoint: _NodeEndpoint,
+        header: bytes,
+        batch: List[bytes],
+        addr: Tuple[str, int],
+    ) -> None:
+        assert endpoint.udp is not None
         try:
-            data = _HEADER.pack(source) + frame(payload)
+            endpoint.udp.sendto(header + b"".join(batch), addr)
+            self.sent_datagrams += 1
+        except OSError:
+            self.dropped_datagrams += 1
+            self.sent_frames -= len(batch)
+            self.dropped_frames += len(batch)
+
+    def send(self, source: ProcessId, destination: ProcessId, payload: Any) -> None:
+        try:
+            body = frame(payload)
         except CodecError:
             # An unregistered payload type is a programming error on the
             # sending node, not line noise — surface it.
             raise
-        if len(data) > MAX_DATAGRAM_BYTES:
-            self.dropped_datagrams += 1
-            return
-        try:
-            endpoint.udp.sendto(data, addr)
-            self.sent_datagrams += 1
-        except OSError:
-            self.dropped_datagrams += 1
+        self._enqueue_frame(source, destination, body)
 
     def send_many(
         self, source: ProcessId, payloads: Iterable[Tuple[ProcessId, Any]]
     ) -> int:
-        before = self.sent_datagrams
+        # Broadcasts send one object to many peers: encode each distinct
+        # payload once and fan the bytes out.
+        encoded: Dict[int, bytes] = {}
+        accepted = 0
         for destination, payload in payloads:
-            self.send(source, destination, payload)
-        return self.sent_datagrams - before
+            body = encoded.get(id(payload))
+            if body is None:
+                body = encoded[id(payload)] = frame(payload)
+            if self._enqueue_frame(source, destination, body):
+                accepted += 1
+        return accepted
 
     def set_timer(
         self,
@@ -262,4 +364,7 @@ class AsyncioTransport:
             "delivered_datagrams": self.delivered_datagrams,
             "quarantined_datagrams": self.quarantined_datagrams,
             "delivery_errors": self.delivery_errors,
+            "sent_frames": self.sent_frames,
+            "dropped_frames": self.dropped_frames,
+            "delivered_frames": self.delivered_frames,
         }

@@ -302,3 +302,147 @@ class TestByzantineBoundsSplit:
     def test_honest_rb_message_passes_both_layers(self):
         message = EXEMPLARS["RBMessage"]
         assert validate_rb_message(roundtrip(message))
+
+
+class TestBinaryFastPath:
+    """PR 9: the binary wire format is an exact twin of the tagged-JSON path.
+
+    ``frame()`` now emits the binary format (discriminator ``B``);
+    ``frame_json()`` keeps the JSON format (``J``) alive as the fallback and
+    fuzz target.  Equivalence is the contract that lets both coexist on one
+    socket: for every encodable value, decoding the binary bytes and
+    decoding the JSON bytes must produce equal objects.
+    """
+
+    @pytest.mark.parametrize("name", sorted(EXEMPLARS))
+    def test_binary_equals_json_on_every_registered_type(self, name):
+        value = EXEMPLARS[name]
+        via_binary = codec.decode_binary(codec.encode_binary(value))
+        via_json = decode(json.loads(json.dumps(encode(value))))
+        assert via_binary == via_json
+        assert type(via_binary) is type(via_json)
+
+    @pytest.mark.parametrize("name", sorted(EXEMPLARS))
+    def test_both_frame_formats_interoperate(self, name):
+        value = EXEMPLARS[name]
+        binary_frame = frame(value)
+        json_frame = codec.frame_json(value)
+        assert binary_frame[4] == codec.FORMAT_BINARY
+        assert json_frame[4] == codec.FORMAT_JSON
+        assert unframe(binary_frame)[0] == unframe(json_frame)[0]
+
+    def test_binary_preserves_identity_semantics(self):
+        restored = codec.decode_binary(codec.encode_binary(DEFAULT_PROPOSAL))
+        assert restored.phase is Phase.IDLE
+        assert restored.is_default
+        message = codec.decode_binary(codec.encode_binary(EXEMPLARS["RecSAMessage"]))
+        assert message.config is BOTTOM
+        assert codec.decode_binary(codec.encode_binary(BOTTOM)) is BOTTOM
+        assert (
+            codec.decode_binary(codec.encode_binary(VSStatus.MULTICAST))
+            is VSStatus.MULTICAST
+        )
+
+    def test_binary_frozenset_encoding_is_canonical(self):
+        assert codec.encode_binary(frozenset([3, 1, 2])) == codec.encode_binary(
+            frozenset([2, 3, 1])
+        )
+
+    def test_struct_fast_path_keeps_exotic_values_exact(self):
+        # The DCQ struct path is annotation-gated AND value-guarded: a field
+        # that is annotated int but holds a bool / big int / float at runtime
+        # must fall back to the flat layout, not be flattened through '>q'.
+        probe = MaxReadRequest(sender=1, op_id=2)
+        fast = codec.encode_binary(probe)
+        huge = MaxReadRequest(sender=1, op_id=1 << 70)
+        assert codec.decode_binary(codec.encode_binary(huge)) == huge
+        boolish = MaxReadRequest(sender=True, op_id=2)
+        restored = codec.decode_binary(codec.encode_binary(boolish))
+        assert restored.sender is True
+        assert fast != codec.encode_binary(huge)
+
+    @given(
+        st.recursive(
+            st.none()
+            | st.booleans()
+            | st.integers(-(2**70), 2**70)
+            | st.floats(allow_nan=False)
+            | st.text(max_size=12)
+            | st.sampled_from(
+                [BOTTOM, NOT_PARTICIPANT, Phase.SELECT, VSStatus.MULTICAST,
+                 EXEMPLARS["Counter"], EXEMPLARS["EpochLabel"]]
+            ),
+            lambda children: st.tuples(children, children)
+            | st.lists(children, max_size=3)
+            | st.dictionaries(st.text(max_size=4), children, max_size=3)
+            | st.frozensets(st.integers(-100, 100), max_size=4),
+            max_leaves=12,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_binary_equals_json_on_value_trees(self, value):
+        via_binary = codec.decode_binary(codec.encode_binary(value))
+        via_json = decode(json.loads(json.dumps(encode(value))))
+        assert via_binary == via_json
+
+
+class TestBinaryRejection:
+    """Hostile binary bytes raise CodecError, never crash, never hang."""
+
+    def test_unknown_discriminator_rejected(self):
+        with pytest.raises(CodecError):
+            unframe(struct.pack(">I", 4) + b"\xff\xfe\x00\x01")
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(CodecError):
+            unframe(struct.pack(">I", 0))
+
+    @pytest.mark.parametrize("name", sorted(EXEMPLARS))
+    def test_truncated_binary_frames_rejected(self, name):
+        data = frame(EXEMPLARS[name])
+        for cut in range(5, len(data) - 1, max(1, len(data) // 7)):
+            with pytest.raises(CodecError):
+                unframe(data[:cut])
+
+    def test_trailing_binary_bytes_rejected(self):
+        body = codec.encode_binary(42) + b"\x00"
+        with pytest.raises(CodecError):
+            codec.decode_binary(body)
+
+    def test_hostile_container_count_rejected_without_allocation(self):
+        # Claims 2**28 elements in a 3-byte body: must raise, not allocate.
+        hostile = bytes([0x07]) + b"\x80\x80\x80\x80\x01"
+        with pytest.raises(CodecError):
+            codec.decode_binary(hostile)
+
+    def test_unknown_ids_rejected(self):
+        with pytest.raises(CodecError):
+            codec.decode_binary(bytes([0x0B, 0xFA, 0x01]))  # wire type id
+        with pytest.raises(CodecError):
+            codec.decode_binary(bytes([0x0D, 0xFA, 0x01, 0x03, 0x02]))  # enum
+        with pytest.raises(CodecError):
+            codec.decode_binary(bytes([0x0E, 0xFA, 0x01]))  # singleton
+
+    def test_binary_depth_bomb_rejected(self):
+        bomb = bytes([0x06, 0x01]) * (codec.MAX_DEPTH + 2) + bytes([0x00])
+        with pytest.raises(CodecError):
+            codec.decode_binary(bomb)
+
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_random_binary_bodies_never_crash(self, body):
+        try:
+            codec.decode_binary(body)
+        except CodecError:
+            pass
+
+    @given(st.binary(min_size=0, max_size=48), st.sampled_from(sorted(EXEMPLARS)))
+    @settings(max_examples=100, deadline=None)
+    def test_bitflipped_frames_never_crash(self, noise, name):
+        data = bytearray(frame(EXEMPLARS[name]))
+        for index, byte in enumerate(noise):
+            data[4 + index % (len(data) - 4)] ^= byte or 1
+        try:
+            unframe(bytes(data))
+        except CodecError:
+            pass

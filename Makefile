@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-matrix bench-pytest bench-scale bench-codec bench-sharded-cores bench-loadgen loadgen-baseline runtime-smoke scenarios scenarios-smoke audit-smoke audit-gate audit-baseline audit-byzantine audit-n24 audit-n24-baseline audit-n128 audit-n128-baseline audit-n512-smoke audit-profile-grid audit-shrink-demo
+.PHONY: test bench bench-quick bench-matrix bench-pytest bench-scale bench-codec bench-sharded-cores bench-loadgen loadgen-baseline bench-cache bench-history runtime-smoke scenarios scenarios-smoke audit-smoke audit-gate audit-baseline audit-byzantine audit-n24 audit-n24-baseline audit-n128 audit-n128-baseline audit-n512-smoke audit-profile-grid audit-shrink-demo audit-warm-check
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -57,6 +57,18 @@ bench-loadgen:
 loadgen-baseline:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.runtime.loadgen --mode counters --duration 8 --clients 16 --tag baseline --output BENCH_dev_loadgen.json
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -c "import json; r=json.load(open('BENCH_dev_loadgen.json')); c=r['modes']['counters']; json.dump({'bench':'loadgen_baseline','counters_ops_s':c['throughput_ops_s'],'clients':c['clients'],'n':c['n'],'note':'re-pin via make loadgen-baseline'},open('benchmarks/loadgen_baseline.json','w'),indent=2)"
+
+# Persistent sweep cache cold-vs-warm timing (PR 10 headline): the smoke
+# matrix certified twice against a fresh store — the warm pass must be >= 5x
+# faster with byte-identical deterministic verdicts — plus the incremental
+# extension leg (new corruption seeds resuming disk-warm prefixes).
+bench-cache:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/run_bench.py --only sweep_cache --tag pr10
+
+# Collate every committed BENCH_pr*.json into one perf-trajectory table
+# (BENCH_history.md + BENCH_history.json at the repository root).
+bench-history:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m benchmarks.history
 
 # The pytest-benchmark experiment suite (E1-E12 + hotpath micro-benches).
 bench-pytest:
@@ -133,3 +145,13 @@ audit-profile-grid:
 # Demonstrate reproducer shrinking against a deliberately broken invariant.
 audit-shrink-demo:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.audit --demo-shrink --output AUDIT_shrink_demo.json
+
+# Warm-cache CI check: the smoke matrix twice against one shared cache
+# directory — the second run must answer >= 90% of cells from the store with
+# verdicts byte-identical to the first (python -m repro.audit.store check).
+audit-warm-check:
+	rm -rf .audit_cache_ci
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.audit --smoke --workers 4 --cache-dir .audit_cache_ci --output AUDIT_smoke_cold.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.audit --smoke --workers 4 --cache-dir .audit_cache_ci --output AUDIT_smoke_warm.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.audit.store check AUDIT_smoke_warm.json --against AUDIT_smoke_cold.json --min-hit-rate 0.9
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.audit.store stats --cache-dir .audit_cache_ci

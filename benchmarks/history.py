@@ -1,0 +1,211 @@
+"""Collate committed ``BENCH_pr*.json`` files into one perf trajectory.
+
+Every PR that moved performance committed a benchmark artifact, but they
+accumulated as isolated snapshots — answering "did event throughput ever
+regress?" meant opening eight JSON files by hand.  This module reads every
+``BENCH_pr<N>.json`` at the repo root, normalizes the two artifact formats
+that exist in the history (the ``run_bench`` suite format with a
+``benchmarks``/``meta`` pair, and the closed-loop ``loadgen`` format from
+PR 8 onward), and emits a single trajectory table:
+
+* ``BENCH_history.md`` — a markdown table, one row per PR, one column per
+  headline metric (missing cells render as ``—``: not every PR ran every
+  benchmark);
+* ``BENCH_history.json`` — the same rows as data, for downstream tooling.
+
+Usage::
+
+    python -m benchmarks.history                  # writes both files
+    python -m benchmarks.history --root . --quiet
+    make bench-history
+
+The table is *descriptive*, not a gate: wall-clock numbers were taken on
+different machines across PRs (the ``platform`` column makes that visible).
+Trends within a machine generation are meaningful; absolute deltas across
+generations are not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+_PR_FILE = re.compile(r"BENCH_pr(\d+)\.json$")
+
+#: Ordered headline columns: (key, markdown header) — the union across both
+#: artifact formats; a PR that lacks a metric gets an em-dash cell.
+COLUMNS = [
+    ("bootstrap_n16_wall_s", "bootstrap n16 (s)"),
+    ("speedup_bootstrap_n16", "speedup vs seed"),
+    ("events_per_second", "events/s"),
+    ("audit_sweep_wall_s", "audit sweep (s)"),
+    ("audit_sweep_runs", "audit runs"),
+    ("matrix_speedup", "matrix speedup"),
+    ("loadgen_ops_s", "loadgen ops/s"),
+    ("loadgen_p95_ms", "p95 (ms)"),
+    ("sweep_cache_speedup", "cache speedup"),
+]
+
+
+def _round(value: Any, digits: int = 2) -> Any:
+    if isinstance(value, float):
+        return round(value, digits)
+    return value
+
+
+def _extract_run_bench(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Headline metrics of a ``run_bench.py`` artifact (PR 1-7 format)."""
+    meta = data.get("meta") or {}
+    benchmarks = data.get("benchmarks") or {}
+    row: Dict[str, Any] = {
+        "kind": "run_bench",
+        "platform": meta.get("platform"),
+        "benchmarks": sorted(benchmarks),
+        "speedup_bootstrap_n16": _round(meta.get("speedup_bootstrap_n16")),
+    }
+    bootstrap = benchmarks.get("bootstrap_n16") or {}
+    if bootstrap:
+        row["bootstrap_n16_wall_s"] = _round(bootstrap.get("wall_seconds"), 3)
+    throughput = benchmarks.get("event_throughput_200000") or {}
+    if throughput:
+        row["events_per_second"] = _round(throughput.get("events_per_second"), 0)
+    sweep = benchmarks.get("audit_sweep") or {}
+    if sweep:
+        row["audit_sweep_wall_s"] = _round(sweep.get("wall_seconds"))
+        row["audit_sweep_runs"] = sweep.get("runs")
+    matrix = benchmarks.get("matrix_throughput") or {}
+    if matrix:
+        row["matrix_speedup"] = _round(matrix.get("speedup_64run_sweep"))
+    cache = benchmarks.get("sweep_cache") or {}
+    if cache:
+        row["sweep_cache_speedup"] = _round(cache.get("speedup_warm"))
+        row["sweep_cache_cold_s"] = _round(cache.get("cold_seconds"))
+        row["sweep_cache_warm_s"] = _round(cache.get("warm_seconds"), 3)
+    return row
+
+
+def _extract_loadgen(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Headline metrics of a ``loadgen`` artifact (PR 8+ format)."""
+    counters = (data.get("modes") or {}).get("counters") or {}
+    latency = counters.get("latency") or {}
+    row: Dict[str, Any] = {
+        "kind": "loadgen",
+        "benchmarks": sorted((data.get("modes") or {}))
+        + (["sweep"] if data.get("sweep") else []),
+        "loadgen_ops_s": _round(counters.get("throughput_ops_s"), 1),
+        "loadgen_clients": counters.get("clients"),
+        "loadgen_p95_ms": _round(latency.get("p95_ms"), 1),
+    }
+    sweep = data.get("sweep") or {}
+    points = sweep.get("points") or []
+    if points:
+        best = max(
+            (p for p in points if p.get("throughput_ops_s") is not None),
+            key=lambda p: p["throughput_ops_s"],
+            default=None,
+        )
+        if best:
+            row["loadgen_sweep_best_ops_s"] = _round(best["throughput_ops_s"], 1)
+            row["loadgen_sweep_best_clients"] = best.get("clients")
+    return row
+
+
+def extract_row(path: Path) -> Optional[Dict[str, Any]]:
+    """One normalized trajectory row for a BENCH artifact, or ``None``."""
+    match = _PR_FILE.search(path.name)
+    if not match:
+        return None
+    data = json.loads(path.read_text())
+    if data.get("bench") == "loadgen":
+        row = _extract_loadgen(data)
+    elif "benchmarks" in data:
+        row = _extract_run_bench(data)
+    else:
+        row = {"kind": "unknown", "benchmarks": sorted(data)}
+    row["pr"] = int(match.group(1))
+    row["tag"] = (data.get("meta") or {}).get("tag") or data.get("tag") or path.stem
+    row["file"] = path.name
+    return row
+
+
+def collect(root: Path) -> List[Dict[str, Any]]:
+    """Every ``BENCH_pr*.json`` under *root* (non-recursive), as rows."""
+    rows = []
+    for path in sorted(root.glob("BENCH_pr*.json")):
+        row = extract_row(path)
+        if row is not None:
+            rows.append(row)
+    rows.sort(key=lambda row: row["pr"])
+    return rows
+
+
+def _cell(value: Any) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float) and value == int(value):
+        value = int(value)
+    return str(value)
+
+
+def render_markdown(rows: List[Dict[str, Any]]) -> str:
+    """The trajectory as a GitHub-flavored markdown table."""
+    lines = [
+        "# Benchmark trajectory",
+        "",
+        "Collated from the committed `BENCH_pr*.json` artifacts by "
+        "`python -m benchmarks.history`.  Cells are `—` where a PR did not "
+        "run that benchmark; wall-clock columns are only comparable within "
+        "one machine generation.",
+        "",
+        "| PR | kind | " + " | ".join(header for _, header in COLUMNS) + " |",
+        "|---:|------|" + "|".join("---:" for _ in COLUMNS) + "|",
+    ]
+    for row in rows:
+        cells = [f"pr{row['pr']}", row.get("kind", "?")]
+        cells += [_cell(row.get(key)) for key, _ in COLUMNS]
+        lines.append("| " + " | ".join(cells) + " |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.history", description=__doc__
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="directory holding the BENCH_pr*.json artifacts (default: .)",
+    )
+    parser.add_argument(
+        "--output-md", default="BENCH_history.md", help="markdown table path"
+    )
+    parser.add_argument(
+        "--output-json", default="BENCH_history.json", help="row data path"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the table on stdout"
+    )
+    args = parser.parse_args(argv)
+
+    root = Path(args.root)
+    rows = collect(root)
+    if not rows:
+        print(f"no BENCH_pr*.json artifacts under {root}")
+        return 1
+    markdown = render_markdown(rows)
+    Path(args.output_md).write_text(markdown)
+    Path(args.output_json).write_text(
+        json.dumps({"rows": rows}, indent=2, sort_keys=True) + "\n"
+    )
+    if not args.quiet:
+        print(markdown)
+    print(f"wrote {args.output_md} and {args.output_json} ({len(rows)} PRs)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

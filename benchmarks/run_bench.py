@@ -551,6 +551,94 @@ def bench_sharded_cores(n: int, seed: int, horizon: float = 12.0) -> dict:
     return entry
 
 
+def bench_sweep_cache(workers: int, quick: bool) -> dict:
+    """Persistent sweep cache: cold vs warm re-run of the smoke matrix (PR 10).
+
+    Runs the CI smoke matrix twice against a fresh cache directory.  The
+    cold pass computes and persists every cell; the warm pass must be
+    answered entirely from the store — the acceptance bar is a >= 5x
+    wall-clock speedup with **byte-identical** deterministic reports.  A
+    third leg measures the incremental shape that motivates the cache: an
+    *unseen* corruption seed (every result a miss) resuming the
+    pre-corruption prefix snapshots already on disk.
+    """
+    import shutil
+    import tempfile
+
+    from repro.audit.__main__ import smoke_cases
+    from repro.audit.harness import build_cases, certify
+    from repro.audit.store import SweepStore, report_bytes
+
+    if quick:
+        cases = build_cases(
+            schedulers=["uniform", "delay_skew"], corruption_seeds=range(2)
+        )
+        seeds = [0]
+    else:
+        cases = smoke_cases()
+        seeds = [0, 1, 2]
+
+    directory = tempfile.mkdtemp(prefix="bench_sweep_cache_")
+    try:
+        with SweepStore(directory) as store:
+            t0 = time.perf_counter()
+            cold = certify(
+                cases, seeds=seeds, workers=workers, shrink_failures=False, store=store
+            )
+            cold_wall = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            warm = certify(
+                cases, seeds=seeds, workers=workers, shrink_failures=False, store=store
+            )
+            warm_wall = time.perf_counter() - t0
+            # The incremental extension: new corruption seeds miss every
+            # result row but share the static schedulers' pre-corruption
+            # prefixes, which the cold pass persisted.
+            extension = build_cases(
+                schedulers=["uniform", "delay_skew"], corruption_seeds=[7]
+            )
+            t0 = time.perf_counter()
+            extended = certify(
+                extension,
+                seeds=seeds,
+                workers=workers,
+                shrink_failures=False,
+                store=store,
+            )
+            extend_wall = time.perf_counter() - t0
+            db_bytes = store.stats()["db_bytes"]
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+    identical = report_bytes(cold) == report_bytes(warm)
+    speedup = (cold_wall / warm_wall) if warm_wall else None
+    warm_cache = warm["meta"]["cache"]
+    return {
+        "runs": cold["meta"]["runs"],
+        "cold_seconds": cold_wall,
+        "warm_seconds": warm_wall,
+        "speedup_warm": round(speedup, 1) if speedup else None,
+        "byte_identical": identical,
+        "warm_hit_rate": warm_cache["hit_rate"],
+        "snapshots_written_cold": cold["meta"]["cache"]["snapshots_written"],
+        "extension": {
+            "runs": extended["meta"]["runs"],
+            "wall_seconds": extend_wall,
+            "snapshot_hits": extended["meta"]["cache"]["snapshot_hits"],
+        },
+        "db_bytes": db_bytes,
+        "all_ok": bool(
+            identical
+            and speedup is not None
+            and speedup >= 5.0
+            and warm_cache["hit_rate"] == 1.0
+            and cold["certified"]
+            and warm["certified"]
+            and extended["certified"]
+        ),
+    }
+
+
 def bench_scenario_matrix(seeds, workers: int) -> dict:
     """Seed-sweep of the composed scenario library via the parallel runner."""
     t0 = time.perf_counter()
@@ -619,6 +707,7 @@ def main(argv=None) -> int:
         "scale_curve",
         "codec_micro",
         "sharded_cores",
+        "sweep_cache",
     } | {f"event_throughput_{n}" for n in (100_000, 200_000)} \
       | {f"bootstrap_n{n}" for n in (4, 8, 16)} \
       | {f"steady_state_n{n}" for n in (8, 16)}
@@ -688,6 +777,12 @@ def main(argv=None) -> int:
         print("[bench] environment_sweep ...", flush=True)
         results["benchmarks"]["environment_sweep"] = bench_environment_sweep(
             seeds=matrix_seeds, workers=args.workers, quick=args.quick
+        )
+
+    if want("sweep_cache"):
+        print("[bench] sweep_cache ...", flush=True)
+        results["benchmarks"]["sweep_cache"] = bench_sweep_cache(
+            workers=args.workers, quick=args.quick
         )
 
     if want("matrix_throughput"):

@@ -16,6 +16,13 @@ Examples::
                                                        # corruption intensity
     python -m repro.audit --demo-shrink                # broken invariant ->
                                                        # minimal reproducer
+
+Sweeps run against a persistent content-addressed cache (``.audit_cache/``
+by default): unchanged cells are answered from disk and warm pre-corruption
+prefixes are resumed from stored snapshots, so re-running a matrix after an
+edit only recomputes what the edit could have changed.  ``--no-cache``
+disables it, ``--refresh`` forces recompute (with write-back), and
+``python -m repro.audit.store stats`` inspects the store.
 """
 
 from __future__ import annotations
@@ -47,6 +54,7 @@ from repro.audit.schedulers import (
     get_scheduler,
     static_schedulers,
 )
+from repro.audit.store import DEFAULT_CACHE_DIR, SweepStore
 from repro.scenarios.__main__ import parse_seeds
 
 
@@ -303,7 +311,27 @@ def _render(report: dict) -> str:
     return table.render()
 
 
-def _demo_shrink(output: str | None) -> int:
+def _print_cache(meta: dict) -> None:
+    """One-line cache summary after a sweep (hits, warm prefixes, salt)."""
+    cache = (meta or {}).get("cache") or {}
+    if not cache.get("enabled"):
+        return
+    total = cache.get("hits", 0) + cache.get("misses", 0)
+    stale = cache.get("stale_results", 0) + cache.get("stale_snapshots", 0)
+    line = (
+        f"[audit] cache: {cache.get('hits', 0)}/{total} result hits "
+        f"({cache.get('hit_rate', 0.0):.0%}), "
+        f"{cache.get('snapshot_hits', 0)} prefix snapshot(s) from disk, "
+        f"salt {cache.get('salt')}"
+    )
+    if cache.get("refreshed"):
+        line += " (refreshed)"
+    if stale:
+        line += f"; {stale} stale row(s) from other salts (prune to reclaim)"
+    print(line)
+
+
+def _demo_shrink(output: str | None, store: SweepStore | None = None) -> int:
     """Certify against a deliberately-too-strong invariant and shrink.
 
     ``no_reset_in_progress`` is violated by any corruption that triggers a
@@ -318,7 +346,7 @@ def _demo_shrink(output: str | None) -> int:
     )
     print(f"[audit] demo case {case.name}: deliberately broken invariant "
           f"'no_reset_in_progress' (any reset violates it)")
-    reproducer = shrink_case(case, seed=0)
+    reproducer = shrink_case(case, seed=0, store=store)
     print(json.dumps(reproducer, indent=2, default=str))
     if output:
         Path(output).write_text(json.dumps(reproducer, indent=2, default=str) + "\n")
@@ -419,6 +447,28 @@ def main(argv=None) -> int:
         action="store_true",
         help="run the broken-invariant shrinking demonstration and exit",
     )
+    cache_group = parser.add_argument_group(
+        "persistent sweep cache",
+        "content-addressed result + prefix-snapshot store (repro.audit.store); "
+        "fingerprints fold in a source-tree salt, so any change under "
+        "src/repro invalidates every cached row automatically",
+    )
+    cache_group.add_argument(
+        "--cache-dir",
+        default=str(DEFAULT_CACHE_DIR),
+        help=f"cache directory (default: {DEFAULT_CACHE_DIR}; created on "
+        "demand, safe to share between concurrent invocations)",
+    )
+    cache_group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run without the persistent cache (no reads, no writes)",
+    )
+    cache_group.add_argument(
+        "--refresh",
+        action="store_true",
+        help="ignore cached results/snapshots but write fresh ones back",
+    )
     parser.add_argument(
         "--list-schedulers", action="store_true", help="list schedulers and exit"
     )
@@ -440,8 +490,18 @@ def main(argv=None) -> int:
             print(f"{name:16s} {BEHAVIORS[name].description}")
         return 0
 
+    store = None if args.no_cache else SweepStore(args.cache_dir)
+    try:
+        return _dispatch(args, store)
+    finally:
+        if store is not None:
+            store.close()
+
+
+def _dispatch(args: argparse.Namespace, store: SweepStore | None) -> int:
+    """Run the selected mode against the (possibly disabled) sweep cache."""
     if args.demo_shrink:
-        return _demo_shrink(args.output)
+        return _demo_shrink(args.output, store=store)
 
     if args.scale_smoke is not None:
         return _scale_smoke(args.scale_smoke, args.smoke_horizon, args.output)
@@ -459,8 +519,11 @@ def main(argv=None) -> int:
             workers=args.workers,
             n=args.n,
             convergence_budget=args.budget,
+            store=store,
+            refresh=args.refresh,
         )
         print(json.dumps(report["grid"], indent=2, sort_keys=True))
+        _print_cache(report.get("meta") or {})
         if args.output:
             path = Path(args.output)
             path.write_text(json.dumps(report, indent=2, sort_keys=True, default=str) + "\n")
@@ -488,7 +551,8 @@ def main(argv=None) -> int:
         if ignored:
             print(
                 f"[audit] --tier {args.tier} fixes the matrix; drop {ignored} "
-                f"(only --seeds/--workers/--cold/--output apply to a tier)",
+                f"(only --seeds/--workers/--cold/--output and the cache flags "
+                f"apply to a tier)",
                 file=sys.stderr,
             )
             return 2
@@ -514,9 +578,15 @@ def main(argv=None) -> int:
         seeds = parse_seeds(args.seeds)
 
     report = certify(
-        cases, seeds=seeds, workers=args.workers, reuse_prefix=not args.cold
+        cases,
+        seeds=seeds,
+        workers=args.workers,
+        reuse_prefix=not args.cold,
+        store=store,
+        refresh=args.refresh,
     )
     print(_render(report))
+    _print_cache(report.get("meta") or {})
 
     if args.output:
         path = Path(args.output)

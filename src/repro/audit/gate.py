@@ -178,6 +178,19 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     report = json.loads(Path(args.report).read_text())
+    cache = (report.get("meta") or {}).get("cache") or {}
+    if cache.get("enabled"):
+        # Surface the sweep-cache economics next to the bounds: how much of
+        # the matrix was answered from disk, and how many rows a source
+        # change has invalidated (stale salts awaiting a prune).
+        print(
+            f"[gate] cache: {cache.get('hits', 0)} hit(s), "
+            f"{cache.get('misses', 0)} miss(es) "
+            f"(hit rate {cache.get('hit_rate', 0.0):.0%}), "
+            f"{cache.get('snapshot_hits', 0)} prefix snapshot hit(s), "
+            f"{cache.get('stale_results', 0) + cache.get('stale_snapshots', 0)} "
+            f"invalidated row(s), salt {cache.get('salt')}"
+        )
     if not report.get("certified", False):
         print(f"[gate] sweep not certified: {report.get('failed')}", file=sys.stderr)
         return 1

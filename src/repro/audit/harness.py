@@ -62,6 +62,12 @@ from repro.scenarios.workloads import (
     RBBroadcastWorkload,
     SMRCommandWorkload,
 )
+from repro.audit.store import (
+    SweepStore,
+    fingerprint_cell,
+    fingerprint_prefix,
+    source_tree_salt,
+)
 from repro.sim.snapshot import SimSnapshot
 
 #: Stacks whose nodes run a ``"vs"`` service, i.e. can multicast commands.
@@ -485,6 +491,8 @@ def certify(
     shrink_failures: bool = True,
     max_shrink_trials: int = 64,
     reuse_prefix: bool = True,
+    store: Optional[SweepStore] = None,
+    refresh: bool = False,
 ) -> Dict[str, Any]:
     """Sweep ``cases x seeds``; return the JSON-serializable audit report.
 
@@ -496,13 +504,25 @@ def certify(
     are fanned out from one warm :class:`~repro.sim.snapshot.SimSnapshot` per
     ``(prefix, simulator seed)`` instead of each paying a full bootstrap;
     results are byte-identical to the cold path.  Snapshots are built in the
-    parent (serially — they cannot cross a process boundary except by fork
-    inheritance), so a group only goes warm when its fan-out beats that
-    serial cost: at least 2 cases per prefix, and at least one case per
-    *actually available* core the pool could otherwise use for parallel cold
-    bootstraps.  (Requested ``workers`` beyond the CPU count add no real
-    parallelism — on an oversubscribed or single-core box the shared prefix
-    always reduces total work and wins, which is what measurements show.)
+    parent (serially — an in-memory snapshot cannot cross a process boundary
+    except by fork inheritance), so without a persistent store a group only
+    goes warm when its fan-out beats that serial cost: at least 2 cases per
+    prefix, and at least one case per *actually available* core the pool
+    could otherwise use for parallel cold bootstraps.
+
+    With a *store* (:class:`~repro.audit.store.SweepStore`), the sweep is
+    **incremental across invocations**: every ``(case, seed)`` cell is first
+    looked up by its content-addressed fingerprint and cache hits replay the
+    stored deterministic entry instead of dispatching a run; only the misses
+    reach the matrix.  Pre-corruption prefix snapshots are read from and
+    written back to the store's disk-backed snapshot table, so warm prefixes
+    survive across processes and machines too (any group with >= 2 pending
+    members is worth persisting, since the snapshot outlives the process).
+    Any source change under ``src/repro`` rotates the fingerprint salt and
+    every lookup misses — stale cells are counted, never consulted.
+    *refresh* forces a full recompute (both tables bypassed on read,
+    overwritten on write) for paranoid re-validation of cached cells.
+    ``meta.cache`` reports hit/miss/invalidation counts either way.
     """
     wall_start = time.perf_counter()
     by_name: Dict[str, AuditCase] = {}
@@ -517,41 +537,117 @@ def certify(
     except AttributeError:  # pragma: no cover - platform without affinity
         cores = os.cpu_count() or 1
     parallelism = max(1, min(workers, cores, len(by_name) * max(1, len(seeds))))
-    if reuse_prefix:
+
+    # ------------------------------------------------------------------
+    # Cache lookup: serve every content-addressed hit from the store and
+    # dispatch only the misses.  The fingerprint covers the fully-resolved
+    # case, the simulator seed and the source-tree salt, so a hit is exactly
+    # a cell whose inputs (code included) have not changed.
+    # ------------------------------------------------------------------
+    salt = source_tree_salt() if store is not None else None
+    fingerprints: Dict[Tuple[str, int], str] = {}
+    cached_entries: List[Dict[str, Any]] = []
+    snapshot_hits = 0
+    snapshots_written = 0
+    if store is not None:
+        miss_jobs: List[Tuple[str, int]] = []
+        for case in by_name.values():
+            for seed in seeds:
+                fingerprint = fingerprint_cell(case, seed, salt)
+                fingerprints[(case.name, seed)] = fingerprint
+                entry = None if refresh else store.get_result(fingerprint)
+                if entry is not None:
+                    cached_entries.append(entry)
+                else:
+                    miss_jobs.append((case.name, seed))
+    else:
+        miss_jobs = [
+            (case.name, seed) for case in by_name.values() for seed in seeds
+        ]
+    miss_set = set(miss_jobs)
+
+    if reuse_prefix and miss_jobs:
         for case in by_name.values():
             groups.setdefault(prefix_key(case), []).append(case)
         _WARM_CASES.clear()
         _WARM_SNAPSHOTS.clear()
         _WARM_CASES.update(by_name)
         for key, members in groups.items():
-            if len(members) < max(2, parallelism):
-                # A snapshot costs one serial parent bootstrap; it pays only
-                # when it replaces more bootstraps than the pool could have
-                # run concurrently on real cores in the same wall time.
-                continue
             for seed in seeds:
-                snapshot = prefix_snapshot(members[0], seed)
+                pending = [case for case in members if (case.name, seed) in miss_set]
+                if not pending:
+                    continue
+                snapshot = None
+                prefix_fp = fingerprint_prefix(key, salt) if store is not None else None
+                if store is not None and not refresh:
+                    # Disk-warm prefix: loading a pickled snapshot costs
+                    # milliseconds, so a hit is worth taking at any fan-out.
+                    snapshot = store.get_snapshot(prefix_fp, seed)
+                    if snapshot is not None:
+                        snapshot_hits += 1
+                if snapshot is None:
+                    # Building costs one serial parent bootstrap.  In-memory
+                    # only, it must beat the pool's parallel cold bootstraps
+                    # (>= max(2, parallelism) members); persisted, it outlives
+                    # the process, so any real sharing (>= 2) already pays.
+                    threshold = 2 if store is not None else max(2, parallelism)
+                    if len(pending) < threshold:
+                        continue
+                    snapshot = prefix_snapshot(members[0], seed)
+                    if snapshot is not None and store is not None:
+                        store.put_snapshot(prefix_fp, seed, snapshot, salt)
+                        snapshots_written += 1
                 if snapshot is not None:
                     _WARM_SNAPSHOTS[(key, seed)] = snapshot
-                    warm_jobs += len(members)
+                    warm_jobs += len(pending)
         if _WARM_SNAPSHOTS:
             job_runner = _warm_job
     try:
-        sweep = run_matrix(
-            [case.name for case in cases], seeds=seeds, workers=workers, job_runner=job_runner
+        names = list(by_name)
+        if miss_jobs:
+            sweep = run_matrix(
+                names,
+                seeds=seeds,
+                workers=workers,
+                job_runner=job_runner,
+                jobs=miss_jobs,
+            )
+            sweep_results = sweep["results"]
+            sweep_meta = sweep["meta"]
+        else:
+            # Every cell was served from the cache; there is no sweep.
+            sweep_results = []
+            sweep_meta = {"workers": 0, "sweep": {"jobs": 0, "fully_cached": True}}
+        if store is not None:
+            for entry in sweep_results:
+                # Entries carrying an "error" are not deterministic facts
+                # about the cell (worker death, transient OOM) — never cache
+                # them, so the next invocation retries.
+                if entry.get("error"):
+                    continue
+                store.put_result(
+                    fingerprints[(entry["scenario"], entry["seed"])],
+                    entry["scenario"],
+                    entry["seed"],
+                    entry,
+                    salt,
+                )
+        results = sorted(
+            cached_entries + sweep_results,
+            key=lambda entry: (entry["scenario"], entry["seed"]),
         )
         verdicts = [
             _verdict(entry, corrupt_at=by_name[entry["scenario"]].corrupt_at)
-            for entry in sweep["results"]
+            for entry in results
         ]
         failures = [v for v in verdicts if not v["certified"]]
         report: Dict[str, Any] = {
             "meta": {
                 "cases": sorted(by_name),
                 "seeds": list(seeds),
-                "workers": sweep["meta"]["workers"],
+                "workers": sweep_meta["workers"],
                 "runs": len(verdicts),
-                "sweep": sweep["meta"]["sweep"],
+                "sweep": sweep_meta["sweep"],
                 # Warm prefix sharing: how many distinct pre-corruption
                 # prefixes the matrix had, and how many of its runs resumed
                 # a snapshot instead of bootstrapping from scratch.
@@ -561,6 +657,18 @@ def certify(
                     "snapshots": len(_WARM_SNAPSHOTS) if reuse_prefix else 0,
                     "warm_runs": warm_jobs,
                 },
+                # The persistent sweep cache: cells served without dispatch,
+                # cells recomputed, disk-warm prefix traffic, and how many
+                # stored rows the current source-tree salt invalidates.
+                "cache": _cache_meta(
+                    store,
+                    salt,
+                    hits=len(cached_entries),
+                    misses=len(miss_jobs),
+                    refreshed=refresh,
+                    snapshot_hits=snapshot_hits,
+                    snapshots_written=snapshots_written,
+                ),
                 # Runs where bootstrap overran corrupt_at: those certify
                 # convergence from a corrupted bootstrap state, not
                 # re-convergence of a converged system.
@@ -585,6 +693,7 @@ def certify(
                     snapshot=_WARM_SNAPSHOTS.get(
                         (prefix_key(by_name[v["case"]]), v["seed"])
                     ),
+                    store=store,
                 )
                 for v in failures
             ]
@@ -598,6 +707,37 @@ def certify(
             # process lifetime, not even when a worker death raised.
             _WARM_CASES.clear()
             _WARM_SNAPSHOTS.clear()
+
+
+def _cache_meta(
+    store: Optional[SweepStore],
+    salt: Optional[str],
+    hits: int,
+    misses: int,
+    refreshed: bool,
+    snapshot_hits: int,
+    snapshots_written: int,
+) -> Dict[str, Any]:
+    """The ``meta.cache`` section of a sweep report."""
+    if store is None:
+        return {"enabled": False}
+    stats = store.stats(salt)
+    return {
+        "enabled": True,
+        "dir": str(store.directory),
+        "salt": salt,
+        "refreshed": bool(refreshed),
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": round(hits / (hits + misses), 4) if (hits + misses) else None,
+        "snapshot_hits": snapshot_hits,
+        "snapshots_written": snapshots_written,
+        # Invalidation counts: rows stored under *other* source-tree salts.
+        # They are never consulted (the salt is folded into every
+        # fingerprint); `python -m repro.audit.store prune` reclaims them.
+        "stale_results": stats["stale_results"],
+        "stale_snapshots": stats["stale_snapshots"],
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -642,6 +782,8 @@ def sweep_profile_grid(
     stacks: Sequence[str] = ("bare",),
     corruption_seeds: Sequence[int] = (0,),
     workers: int = 1,
+    store: Optional[SweepStore] = None,
+    refresh: bool = False,
     **case_overrides: Any,
 ) -> Dict[str, Any]:
     """Worst-case stabilization-time distributions across corruption intensity.
@@ -663,7 +805,14 @@ def sweep_profile_grid(
             profiles=[profile],
             **case_overrides,
         )
-        report = certify(cases, seeds=seeds, workers=workers, shrink_failures=False)
+        report = certify(
+            cases,
+            seeds=seeds,
+            workers=workers,
+            shrink_failures=False,
+            store=store,
+            refresh=refresh,
+        )
         all_certified = all_certified and report["certified"]
         failed.extend(report["failed"])
         grid[profile] = report["stabilization"]
@@ -711,6 +860,7 @@ def shrink_case(
     max_trials: int = 64,
     reuse_prefix: bool = True,
     snapshot: Optional[SimSnapshot] = None,
+    store: Optional[SweepStore] = None,
 ) -> Dict[str, Any]:
     """Shrink *case*'s corruption plan to a minimal failing subset (ddmin).
 
@@ -725,10 +875,21 @@ def shrink_case(
     resumes the warm copy per trial — a ddmin pass over a hundred atoms pays
     for one bootstrap instead of dozens.  A caller that already holds the
     matching prefix *snapshot* (``certify`` does, for failures of a warm
-    sweep) can pass it in to skip even that one bootstrap.
+    sweep) can pass it in to skip even that one bootstrap; with a persistent
+    *store*, the prefix is read from (or written back to) the disk snapshot
+    table, so repeated shrink sessions — across processes — never pay the
+    bootstrap again.
     """
     if snapshot is None and reuse_prefix:
-        snapshot = prefix_snapshot(case, seed)
+        prefix_fp = (
+            fingerprint_prefix(prefix_key(case)) if store is not None else None
+        )
+        if store is not None:
+            snapshot = store.get_snapshot(prefix_fp, seed)
+        if snapshot is None:
+            snapshot = prefix_snapshot(case, seed)
+            if snapshot is not None and store is not None:
+                store.put_snapshot(prefix_fp, seed, snapshot)
     plan_kind = _plan_kind(case)
     full = run_case(case, seed, snapshot=snapshot)
     total = _plan_size(full, kind=plan_kind)

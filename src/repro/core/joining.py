@@ -60,6 +60,25 @@ class JoinResponse:
     state: Any
 
 
+# Default hook implementations as module-level functions (not lambdas):
+# live protocol instances end up inside snapshots, which must pickle to
+# disk — functions pickle by reference, closures not at all.
+def _admit_everyone(joiner: ProcessId) -> bool:
+    return True
+
+
+def _no_state() -> Any:
+    return None
+
+
+def _ignore_states(states: Any) -> None:
+    return None
+
+
+def _reset_nothing() -> None:
+    return None
+
+
 class JoiningProtocol:
     """Per-processor instance of the joining mechanism."""
 
@@ -78,10 +97,10 @@ class JoiningProtocol:
         self.recsa = recsa
         self.fd_provider = fd_provider
         self.send = send
-        self.admission_policy: AdmissionPolicy = admission_policy or (lambda joiner: True)
-        self.state_provider: StateProvider = state_provider or (lambda: None)
-        self.state_initializer: StateInitializer = state_initializer or (lambda states: None)
-        self.state_resetter: StateResetter = state_resetter or (lambda: None)
+        self.admission_policy: AdmissionPolicy = admission_policy or _admit_everyone
+        self.state_provider: StateProvider = state_provider or _no_state
+        self.state_initializer: StateInitializer = state_initializer or _ignore_states
+        self.state_resetter: StateResetter = state_resetter or _reset_nothing
 
         # Joiner-side collected passes and member states (lines 2, 5, 18).
         self.passes: Dict[ProcessId, bool] = {}

@@ -50,6 +50,7 @@ Restrictions
 from __future__ import annotations
 
 import copy
+import pickle
 from typing import Any
 
 from repro.common.errors import SimulationError
@@ -114,6 +115,33 @@ class SimSnapshot:
         _rekey_in_flight(_find_simulator(restored))
         self._restores += 1
         return restored
+
+    def to_bytes(self) -> bytes:
+        """Serialize the captured state for disk/wire transport.
+
+        Pickle works here for the same reason ``deepcopy`` does: the live
+        graph holds no closures (only bound methods, module-level functions
+        and :class:`~repro.sim.events.Action` values, all of which pickle by
+        reference or by state).  The persistent sweep cache
+        (:mod:`repro.audit.store`) stores these bytes keyed by a
+        content-addressed prefix fingerprint, which is what lets warm
+        prefixes finally cross process and machine boundaries.
+        """
+        return pickle.dumps(self._state, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "SimSnapshot":
+        """Rebuild a snapshot from :meth:`to_bytes` output.
+
+        Unpickling allocates fresh objects, so the identity-keyed channel
+        ledgers are re-keyed exactly as after a deep copy; a restored
+        continuation is byte-identical to a cold run (pinned by the
+        test-suite).  Only feed this trusted bytes — pickle executes the
+        constructors of whatever it decodes.
+        """
+        state = pickle.loads(blob)
+        _rekey_in_flight(_find_simulator(state))
+        return cls(state)
 
     @property
     def restores(self) -> int:

@@ -81,6 +81,12 @@ class VSState:
     crd: Optional[ProcessId] = None
 
 
+def _never_reconfigure() -> bool:
+    """Default evalConfig policy — a module-level function (not a lambda) so
+    live service instances stay picklable inside disk-backed snapshots."""
+    return False
+
+
 class VirtualSynchronyService:
     """Per-participant virtually synchronous SMR service."""
 
@@ -99,7 +105,7 @@ class VirtualSynchronyService:
         self.counters = counters
         self.send = send
         self.machine: StateMachine = state_machine or LogStateMachine()
-        self.eval_config: EvalConfigPolicy = eval_config or (lambda: False)
+        self.eval_config: EvalConfigPolicy = eval_config or _never_reconfigure
         self.delivery_callback = delivery_callback
 
         # Algorithm 4.7 state.
